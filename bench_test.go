@@ -1,0 +1,192 @@
+// Package morphstreamr_test hosts the top-level benchmark harness: one
+// testing.B benchmark per figure of the paper's evaluation (Section VIII),
+// each driving the same experiment code as cmd/msrbench at a reduced
+// scale, plus per-mechanism runtime/recovery micro-benchmarks.
+//
+// Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full-scale tables with
+//
+//	go run ./cmd/msrbench all
+package morphstreamr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"morphstreamr/internal/bench"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/workload"
+)
+
+// quick returns the reduced benchmark scale.
+func quick() bench.Scale { return bench.QuickScale() }
+
+// BenchmarkFig2 reproduces Figure 2: all fault-tolerance approaches on
+// Streaming Ledger (runtime throughput and recovery time).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			msr := r.Runs[ftapi.MSR]
+			b.ReportMetric(msr.RecoveryTime().Seconds()*1000, "msr-rec-ms")
+			b.ReportMetric(msr.RuntimeThroughput, "msr-ev/s")
+		}
+	}
+}
+
+// BenchmarkFig9 reproduces Figure 9: workload-aware log commitment.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(quick(), []int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11 reproduces Figure 11a-c: recovery-time breakdowns.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig11(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11d reproduces Figure 11d: the factor analysis of
+// MorphStreamR's recovery optimizations.
+func BenchmarkFig11d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig11d(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12a reproduces Figure 12a: runtime throughput comparison.
+func BenchmarkFig12a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12a(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12b reproduces Figure 12b: selective-logging efficiency.
+func BenchmarkFig12b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12b(quick(), []float64{0.1, 0.5, 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12c reproduces Figure 12c: artifact memory footprint.
+func BenchmarkFig12c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12c(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12d reproduces Figure 12d: runtime overhead breakdown.
+func BenchmarkFig12d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12d(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13 reproduces Figure 13: recovery scalability with cores.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig13(quick(), []int{1, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14a reproduces Figure 14a: multi-partition sensitivity.
+func BenchmarkFig14a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig14a(quick(), []float64{0, 0.5, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14b reproduces Figure 14b: skewness sensitivity.
+func BenchmarkFig14b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig14b(quick(), []float64{0, 0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14c reproduces Figure 14c: abort-ratio sensitivity.
+func BenchmarkFig14c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig14c(quick(), []float64{0, 0.4, 0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntime measures steady-state runtime throughput per
+// fault-tolerance scheme on Streaming Ledger (the per-scheme view of
+// Figure 12a).
+func BenchmarkRuntime(b *testing.B) {
+	for _, kind := range ftapi.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			scale := quick()
+			for i := 0; i < b.N; i++ {
+				run, err := bench.Execute(bench.Scenario{
+					Gen:   func() workload.Generator { return bench.SLFor(scale, 1) },
+					Kind:  kind,
+					Scale: scale,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(run.RuntimeThroughput, "ev/s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures recovery throughput per scheme and workload
+// (the per-scheme view of Figures 11 and 13).
+func BenchmarkRecovery(b *testing.B) {
+	kinds := []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+	for _, app := range bench.Apps() {
+		for _, kind := range kinds {
+			b.Run(fmt.Sprintf("%s/%v", app.Name, kind), func(b *testing.B) {
+				scale := quick()
+				for i := 0; i < b.N; i++ {
+					run, err := bench.Execute(bench.Scenario{
+						Gen:   func() workload.Generator { return app.Make(scale, 1) },
+						Kind:  kind,
+						Scale: scale,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(run.RecoveryThroughput(), "rec-ev/s")
+						b.ReportMetric(run.RecoveryTime().Seconds()*1000, "rec-ms")
+					}
+				}
+			})
+		}
+	}
+}

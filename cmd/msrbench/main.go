@@ -1,0 +1,221 @@
+// Command msrbench regenerates the paper's evaluation figures
+// (Section VIII). Each subcommand reproduces one figure as a text table;
+// `all` runs the full evaluation.
+//
+// Usage:
+//
+//	msrbench [flags] fig2|fig9|fig11|fig11d|fig12a|fig12b|fig12c|fig12d|fig13|fig14a|fig14b|fig14c|all
+//
+// Flags:
+//
+//	-batch N      events per epoch (default 4096)
+//	-snapshot N   epochs per checkpoint (default 8)
+//	-post N       epochs between checkpoint and crash (default 4)
+//	-workers N    worker parallelism (default 4)
+//	-quick        reduced scale for smoke runs
+//	-nossd        disable the SSD performance model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"morphstreamr/internal/bench"
+)
+
+func main() {
+	batch := flag.Int("batch", 4096, "events per epoch")
+	snapshot := flag.Int("snapshot", 8, "epochs per checkpoint")
+	post := flag.Int("post", 4, "epochs between checkpoint and crash")
+	workers := flag.Int("workers", 8, "worker parallelism")
+	quick := flag.Bool("quick", false, "reduced scale for smoke runs")
+	nossd := flag.Bool("nossd", false, "disable the SSD performance model")
+	flag.Usage = usage
+	flag.Parse()
+
+	scale := bench.Scale{
+		BatchSize:     *batch,
+		SnapshotEvery: *snapshot,
+		PostEpochs:    *post,
+		Workers:       *workers,
+		SSD:           !*nossd,
+	}
+	if *quick {
+		scale = bench.QuickScale()
+	}
+
+	args := flag.Args()
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	figures := map[string]func(bench.Scale) ([]bench.Table, error){
+		"fig2":   runFig2,
+		"fig9":   runFig9,
+		"fig11":  runFig11,
+		"fig11d": runFig11d,
+		"fig12a": runFig12a,
+		"fig12b": runFig12b,
+		"fig12c": runFig12c,
+		"fig12d": runFig12d,
+		"fig13":  runFig13,
+		"fig14a": runFig14a,
+		"fig14b": runFig14b,
+		"fig14c": runFig14c,
+		"ext":    runExt,
+	}
+	order := []string{"fig2", "fig9", "fig11", "fig11d", "fig12a", "fig12b",
+		"fig12c", "fig12d", "fig13", "fig14a", "fig14b", "fig14c", "ext"}
+
+	var todo []string
+	if args[0] == "all" {
+		todo = order
+	} else if _, ok := figures[args[0]]; ok {
+		todo = []string{args[0]}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+
+	for _, name := range todo {
+		start := time.Now()
+		tables, err := figures[name](scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			printTable(t)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: msrbench [flags] <figure>")
+	fmt.Fprintln(os.Stderr, "figures: fig2 fig9 fig11 fig11d fig12a fig12b fig12c fig12d fig13 fig14a fig14b fig14c ext all")
+	flag.PrintDefaults()
+}
+
+func printTable(t bench.Table) {
+	fmt.Println("== " + t.Title)
+	if t.Note != "" {
+		fmt.Println("   " + t.Note)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func runFig2(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig2(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig9(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig9(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}
+
+func runFig11(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig11(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}
+
+func runFig11d(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig11d(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig12a(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig12a(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig12b(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig12b(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig12c(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig12c(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig12d(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig12d(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}
+
+func runFig13(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig13(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}
+
+func runFig14a(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig14a(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table("Figure 14a: impact of multi-partition state transactions")}, nil
+}
+
+func runFig14b(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig14b(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table("Figure 14b: impact of state access skewness")}, nil
+}
+
+func runFig14c(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Fig14c(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table("Figure 14c: impact of aborting transactions")}, nil
+}
+
+func runExt(s bench.Scale) ([]bench.Table, error) {
+	r, err := bench.Ext(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Table{r.Table()}, nil
+}

@@ -1,0 +1,3 @@
+module morphstreamr
+
+go 1.22

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/workload"
+)
+
+// Ext benchmarks the two Section VII extensions this repository
+// implements beyond the paper's evaluation: asynchronous log commitment
+// (off the critical path) and durable-log compression. For each logging
+// scheme it reports runtime throughput and durable bytes for the baseline,
+// the async-commit variant, and the compressed variant.
+type ExtResult struct {
+	Kinds []ftapi.Kind
+	// Tput[kind][variant] in events/s; Bytes[kind][variant] durable bytes.
+	Tput  map[ftapi.Kind]map[string]float64
+	Bytes map[ftapi.Kind]map[string]int64
+}
+
+// ExtVariants lists the measured configurations.
+func ExtVariants() []string { return []string{"baseline", "async", "compressed"} }
+
+// Ext runs the extension ablation on Streaming Ledger.
+func Ext(scale Scale) (*ExtResult, error) {
+	res := &ExtResult{
+		Kinds: []ftapi.Kind{ftapi.WAL, ftapi.LV, ftapi.MSR},
+		Tput:  make(map[ftapi.Kind]map[string]float64),
+		Bytes: make(map[ftapi.Kind]map[string]int64),
+	}
+	for _, kind := range res.Kinds {
+		res.Tput[kind] = make(map[string]float64)
+		res.Bytes[kind] = make(map[string]int64)
+		for _, variant := range ExtVariants() {
+			s := Scenario{
+				Gen:  func() workload.Generator { return SLFor(scale, 1) },
+				Kind: kind, Scale: scale, Repeat: 3,
+			}
+			switch variant {
+			case "async":
+				s.AsyncCommit = true
+			case "compressed":
+				s.Compression = true
+			}
+			run, err := Execute(s)
+			if err != nil {
+				return nil, fmt.Errorf("ext %v/%s: %w", kind, variant, err)
+			}
+			res.Tput[kind][variant] = run.RuntimeThroughput
+			res.Bytes[kind][variant] = run.LogBytes
+		}
+	}
+	return res, nil
+}
+
+// Table renders the ablation.
+func (r *ExtResult) Table() Table {
+	t := Table{
+		Title: "Extensions (Section VII): async commit and log compression (SL)",
+		Note:  "runtime events/s and durable KiB per scheme and variant",
+		Header: []string{"scheme",
+			"base(ev/s)", "async(ev/s)", "compressed(ev/s)",
+			"base(KiB)", "async(KiB)", "compressed(KiB)"},
+	}
+	for _, kind := range r.Kinds {
+		row := []string{kind.String()}
+		for _, v := range ExtVariants() {
+			row = append(row, fnum(r.Tput[kind][v]))
+		}
+		for _, v := range ExtVariants() {
+			row = append(row, fmt.Sprintf("%d", r.Bytes[kind][v]/1024))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

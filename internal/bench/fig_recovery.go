@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/msr"
+	"morphstreamr/internal/workload"
+)
+
+// recoveryKinds is the comparison set for recovery figures (NAT cannot
+// recover).
+func recoveryKinds() []ftapi.Kind {
+	return []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+}
+
+// Fig2 reproduces the motivating comparison (Figure 2): runtime throughput
+// and recovery time of every applicable fault-tolerance approach on
+// Streaming Ledger.
+type Fig2Result struct {
+	Runs map[ftapi.Kind]Run
+}
+
+// Fig2 runs the experiment.
+func Fig2(scale Scale) (*Fig2Result, error) {
+	res := &Fig2Result{Runs: make(map[ftapi.Kind]Run)}
+	for _, kind := range ftapi.Kinds() {
+		run, err := Execute(Scenario{Gen: func() workload.Generator { return SLFor(scale, 1) }, Kind: kind, Scale: scale, Repeat: 3})
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %v: %w", kind, err)
+		}
+		res.Runs[kind] = run
+	}
+	return res, nil
+}
+
+// Table renders the figure.
+func (r *Fig2Result) Table() Table {
+	nat := r.Runs[ftapi.NAT].RuntimeThroughput
+	t := Table{
+		Title:  "Figure 2: fault tolerance approaches on Streaming Ledger",
+		Note:   "runtime throughput (events/s, % of native) and recovery time",
+		Header: []string{"scheme", "runtime(ev/s)", "%NAT", "recovery(ms)", "rec-tput(ev/s)"},
+	}
+	for _, kind := range ftapi.Kinds() {
+		run := r.Runs[kind]
+		rec, recT := "-", "-"
+		if run.Recovery != nil {
+			rec = ms(run.Recovery.SimWall())
+			recT = fnum(run.Recovery.Throughput())
+		}
+		t.Rows = append(t.Rows, []string{
+			kind.String(),
+			fnum(run.RuntimeThroughput),
+			fmt.Sprintf("%.0f%%", 100*run.RuntimeThroughput/nat),
+			rec, recT,
+		})
+	}
+	return t
+}
+
+// Fig11 reproduces the recovery-time breakdown (Figure 11a-c): per
+// application and scheme, the six-way decomposition of recovery time.
+type Fig11Result struct {
+	// Breakdowns[app][kind] is normalized per worker (≈ wall-clock).
+	Runs  map[string]map[ftapi.Kind]Run
+	Scale Scale
+}
+
+// Fig11 runs the experiment.
+func Fig11(scale Scale) (*Fig11Result, error) {
+	res := &Fig11Result{Runs: make(map[string]map[ftapi.Kind]Run), Scale: scale}
+	for _, app := range Apps() {
+		res.Runs[app.Name] = make(map[ftapi.Kind]Run)
+		for _, kind := range recoveryKinds() {
+			run, err := Execute(Scenario{Gen: func() workload.Generator { return app.Make(scale, 1) }, Kind: kind, Scale: scale})
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s/%v: %w", app.Name, kind, err)
+			}
+			res.Runs[app.Name][kind] = run
+		}
+	}
+	return res, nil
+}
+
+// Tables renders one table per application.
+func (r *Fig11Result) Tables() []Table {
+	var out []Table
+	for _, app := range Apps() {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 11: recovery time breakdown — %s", app.Name),
+			Note:   "per-worker milliseconds (aggregate thread-time / workers); total = wall recovery",
+			Header: []string{"scheme", "reload", "construct", "abort", "explore", "execute", "wait", "total(ms)"},
+		}
+		for _, kind := range recoveryKinds() {
+			run := r.Runs[app.Name][kind]
+			bd := run.Recovery.Breakdown.PerWorker(r.Scale.Workers)
+			row := []string{kind.String()}
+			for _, c := range bd.Components() {
+				row = append(row, ms(c.D))
+			}
+			row = append(row, ms(bd.Total()))
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig11d reproduces the factor analysis (Figure 11d): MorphStreamR's
+// recovery optimizations added incrementally.
+type Fig11dResult struct {
+	// RecoveryMS[app][step] in presentation order.
+	Steps []string
+	Times map[string]map[string]time.Duration
+}
+
+// Fig11d runs the experiment.
+func Fig11d(scale Scale) (*Fig11dResult, error) {
+	steps := []struct {
+		name string
+		opts msr.Options
+	}{
+		{"Simple", msr.Options{SelectiveLogging: true}},
+		{"+OpRestructure", msr.Options{SelectiveLogging: true, OpRestructure: true}},
+		{"+AbortPD", msr.Options{SelectiveLogging: true, OpRestructure: true, AbortPushdown: true}},
+		{"+OptTaskAssign", msr.Default()},
+	}
+	res := &Fig11dResult{Times: make(map[string]map[string]time.Duration)}
+	for _, s := range steps {
+		res.Steps = append(res.Steps, s.name)
+	}
+	for _, app := range Apps() {
+		res.Times[app.Name] = make(map[string]time.Duration)
+		for _, s := range steps {
+			opts := s.opts
+			run, err := Execute(Scenario{
+				Gen:  func() workload.Generator { return app.Make(scale, 1) },
+				Kind: ftapi.MSR, Scale: scale, MSR: &opts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig11d %s/%s: %w", app.Name, s.name, err)
+			}
+			res.Times[app.Name][s.name] = run.Recovery.SimWall()
+		}
+	}
+	return res, nil
+}
+
+// Table renders the figure.
+func (r *Fig11dResult) Table() Table {
+	t := Table{
+		Title:  "Figure 11d: factor analysis of MorphStreamR recovery (ms, lower is better)",
+		Note:   "optimizations added incrementally left to right",
+		Header: append([]string{"app"}, r.Steps...),
+	}
+	for _, app := range Apps() {
+		row := []string{app.Name}
+		for _, s := range r.Steps {
+			row = append(row, ms(r.Times[app.Name][s]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig13 reproduces the scalability study (Figure 13): recovery throughput
+// as the worker count grows.
+type Fig13Result struct {
+	Workers []int
+	// Tput[app][kind][i] aligns with Workers.
+	Tput map[string]map[ftapi.Kind][]float64
+}
+
+// Fig13 runs the experiment.
+func Fig13(scale Scale, workers []int) (*Fig13Result, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	res := &Fig13Result{Workers: workers, Tput: make(map[string]map[ftapi.Kind][]float64)}
+	for _, app := range Apps() {
+		res.Tput[app.Name] = make(map[ftapi.Kind][]float64)
+		for _, kind := range recoveryKinds() {
+			for _, w := range workers {
+				s := scale
+				s.Workers = w
+				run, err := Execute(Scenario{Gen: func() workload.Generator { return app.Make(s, 1) }, Kind: kind, Scale: s})
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s/%v/w%d: %w", app.Name, kind, w, err)
+				}
+				res.Tput[app.Name][kind] = append(res.Tput[app.Name][kind], run.RecoveryThroughput())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Tables renders one table per application.
+func (r *Fig13Result) Tables() []Table {
+	var out []Table
+	for _, app := range Apps() {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 13: recovery throughput vs cores — %s", app.Name),
+			Note:   "events recovered per second",
+			Header: []string{"scheme"},
+		}
+		for _, w := range r.Workers {
+			t.Header = append(t.Header, fmt.Sprintf("w=%d", w))
+		}
+		for _, kind := range recoveryKinds() {
+			row := []string{kind.String()}
+			for _, v := range r.Tput[app.Name][kind] {
+				row = append(row, fnum(v))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig14 reproduces the workload sensitivity study (Figure 14) on Grep&Sum:
+// multi-partition ratio (a), state access skewness (b), and aborting
+// transactions (c), each reporting recovery throughput per scheme.
+type Fig14Result struct {
+	Axis   string
+	Points []string
+	// Tput[kind][i] aligns with Points.
+	Tput map[ftapi.Kind][]float64
+}
+
+func fig14Run(scale Scale, p workload.GSParams, kind ftapi.Kind) (float64, error) {
+	p.Partitions = scale.Workers
+	run, err := Execute(Scenario{Gen: func() workload.Generator { return workload.NewGS(p) }, Kind: kind, Scale: scale})
+	if err != nil {
+		return 0, err
+	}
+	return run.RecoveryThroughput(), nil
+}
+
+// Fig14a sweeps the multi-partition transaction ratio with skew 0 and no
+// aborts.
+func Fig14a(scale Scale, ratios []float64) (*Fig14Result, error) {
+	if len(ratios) == 0 {
+		ratios = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	res := &Fig14Result{Axis: "multi-partition ratio", Tput: make(map[ftapi.Kind][]float64)}
+	for _, r := range ratios {
+		res.Points = append(res.Points, fmt.Sprintf("%.0f%%", 100*r))
+	}
+	for _, kind := range recoveryKinds() {
+		for _, ratio := range ratios {
+			p := workload.DefaultGSParams()
+			p.Theta, p.AbortRatio, p.MultiPartitionRatio = 0, 0, ratio
+			v, err := fig14Run(scale, p, kind)
+			if err != nil {
+				return nil, fmt.Errorf("fig14a %v/%.1f: %w", kind, ratio, err)
+			}
+			res.Tput[kind] = append(res.Tput[kind], v)
+		}
+	}
+	return res, nil
+}
+
+// Fig14b sweeps state access skewness on a write-only workload.
+func Fig14b(scale Scale, thetas []float64) (*Fig14Result, error) {
+	if len(thetas) == 0 {
+		thetas = []float64{0, 0.4, 0.8, 1.2}
+	}
+	res := &Fig14Result{Axis: "state access skew (theta)", Tput: make(map[ftapi.Kind][]float64)}
+	for _, th := range thetas {
+		res.Points = append(res.Points, fmt.Sprintf("%.1f", th))
+	}
+	for _, kind := range recoveryKinds() {
+		for _, th := range thetas {
+			p := workload.DefaultGSParams()
+			p.Theta, p.AbortRatio, p.MultiPartitionRatio, p.WriteOnly = th, 0, 0, true
+			v, err := fig14Run(scale, p, kind)
+			if err != nil {
+				return nil, fmt.Errorf("fig14b %v/%.1f: %w", kind, th, err)
+			}
+			res.Tput[kind] = append(res.Tput[kind], v)
+		}
+	}
+	return res, nil
+}
+
+// Fig14c sweeps the percentage of events that trigger aborts.
+func Fig14c(scale Scale, ratios []float64) (*Fig14Result, error) {
+	if len(ratios) == 0 {
+		ratios = []float64{0, 0.2, 0.4, 0.6, 0.8}
+	}
+	res := &Fig14Result{Axis: "aborting transactions", Tput: make(map[ftapi.Kind][]float64)}
+	for _, r := range ratios {
+		res.Points = append(res.Points, fmt.Sprintf("%.0f%%", 100*r))
+	}
+	for _, kind := range recoveryKinds() {
+		for _, ratio := range ratios {
+			p := workload.DefaultGSParams()
+			p.Theta, p.MultiPartitionRatio, p.AbortRatio = 0, 0.3, ratio
+			v, err := fig14Run(scale, p, kind)
+			if err != nil {
+				return nil, fmt.Errorf("fig14c %v/%.1f: %w", kind, ratio, err)
+			}
+			res.Tput[kind] = append(res.Tput[kind], v)
+		}
+	}
+	return res, nil
+}
+
+// Table renders a sensitivity sweep.
+func (r *Fig14Result) Table(title string) Table {
+	t := Table{
+		Title:  title,
+		Note:   "recovery throughput (events/s) on Grep&Sum, axis: " + r.Axis,
+		Header: append([]string{"scheme"}, r.Points...),
+	}
+	for _, kind := range recoveryKinds() {
+		row := []string{kind.String()}
+		for _, v := range r.Tput[kind] {
+			row = append(row, fnum(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

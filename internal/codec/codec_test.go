@@ -1,0 +1,276 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"morphstreamr/internal/types"
+)
+
+// randEvent builds a pseudo-random but structurally valid event.
+func randEvent(rng *rand.Rand, seq uint64) types.Event {
+	nk := rng.Intn(5)
+	nv := rng.Intn(3)
+	ev := types.Event{Seq: seq, Kind: types.EventKind(rng.Intn(4))}
+	for i := 0; i < nk; i++ {
+		ev.Keys = append(ev.Keys, types.Key{
+			Table: types.TableID(rng.Intn(3)),
+			Row:   rng.Uint32(),
+		})
+	}
+	for i := 0; i < nv; i++ {
+		ev.Vals = append(ev.Vals, rng.Int63()-rng.Int63())
+	}
+	return ev
+}
+
+func randEvents(seed int64, n int) []types.Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]types.Event, n)
+	for i := range out {
+		out[i] = randEvent(rng, uint64(i))
+	}
+	return out
+}
+
+func eventsEqual(a, b []types.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Kind != b[i].Kind {
+			return false
+		}
+		if len(a[i].Keys) != len(b[i].Keys) || len(a[i].Vals) != len(b[i].Vals) {
+			return false
+		}
+		for j := range a[i].Keys {
+			if a[i].Keys[j] != b[i].Keys[j] {
+				return false
+			}
+		}
+		for j := range a[i].Vals {
+			if a[i].Vals[j] != b[i].Vals[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		events := randEvents(seed, int(n%64))
+		got, err := DecodeEvents(EncodeEvents(events))
+		if err != nil {
+			return false
+		}
+		return eventsEqual(events, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyEventsRoundTrip(t *testing.T) {
+	got, err := DecodeEvents(EncodeEvents(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch round trip: %v, %v", got, err)
+	}
+}
+
+// TestDecodeTruncatedNeverPanics chops valid encodings at every byte
+// offset; every prefix must decode to an error or a valid value, never
+// panic — durable logs can be torn.
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	events := randEvents(42, 10)
+	full := EncodeEvents(events)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeEvents(full[:cut]); err == nil && cut < len(full)-1 {
+			// Some prefixes are valid encodings of shorter batches only if
+			// the count matched; a nil error with missing events is a bug.
+			got, _ := DecodeEvents(full[:cut])
+			if eventsEqual(events, got) {
+				t.Fatalf("truncation at %d decoded as complete", cut)
+			}
+		}
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		DecodeEvents(b)
+		DecodeWAL(b)
+		DecodeDL(b)
+		DecodeLV(b)
+		DecodeMSR(b)
+		DecodeSnapshot(b)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tables := []SnapshotTable{
+		{ID: 0, Init: 100, Vals: []types.Value{100, 105, 99, -3}},
+		{ID: 1, Init: 0, Vals: []types.Value{0, 0, 7}},
+	}
+	got, err := DecodeSnapshot(EncodeSnapshot(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tables, got) {
+		t.Errorf("snapshot round trip: got %+v, want %+v", got, tables)
+	}
+}
+
+func TestSnapshotDeltaEncodingCompresses(t *testing.T) {
+	// A mostly-untouched table (every record at Init) must encode in ~1
+	// byte per record thanks to delta coding.
+	vals := make([]types.Value, 10000)
+	for i := range vals {
+		vals[i] = 10_000
+	}
+	b := EncodeSnapshot([]SnapshotTable{{ID: 0, Init: 10_000, Vals: vals}})
+	if len(b) > len(vals)+64 {
+		t.Errorf("untouched snapshot encoded to %d bytes for %d records", len(b), len(vals))
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	events := randEvents(1, 20)
+	recs := make([]WALRecord, len(events))
+	for i := range events {
+		recs[i] = WALRecord{Event: events[i]}
+	}
+	got, err := DecodeWAL(EncodeWAL(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if !eventsEqual([]types.Event{recs[i].Event}, []types.Event{got[i].Event}) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestDLRoundTrip(t *testing.T) {
+	events := randEvents(2, 10)
+	recs := make([]DLRecord, len(events))
+	for i := range events {
+		recs[i] = DLRecord{Event: events[i]}
+		for j := uint64(0); j < uint64(i); j += 2 {
+			recs[i].In = append(recs[i].In, j) // sorted ascending, as required
+		}
+	}
+	got, err := DecodeDL(EncodeDL(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(recs[i].In, got[i].In) {
+			t.Errorf("record %d edges: got %v, want %v", i, got[i].In, recs[i].In)
+		}
+	}
+}
+
+func TestLVRoundTrip(t *testing.T) {
+	events := randEvents(3, 10)
+	recs := make([]LVRecord, len(events))
+	for i := range events {
+		recs[i] = LVRecord{
+			Event:  events[i],
+			Worker: uint32(i % 4),
+			LSN:    uint64(i + 1),
+			Vector: []uint64{uint64(i), 0, uint64(2 * i), 7},
+		}
+	}
+	got, err := DecodeLV(EncodeLV(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Worker != recs[i].Worker || got[i].LSN != recs[i].LSN ||
+			!reflect.DeepEqual(got[i].Vector, recs[i].Vector) {
+			t.Errorf("record %d mismatch: got %+v", i, got[i])
+		}
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	views := MSRViews{
+		Aborted: []uint64{3, 17, 90},
+		Parametric: []ViewEntry{
+			{From: types.Key{Table: 0, Row: 1}, To: types.Key{Table: 0, Row: 2}, TS: 10, Value: -55},
+			{From: types.Key{Table: 1, Row: 9}, To: types.Key{Table: 0, Row: 4}, TS: 11, Value: 1 << 40},
+		},
+	}
+	got, err := DecodeMSR(EncodeMSR(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(views.Aborted, got.Aborted) {
+		t.Errorf("aborted: got %v, want %v", got.Aborted, views.Aborted)
+	}
+	if !reflect.DeepEqual(views.Parametric, got.Parametric) {
+		t.Errorf("parametric: got %+v, want %+v", got.Parametric, views.Parametric)
+	}
+}
+
+func TestMSREmptyRoundTrip(t *testing.T) {
+	got, err := DecodeMSR(EncodeMSR(MSRViews{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Aborted) != 0 || len(got.Parametric) != 0 {
+		t.Errorf("empty views decoded to %+v", got)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(u uint64, s int64) bool {
+		w := NewBuffer(24)
+		w.Uvarint(u)
+		w.Varint(s)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == u && r.Varint() == s && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderErrorSticks(t *testing.T) {
+	r := NewReader(nil)
+	r.Byte()
+	if r.Err() == nil {
+		t.Fatal("reading past the end must error")
+	}
+	// Subsequent reads keep returning zero values without panicking.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.Byte() != 0 {
+		t.Error("post-error reads must return zero values")
+	}
+}
+
+func TestMSRGroupsRoundTrip(t *testing.T) {
+	views := MSRViews{
+		Aborted: []uint64{5},
+		Groups: []GroupEntry{
+			{Key: types.Key{Table: 0, Row: 10}, Group: 3},
+			{Key: types.Key{Table: 1, Row: 99}, Group: 0},
+		},
+	}
+	got, err := DecodeMSR(EncodeMSR(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(views.Groups, got.Groups) {
+		t.Errorf("groups round trip: got %+v, want %+v", got.Groups, views.Groups)
+	}
+}

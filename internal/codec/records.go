@@ -1,0 +1,257 @@
+package codec
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/types"
+)
+
+// This file defines the per-mechanism log record formats. Record size is a
+// measured quantity (Figures 12c/12d): WAL records are bare commands, DL
+// records grow linearly with dependency count, LV records carry a fixed
+// vector per transaction, and MSR view entries are small key/value tuples.
+
+// WALRecord is one command-log record: the committed input event itself.
+// Redoing the command re-runs preprocessing and the state accesses.
+type WALRecord struct {
+	Event types.Event
+}
+
+// EncodeWAL frames a batch of command records.
+func EncodeWAL(recs []WALRecord) []byte {
+	w := NewBuffer(16 + 24*len(recs))
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		w.Event(rec.Event)
+	}
+	return w.Bytes()
+}
+
+// DecodeWAL parses EncodeWAL output.
+func DecodeWAL(b []byte) ([]WALRecord, error) {
+	r := NewReader(b)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(len(b)) {
+		return nil, fmt.Errorf("codec: wal count %d exceeds input: %w", n, ErrShortBuffer)
+	}
+	out := make([]WALRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, WALRecord{Event: r.Event()})
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DLRecord is one dependency-logging record in the style of DistDGCC: the
+// committed command plus the identifiers of the transactions it depends on
+// (incoming edges). Outgoing edges are implied and rebuilt during recovery.
+// Record size grows with the number of dependencies, which is exactly the
+// runtime overhead the paper attributes to DL.
+type DLRecord struct {
+	Event types.Event
+	// In lists the transaction IDs this transaction depends on (TD and PD
+	// sources), deduplicated and sorted ascending.
+	In []uint64
+}
+
+// EncodeDL frames a batch of dependency records. Incoming-edge lists are
+// delta-encoded, exploiting their sorted order.
+func EncodeDL(recs []DLRecord) []byte {
+	w := NewBuffer(16 + 32*len(recs))
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		w.Event(rec.Event)
+		w.Uvarint(uint64(len(rec.In)))
+		prev := uint64(0)
+		for _, id := range rec.In {
+			w.Uvarint(id - prev)
+			prev = id
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeDL parses EncodeDL output.
+func DecodeDL(b []byte) ([]DLRecord, error) {
+	r := NewReader(b)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(len(b)) {
+		return nil, fmt.Errorf("codec: dl count %d exceeds input: %w", n, ErrShortBuffer)
+	}
+	out := make([]DLRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec DLRecord
+		rec.Event = r.Event()
+		ne := r.Uvarint()
+		if r.Err() == nil && ne > uint64(r.Remaining())+1 {
+			return nil, fmt.Errorf("codec: dl edge count %d exceeds input: %w", ne, ErrShortBuffer)
+		}
+		prev := uint64(0)
+		for j := uint64(0); j < ne; j++ {
+			prev += r.Uvarint()
+			rec.In = append(rec.In, prev)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// LVRecord is one Taurus-style log record: the committed command, the
+// worker that executed it, its log sequence number on that worker, and the
+// dependency vector (one LSN per worker) that must be recovered before this
+// transaction may replay.
+type LVRecord struct {
+	Event  types.Event
+	Worker uint32
+	LSN    uint64
+	Vector []uint64
+}
+
+// EncodeLV frames a batch of LSN-vector records.
+func EncodeLV(recs []LVRecord) []byte {
+	w := NewBuffer(16 + 48*len(recs))
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		w.Event(rec.Event)
+		w.Uvarint(uint64(rec.Worker))
+		w.Uvarint(rec.LSN)
+		w.Uvarint(uint64(len(rec.Vector)))
+		for _, v := range rec.Vector {
+			w.Uvarint(v)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeLV parses EncodeLV output.
+func DecodeLV(b []byte) ([]LVRecord, error) {
+	r := NewReader(b)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(len(b)) {
+		return nil, fmt.Errorf("codec: lv count %d exceeds input: %w", n, ErrShortBuffer)
+	}
+	out := make([]LVRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec LVRecord
+		rec.Event = r.Event()
+		rec.Worker = uint32(r.Uvarint())
+		rec.LSN = r.Uvarint()
+		nv := r.Uvarint()
+		if r.Err() == nil && nv > uint64(r.Remaining())+1 {
+			return nil, fmt.Errorf("codec: lv vector len %d exceeds input: %w", nv, ErrShortBuffer)
+		}
+		rec.Vector = make([]uint64, nv)
+		for j := range rec.Vector {
+			rec.Vector[j] = r.Uvarint()
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ViewEntry is one MorphStreamR ParametricView record: the intermediate
+// result of a resolved parametric dependency (Figure 5). During recovery an
+// operation on To with timestamp TS that parametrically depends on From
+// looks the consumed value up by the (From, To, TS) triple instead of
+// re-resolving the dependency across threads.
+type ViewEntry struct {
+	From  types.Key
+	To    types.Key
+	TS    uint64
+	Value types.Value
+}
+
+// GroupEntry records the selective-logging group of one chain, so that
+// recovery can co-locate the chains whose intra-group dependencies were
+// deliberately not logged (the shadow-exploration contract).
+type GroupEntry struct {
+	Key   types.Key
+	Group uint8
+}
+
+// MSRViews is the epoch payload of the MorphStreamR Logging Manager: the
+// AbortView (identifiers of aborted transactions, sorted ascending), the
+// ParametricView entries recorded in the epoch, and — under selective
+// logging — the chain-group assignments the classification used.
+type MSRViews struct {
+	Aborted    []uint64
+	Parametric []ViewEntry
+	Groups     []GroupEntry
+}
+
+// EncodeMSR frames one epoch's views. Abort IDs are delta-encoded.
+func EncodeMSR(v MSRViews) []byte {
+	w := NewBuffer(32 + 8*len(v.Aborted) + 24*len(v.Parametric) + 8*len(v.Groups))
+	w.Uvarint(uint64(len(v.Aborted)))
+	prev := uint64(0)
+	for _, id := range v.Aborted {
+		w.Uvarint(id - prev)
+		prev = id
+	}
+	w.Uvarint(uint64(len(v.Parametric)))
+	for _, e := range v.Parametric {
+		w.Key(e.From)
+		w.Key(e.To)
+		w.Uvarint(e.TS)
+		w.Varint(e.Value)
+	}
+	w.Uvarint(uint64(len(v.Groups)))
+	for _, e := range v.Groups {
+		w.Key(e.Key)
+		w.Byte(e.Group)
+	}
+	return w.Bytes()
+}
+
+// DecodeMSR parses EncodeMSR output.
+func DecodeMSR(b []byte) (MSRViews, error) {
+	var v MSRViews
+	r := NewReader(b)
+	na := r.Uvarint()
+	if r.Err() == nil && na > uint64(len(b)) {
+		return v, fmt.Errorf("codec: abort count %d exceeds input: %w", na, ErrShortBuffer)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < na; i++ {
+		prev += r.Uvarint()
+		v.Aborted = append(v.Aborted, prev)
+	}
+	np := r.Uvarint()
+	if r.Err() == nil && np > uint64(r.Remaining())+1 {
+		return v, fmt.Errorf("codec: view count %d exceeds input: %w", np, ErrShortBuffer)
+	}
+	v.Parametric = make([]ViewEntry, 0, np)
+	for i := uint64(0); i < np; i++ {
+		var e ViewEntry
+		e.From = r.Key()
+		e.To = r.Key()
+		e.TS = r.Uvarint()
+		e.Value = r.Varint()
+		if err := r.Err(); err != nil {
+			return v, err
+		}
+		v.Parametric = append(v.Parametric, e)
+	}
+	ng := r.Uvarint()
+	if r.Err() == nil && ng > uint64(r.Remaining())+1 {
+		return v, fmt.Errorf("codec: group count %d exceeds input: %w", ng, ErrShortBuffer)
+	}
+	for i := uint64(0); i < ng; i++ {
+		var e GroupEntry
+		e.Key = r.Key()
+		e.Group = r.Byte()
+		if err := r.Err(); err != nil {
+			return v, err
+		}
+		v.Groups = append(v.Groups, e)
+	}
+	return v, r.Err()
+}

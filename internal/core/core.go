@@ -1,0 +1,213 @@
+// Package core is the public façade of the library: it wires an
+// application, a durable device, a fault-tolerance mechanism, and the
+// engine into a System with a small lifecycle — process, crash, recover —
+// and exposes the measurements the paper's evaluation is built from.
+//
+// Quick start:
+//
+//	gen := workload.NewSL(workload.DefaultSLParams())
+//	sys, _ := core.New(gen.App(), core.Config{FT: ftapi.MSR, Workers: 4, BatchSize: 4096})
+//	for i := 0; i < 12; i++ {
+//		sys.ProcessBatch(workload.Batch(gen, 4096))
+//	}
+//	sys.Crash()
+//	sys, report, _ := sys.Recover()
+//	fmt.Println(report.Wall, report.Breakdown)
+package core
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/engine"
+	"morphstreamr/internal/ft/checkpoint"
+	"morphstreamr/internal/ft/depgraph"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/lsnvector"
+	"morphstreamr/internal/ft/msr"
+	"morphstreamr/internal/ft/wal"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+)
+
+// Config selects the system composition.
+type Config struct {
+	// FT is the fault-tolerance scheme (NAT, CKPT, WAL, DL, LV, MSR).
+	FT ftapi.Kind
+	// Workers is the execution parallelism (default 1).
+	Workers int
+	// BatchSize is the punctuation interval in events; informational for
+	// callers that size their own batches (default 4096).
+	BatchSize int
+	// CommitEvery is the log commitment epoch; must divide SnapshotEvery
+	// (default 1).
+	CommitEvery int
+	// SnapshotEvery is the checkpoint interval in epochs (default 8).
+	SnapshotEvery int
+	// AutoCommit enables workload-aware log commitment (MSR only).
+	AutoCommit bool
+	// AsyncCommit moves durable group-commit writes off the critical path
+	// (Section VII's Lineage Stash-style direction); outputs still release
+	// only after their commit record lands, preserving exactly-once.
+	AsyncCommit bool
+	// MSR configures MorphStreamR's logging and recovery optimizations;
+	// ignored by other schemes. Zero value means msr.Default().
+	MSR *msr.Options
+	// Device is the durable storage; nil allocates an in-memory device.
+	Device storage.Device
+	// SSDModel wraps the device in the paper's Optane SSD performance
+	// envelope (2 GB/s, 146 kIOPS), so I/O costs shape benchmarks the way
+	// the paper's hardware shaped theirs.
+	SSDModel bool
+	// Compression DEFLATE-compresses every durable payload (Section VII's
+	// log-compression direction): smaller logs and snapshots for extra CPU.
+	Compression bool
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 1
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 8
+	}
+	if c.MSR == nil {
+		d := msr.Default()
+		c.MSR = &d
+	}
+	if c.Device == nil {
+		c.Device = storage.NewMem()
+	}
+}
+
+// NewMechanism constructs a fault-tolerance mechanism of the given kind
+// against a device and byte accounting. Exposed for callers that assemble
+// engines directly.
+func NewMechanism(kind ftapi.Kind, dev storage.Device, bytes *metrics.Bytes, opts msr.Options) ftapi.Mechanism {
+	switch kind {
+	case NAT:
+		return nativeMech{}
+	case ftapi.CKPT:
+		return checkpoint.New()
+	case ftapi.WAL:
+		return wal.New(dev, bytes)
+	case ftapi.DL:
+		return depgraph.New(dev, bytes)
+	case ftapi.LV:
+		return lsnvector.New(dev, bytes)
+	case ftapi.MSR:
+		return msr.New(dev, bytes, opts)
+	default:
+		panic(fmt.Sprintf("core: unknown fault-tolerance kind %v", kind))
+	}
+}
+
+// Re-exported scheme identifiers, so example code only imports core.
+const (
+	NAT  = ftapi.NAT
+	CKPT = ftapi.CKPT
+	WAL  = ftapi.WAL
+	DL   = ftapi.DL
+	LV   = ftapi.LV
+	MSR  = ftapi.MSR
+)
+
+// System is one running instance: an application bound to an engine and a
+// fault-tolerance mechanism over a durable device.
+type System struct {
+	App    types.App
+	Cfg    Config
+	Engine *engine.Engine
+
+	bytes *metrics.Bytes
+}
+
+// New assembles a system with fresh state.
+func New(app types.App, cfg Config) (*System, error) {
+	cfg.normalize()
+	dev := cfg.Device
+	if cfg.Compression {
+		if _, already := dev.(*storage.Compressed); !already {
+			dev = storage.NewCompressed(dev)
+		}
+	}
+	if cfg.SSDModel {
+		if _, already := dev.(*storage.Throttled); !already {
+			dev = storage.DefaultSSD(dev)
+		}
+	}
+	bytes := metrics.NewBytes()
+	mech := NewMechanism(cfg.FT, dev, bytes, *cfg.MSR)
+	eng, err := engine.New(engine.Config{
+		App:           app,
+		Device:        dev,
+		Mechanism:     mech,
+		Workers:       cfg.Workers,
+		CommitEvery:   cfg.CommitEvery,
+		SnapshotEvery: cfg.SnapshotEvery,
+		AutoCommit:    cfg.AutoCommit,
+		AsyncCommit:   cfg.AsyncCommit,
+		Bytes:         bytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	keep := cfg
+	keep.Device = dev
+	keep.SSDModel = false    // already applied
+	keep.Compression = false // already applied
+	return &System{App: app, Cfg: keep, Engine: eng, bytes: bytes}, nil
+}
+
+// ProcessBatch ingests one punctuation interval's events.
+func (s *System) ProcessBatch(events []types.Event) error {
+	return s.Engine.ProcessEpoch(events)
+}
+
+// Crash models a power failure: all volatile state is lost; only the
+// durable device survives (and is reused by Recover).
+func (s *System) Crash() {
+	s.Engine.Crash()
+}
+
+// Recover rebuilds a working system from the durable device, returning it
+// together with the recovery report. The crashed system's engine remains
+// readable (tests consult its delivered-output ledger).
+func (s *System) Recover() (*System, *engine.RecoveryReport, error) {
+	bytes := metrics.NewBytes()
+	mech := NewMechanism(s.Cfg.FT, s.Cfg.Device, bytes, *s.Cfg.MSR)
+	eng, report, err := engine.Recover(engine.Config{
+		App:           s.App,
+		Device:        s.Cfg.Device,
+		Mechanism:     mech,
+		Workers:       s.Cfg.Workers,
+		CommitEvery:   s.Cfg.CommitEvery,
+		SnapshotEvery: s.Cfg.SnapshotEvery,
+		AsyncCommit:   s.Cfg.AsyncCommit,
+		Bytes:         bytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &System{App: s.App, Cfg: s.Cfg, Engine: eng, bytes: bytes}, report, nil
+}
+
+// Bytes exposes the artifact-size accounting of the current incarnation.
+func (s *System) Bytes() *metrics.Bytes { return s.bytes }
+
+// nativeMech is the no-op mechanism behind NAT.
+type nativeMech struct{}
+
+func (nativeMech) Kind() ftapi.Kind             { return ftapi.NAT }
+func (nativeMech) SealEpoch(*ftapi.EpochResult) {}
+func (nativeMech) Commit(uint64) error          { return nil }
+func (nativeMech) GC(uint64)                    {}
+func (nativeMech) Recover(*ftapi.RecoveryContext) (uint64, error) {
+	return 0, fmt.Errorf("native execution has no recovery")
+}

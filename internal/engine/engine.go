@@ -1,0 +1,502 @@
+// Package engine implements the transactional stream processing engine of
+// Figure 4: Execution Managers (stream + transaction processing over a
+// task precedence graph), a Logging Manager (the pluggable fault-tolerance
+// mechanism), and a Fault-tolerance Manager (punctuation markers, input
+// persistence, snapshots, garbage collection, and the recovery driver).
+//
+// Processing is epoch-based: each call to ProcessEpoch handles one
+// punctuation interval. Three marker kinds structure the run (Section
+// VI-C): the transaction marker is the epoch boundary itself; the commit
+// marker fires every CommitEvery epochs and group-commits the mechanism's
+// buffered log records, releasing the covered epochs' outputs downstream;
+// the snapshot marker fires every SnapshotEvery epochs, persists a
+// transaction-consistent snapshot, and garbage-collects everything the
+// snapshot covers.
+//
+// Exactly-once delivery: an epoch's outputs are released if and only if
+// its covering commit record (for log-based schemes) or snapshot (for
+// CKPT) is durable. Crash() models a power failure — every volatile
+// structure is abandoned, only the storage device survives — and Recover
+// rebuilds a working engine from the device, replaying committed epochs
+// with outputs suppressed and reprocessing uncommitted ones with outputs
+// delivered.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/scheduler"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/vtime"
+)
+
+// Advisor is implemented by mechanisms that support workload-aware log
+// commitment (MSR): given the first epoch's graph, recommend a commit
+// interval.
+type Advisor interface {
+	AdviseCommitEvery(g *tpg.Graph, snapshotEvery int) int
+}
+
+// Config assembles one engine instance.
+type Config struct {
+	// App is the transactional stream application to run.
+	App types.App
+	// Device is the durable storage surviving crashes.
+	Device storage.Device
+	// Mechanism is the fault-tolerance scheme; it must have been created
+	// against the same Device and Bytes.
+	Mechanism ftapi.Mechanism
+	// Workers is the execution parallelism (default GOMAXPROCS is NOT
+	// assumed; zero means 1).
+	Workers int
+	// CommitEvery is the log commitment epoch (Section VI-B) in epochs;
+	// zero means 1. Must divide SnapshotEvery.
+	CommitEvery int
+	// SnapshotEvery is the checkpoint interval in epochs; zero means 8.
+	SnapshotEvery int
+	// AutoCommit lets an Advisor mechanism pick CommitEvery from the first
+	// epoch's profile (workload-aware log commitment).
+	AutoCommit bool
+	// AsyncCommit moves the durable group-commit write off the critical
+	// path (the Lineage Stash-style direction of Section VII): the commit
+	// is prepared synchronously, written on a background goroutine, and
+	// its epochs' outputs release only once the write completes — so
+	// exactly-once delivery is preserved while processing overlaps I/O.
+	// Requires a mechanism implementing ftapi.AsyncCommitter; others fall
+	// back to synchronous commits.
+	AsyncCommit bool
+	// Bytes receives artifact-size accounting; nil allocates a fresh one.
+	Bytes *metrics.Bytes
+}
+
+func (c *Config) normalize() error {
+	if c.App == nil || c.Device == nil || c.Mechanism == nil {
+		return errors.New("engine: App, Device, and Mechanism are required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 1
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 8
+	}
+	if c.SnapshotEvery%c.CommitEvery != 0 {
+		return fmt.Errorf("engine: SnapshotEvery (%d) must be a multiple of CommitEvery (%d)",
+			c.SnapshotEvery, c.CommitEvery)
+	}
+	if c.Bytes == nil {
+		c.Bytes = metrics.NewBytes()
+	}
+	return nil
+}
+
+// epochOutputs buffers one epoch's outputs until their release marker.
+type epochOutputs struct {
+	epoch uint64
+	outs  []types.Output
+}
+
+// Engine is one running TSPE instance.
+type Engine struct {
+	cfg    Config
+	st     *store.Store
+	ranges *partition.Ranges
+
+	epoch      uint64
+	lastCommit uint64
+	lastSnap   uint64
+
+	pending   []epochOutputs
+	delivered []types.Output
+
+	runtime   metrics.RuntimeBreakdown
+	procWall  time.Duration
+	totalWall time.Duration
+	events    int
+
+	commitEvery int // may be tuned by AutoCommit on the first epoch
+	crashed     bool
+
+	// inflight is the pending asynchronous commit, if any: once done
+	// reports success, outputs up to its epoch may release.
+	inflight *asyncCommit
+}
+
+// asyncCommit tracks one background group-commit write.
+type asyncCommit struct {
+	epoch uint64
+	done  chan error
+}
+
+// New creates an engine with fresh application state.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		st:          store.New(cfg.App.Tables()),
+		commitEvery: cfg.CommitEvery,
+	}
+	e.ranges = partition.NewRanges(cfg.App.Tables(), cfg.Workers)
+	return e, nil
+}
+
+// Store exposes the live state for inspection and tests.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Epoch returns the number of epochs processed so far.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// CommitEvery returns the effective log commitment interval (after any
+// workload-aware adjustment).
+func (e *Engine) CommitEvery() int { return e.commitEvery }
+
+// Delivered returns the outputs released downstream so far, in release
+// order. The slice is the live ledger; callers must not mutate it.
+func (e *Engine) Delivered() []types.Output { return e.delivered }
+
+// PendingOutputs returns how many outputs await their release marker.
+func (e *Engine) PendingOutputs() int {
+	n := 0
+	for _, p := range e.pending {
+		n += len(p.outs)
+	}
+	return n
+}
+
+// Runtime returns the accumulated fault-tolerance overhead breakdown.
+func (e *Engine) Runtime() metrics.RuntimeBreakdown { return e.runtime }
+
+// Bytes returns the artifact-size accounting shared with the mechanism.
+func (e *Engine) Bytes() *metrics.Bytes { return e.cfg.Bytes }
+
+// Events returns the number of input events processed.
+func (e *Engine) Events() int { return e.events }
+
+// ProcessingWall returns wall time spent in pure stream/transaction
+// processing (excluding fault-tolerance work).
+func (e *Engine) ProcessingWall() time.Duration { return e.procWall }
+
+// TotalWall returns wall time spent in ProcessEpoch overall; events/second
+// against it is the runtime throughput of Figure 12a.
+func (e *Engine) TotalWall() time.Duration { return e.totalWall }
+
+// Throughput returns the runtime throughput in events per second.
+func (e *Engine) Throughput() float64 { return metrics.Throughput(e.events, e.totalWall) }
+
+// ErrCrashed is returned by ProcessEpoch after Crash.
+var ErrCrashed = errors.New("engine: crashed; recover with engine.Recover")
+
+// ProcessEpoch ingests one punctuation interval's events. Event sequence
+// numbers must continue from the previous epoch (the spout's numbering).
+func (e *Engine) ProcessEpoch(events []types.Event) error {
+	if e.crashed {
+		return ErrCrashed
+	}
+	start := time.Now()
+	e.epoch++
+	if err := e.processEpochAt(e.epoch, events, true, nil); err != nil {
+		return err
+	}
+	e.totalWall += time.Since(start)
+	return nil
+}
+
+// processEpochAt runs the full epoch pipeline. persistInput is false when
+// reprocessing already-persisted epochs during recovery; breakdown, when
+// non-nil, receives recovery-convention timing instead of the runtime
+// overhead accounting.
+func (e *Engine) processEpochAt(ep uint64, events []types.Event, persistInput bool, breakdown *metrics.RecoveryBreakdown) error {
+	isNative := e.cfg.Mechanism.Kind() == ftapi.NAT
+
+	// Persist input events before processing (Figure 10 step 1), so the
+	// epoch survives a crash at any later point.
+	if persistInput && !isNative {
+		t0 := time.Now()
+		payload := codec.EncodeEvents(events)
+		if err := e.cfg.Device.Append(storage.LogInput, storage.Record{Epoch: ep, Payload: payload}); err != nil {
+			return fmt.Errorf("engine: persist input: %w", err)
+		}
+		e.cfg.Bytes.Written("input", int64(len(payload)))
+		e.runtime.IO += time.Since(t0)
+	}
+
+	// Stream processing phase: preprocessing builds state transactions and
+	// the task precedence graph.
+	proc := time.Now()
+	txns := make([]*types.Txn, 0, len(events))
+	for _, ev := range events {
+		txn := e.cfg.App.Preprocess(ev)
+		txns = append(txns, &txn)
+	}
+	g := tpg.Build(txns, e.st.Get)
+	if breakdown != nil {
+		// Preprocessing and graph construction parallelize across the
+		// stream-processing executors; charge aggregate thread-time.
+		breakdown.Construct += vtime.Calibrate().GraphCost(len(events), g.NumOps)
+	}
+
+	// Workload-aware log commitment: on the very first epoch, let the
+	// mechanism inspect the graph and pick the commit interval.
+	if e.cfg.AutoCommit && ep == 1 && breakdown == nil {
+		if adv, ok := e.cfg.Mechanism.(Advisor); ok {
+			if ce := adv.AdviseCommitEvery(g, e.cfg.SnapshotEvery); ce > 0 {
+				e.commitEvery = ce
+			}
+		}
+	}
+
+	// Transaction processing phase. At runtime this is real parallel
+	// exploration of the graph; during recovery reprocessing, the replay
+	// executes on the virtual W-worker simulation (see package vtime), so
+	// that CKPT-style full reprocessing is charged the stalls and load
+	// imbalance a real multicore would experience.
+	if breakdown == nil {
+		if _, err := scheduler.Run(g, e.st, scheduler.Options{
+			Workers: e.cfg.Workers,
+			Assign:  func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
+		}); err != nil {
+			return fmt.Errorf("engine: epoch %d: %w", ep, err)
+		}
+	} else {
+		for _, ch := range g.ChainList {
+			ch.Owner = e.ranges.Of(ch.Key)
+		}
+		costs := vtime.Calibrate()
+		result := vtime.SimulateGraph(g, e.st, e.cfg.Workers, costs)
+		result.Charge(breakdown, false)
+		// Full reprocessing replays the entire stream-processing dataflow
+		// — operator queues, postprocessing, output regeneration — which
+		// log-based redo paths bypass; charge it as parallelizable
+		// thread-time.
+		breakdown.Execute += time.Duration(len(events)) * (costs.Pipeline + costs.Postprocess)
+	}
+
+	// Postprocessing: outputs are buffered until their release marker.
+	outs := make([]types.Output, 0, len(txns))
+	for _, tn := range g.Txns {
+		outs = append(outs, e.cfg.App.Postprocess(tn.Executed()))
+	}
+	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
+	e.procWall += time.Since(proc)
+	e.events += len(events)
+
+	if isNative {
+		// Native execution has no durability gate; release immediately.
+		e.release(ep)
+		return nil
+	}
+
+	// Record intermediate results / log records (Figure 10 step 2).
+	t0 := time.Now()
+	e.cfg.Mechanism.SealEpoch(&ftapi.EpochResult{
+		Epoch:   ep,
+		Events:  events,
+		Graph:   g,
+		Workers: e.cfg.Workers,
+	})
+	e.runtime.Tracking += time.Since(t0)
+
+	// Commit marker: group commit, then release the covered outputs. With
+	// AsyncCommit the durable write happens on a background goroutine and
+	// the outputs release when it completes (checked at the next marker or
+	// drained at snapshots); without it, both happen here.
+	if ep%uint64(e.commitEvery) == 0 {
+		ac, _ := e.cfg.Mechanism.(ftapi.AsyncCommitter)
+		if e.cfg.AsyncCommit && ac != nil {
+			// The previous in-flight write must finish first: group
+			// commits are ordered, and the device is one channel.
+			if err := e.drainInflight(); err != nil {
+				return fmt.Errorf("engine: epoch %d: %w", ep, err)
+			}
+			t0 = time.Now()
+			write, ok := ac.PrepareCommit(ep)
+			e.runtime.IO += time.Since(t0)
+			if ok {
+				fl := &asyncCommit{epoch: ep, done: make(chan error, 1)}
+				e.inflight = fl
+				go func() { fl.done <- write() }()
+			} else if err := e.commitVisible(ep); err != nil {
+				return fmt.Errorf("engine: epoch %d: %w", ep, err)
+			}
+		} else {
+			t0 = time.Now()
+			if err := e.cfg.Mechanism.Commit(ep); err != nil {
+				return fmt.Errorf("engine: epoch %d: %w", ep, err)
+			}
+			e.runtime.IO += time.Since(t0)
+			t0 = time.Now()
+			if err := e.commitVisible(ep); err != nil {
+				return fmt.Errorf("engine: epoch %d: %w", ep, err)
+			}
+			e.runtime.Sync += time.Since(t0)
+		}
+	}
+
+	// Snapshot marker. Any in-flight commit must land first: the snapshot
+	// garbage-collects the log the write appends to.
+	if ep%uint64(e.cfg.SnapshotEvery) == 0 {
+		if err := e.drainInflight(); err != nil {
+			return fmt.Errorf("engine: epoch %d: %w", ep, err)
+		}
+		if err := e.snapshot(ep); err != nil {
+			return fmt.Errorf("engine: epoch %d: %w", ep, err)
+		}
+	}
+	return nil
+}
+
+// commitVisible marks epochs <= ep durably committed: the watermark moves
+// and, for log-gated mechanisms, their outputs release downstream.
+//
+// Under asynchronous commit the release is decoupled from the commit
+// record, so a durable delivery watermark records how far outputs have
+// actually been released; recovery caps mechanism replay at the watermark
+// and reprocesses the rest with outputs delivered. The watermark write and
+// the release model one atomic step (a transactional sink), the same
+// assumption the synchronous path makes about commit+release.
+func (e *Engine) commitVisible(ep uint64) error {
+	e.lastCommit = ep
+	if e.cfg.Mechanism.Kind() == ftapi.CKPT {
+		return nil
+	}
+	if e.cfg.AsyncCommit {
+		t0 := time.Now()
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], ep)
+		if err := e.cfg.Device.WriteBlob(storage.BlobMeta, buf[:]); err != nil {
+			return fmt.Errorf("delivery watermark: %w", err)
+		}
+		e.runtime.IO += time.Since(t0)
+	}
+	e.release(ep)
+	return nil
+}
+
+// drainInflight waits for the pending asynchronous commit, if any, and
+// makes its epochs visible. The wait is synchronisation at a marker.
+func (e *Engine) drainInflight() error {
+	if e.inflight == nil {
+		return nil
+	}
+	t0 := time.Now()
+	err := <-e.inflight.done
+	e.runtime.Sync += time.Since(t0)
+	if err != nil {
+		e.inflight = nil
+		return err
+	}
+	ep := e.inflight.epoch
+	e.inflight = nil
+	return e.commitVisible(ep)
+}
+
+// release moves pending outputs of epochs <= upTo to the delivered ledger.
+func (e *Engine) release(upTo uint64) {
+	kept := e.pending[:0]
+	for _, p := range e.pending {
+		if p.epoch <= upTo {
+			e.delivered = append(e.delivered, p.outs...)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	e.pending = kept
+}
+
+// snapshot persists a transaction-consistent snapshot and garbage-collects
+// everything it covers (Figure 10 steps 4-6).
+func (e *Engine) snapshot(ep uint64) error {
+	t0 := time.Now()
+	payload := encodeSnapshotBlob(ep, e.st.Snapshot())
+	if err := e.cfg.Device.WriteBlob(storage.BlobSnapshot, payload); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	e.cfg.Bytes.Written("snapshot", int64(len(payload)))
+	e.runtime.IO += time.Since(t0)
+
+	// CKPT releases outputs only here: the snapshot is its durability gate.
+	t0 = time.Now()
+	if e.cfg.Mechanism.Kind() == ftapi.CKPT {
+		e.release(ep)
+	}
+	e.lastSnap = ep
+	e.runtime.Sync += time.Since(t0)
+
+	// Garbage collection: input events and log records covered by the
+	// snapshot are dead (Figure 10: "deleted upon the completion of the
+	// current checkpoint").
+	t0 = time.Now()
+	if err := e.cfg.Device.Truncate(storage.LogInput, ep); err != nil {
+		return fmt.Errorf("snapshot gc: %w", err)
+	}
+	if err := e.cfg.Device.Truncate(storage.LogFT, ep); err != nil {
+		return fmt.Errorf("snapshot gc: %w", err)
+	}
+	e.cfg.Mechanism.GC(ep)
+	e.runtime.IO += time.Since(t0)
+	return nil
+}
+
+// Crash models a single-node stoppage: the engine becomes unusable and
+// only the storage device's content survives. The engine object remains
+// inspectable (its ledger tells tests what had been delivered), but
+// rejects further processing.
+func (e *Engine) Crash() {
+	e.crashed = true
+}
+
+// encodeSnapshotBlob frames a snapshot with its covering epoch, making the
+// blob self-describing: recovery learns the restart epoch from the blob
+// itself, so blob and metadata can never disagree.
+func encodeSnapshotBlob(ep uint64, snap *store.Snapshot) []byte {
+	tables := make([]codec.SnapshotTable, 0, len(snap.Tables))
+	for _, t := range snap.Tables {
+		tables = append(tables, codec.SnapshotTable{ID: t.Spec.ID, Init: t.Spec.Init, Vals: t.Vals})
+	}
+	body := codec.EncodeSnapshot(tables)
+	w := codec.NewBuffer(len(body) + 10)
+	w.Uvarint(ep)
+	for _, b := range body {
+		w.Byte(b)
+	}
+	return w.Bytes()
+}
+
+// decodeSnapshotBlob parses encodeSnapshotBlob output and restores it into
+// the store.
+func decodeSnapshotBlob(payload []byte, st *store.Store) (uint64, error) {
+	r := codec.NewReader(payload)
+	ep := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	tables, err := codec.DecodeSnapshot(payload[len(payload)-r.Remaining():])
+	if err != nil {
+		return 0, err
+	}
+	snap := &store.Snapshot{}
+	for _, t := range tables {
+		snap.Tables = append(snap.Tables, store.TableSnapshot{
+			Spec: types.TableSpec{ID: t.ID, Rows: uint32(len(t.Vals)), Init: t.Init},
+			Vals: t.Vals,
+		})
+	}
+	if err := st.Restore(snap); err != nil {
+		return 0, err
+	}
+	return ep, nil
+}

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"morphstreamr/internal/ft/checkpoint"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/msr"
+	"morphstreamr/internal/ft/wal"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+func slGen(seed int64) workload.Generator {
+	p := workload.DefaultSLParams()
+	p.Seed, p.Rows = seed, 512
+	return workload.NewSL(p)
+}
+
+func newEngine(t *testing.T, kind ftapi.Kind, gen workload.Generator, dev storage.Device, commitEvery, snapEvery int) *Engine {
+	t.Helper()
+	bytes := metrics.NewBytes()
+	var mech ftapi.Mechanism
+	switch kind {
+	case ftapi.CKPT:
+		mech = checkpoint.New()
+	case ftapi.WAL:
+		mech = wal.New(dev, bytes)
+	case ftapi.MSR:
+		mech = msr.New(dev, bytes, msr.Default())
+	default:
+		t.Fatalf("unsupported kind %v in this helper", kind)
+	}
+	e, err := New(Config{
+		App: gen.App(), Device: dev, Mechanism: mech,
+		Workers: 2, CommitEvery: commitEvery, SnapshotEvery: snapEvery, Bytes: bytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	gen := slGen(1)
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	_, err := New(Config{
+		App: gen.App(), Device: storage.NewMem(), Mechanism: checkpoint.New(),
+		CommitEvery: 3, SnapshotEvery: 8,
+	})
+	if err == nil || !strings.Contains(err.Error(), "multiple") {
+		t.Errorf("misaligned markers accepted: %v", err)
+	}
+}
+
+// TestOutputReleasePolicies: log-based schemes release at commit markers,
+// CKPT only at snapshot markers.
+func TestOutputReleasePolicies(t *testing.T) {
+	gen := slGen(2)
+	dev := storage.NewMem()
+	e := newEngine(t, ftapi.WAL, gen, dev, 2, 8)
+	if err := e.ProcessEpoch(workload.Batch(gen, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Delivered()) != 0 || e.PendingOutputs() != 100 {
+		t.Fatalf("epoch 1 (no marker): delivered=%d pending=%d", len(e.Delivered()), e.PendingOutputs())
+	}
+	if err := e.ProcessEpoch(workload.Batch(gen, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Delivered()) != 200 || e.PendingOutputs() != 0 {
+		t.Fatalf("epoch 2 (commit marker): delivered=%d pending=%d", len(e.Delivered()), e.PendingOutputs())
+	}
+
+	genC := slGen(2)
+	ec := newEngine(t, ftapi.CKPT, genC, storage.NewMem(), 2, 4)
+	for i := 0; i < 3; i++ {
+		if err := ec.ProcessEpoch(workload.Batch(genC, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ec.Delivered()) != 0 {
+		t.Fatalf("CKPT released %d outputs before any snapshot", len(ec.Delivered()))
+	}
+	if err := ec.ProcessEpoch(workload.Batch(genC, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ec.Delivered()) != 200 {
+		t.Fatalf("CKPT at snapshot: delivered=%d, want 200", len(ec.Delivered()))
+	}
+}
+
+// TestGCShrinksLogs: after a snapshot, covered input and FT records are
+// truncated from the device.
+func TestGCShrinksLogs(t *testing.T) {
+	gen := slGen(3)
+	dev := storage.NewMem()
+	e := newEngine(t, ftapi.WAL, gen, dev, 1, 4)
+	for i := 0; i < 4; i++ {
+		if err := e.ProcessEpoch(workload.Batch(gen, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inputs, _ := dev.ReadLog(storage.LogInput)
+	ftrecs, _ := dev.ReadLog(storage.LogFT)
+	if len(inputs) != 0 || len(ftrecs) != 0 {
+		t.Errorf("after snapshot: %d input records, %d ft records; GC failed", len(inputs), len(ftrecs))
+	}
+	blob, ok, _ := dev.ReadBlob(storage.BlobSnapshot)
+	if !ok || len(blob) == 0 {
+		t.Error("snapshot blob missing")
+	}
+}
+
+// TestRuntimeBreakdownPopulated: a logging scheme must charge I/O and
+// tracking time.
+func TestRuntimeBreakdownPopulated(t *testing.T) {
+	gen := slGen(4)
+	e := newEngine(t, ftapi.WAL, gen, storage.NewMem(), 1, 8)
+	for i := 0; i < 2; i++ {
+		if err := e.ProcessEpoch(workload.Batch(gen, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := e.Runtime()
+	if rt.IO == 0 || rt.Tracking == 0 {
+		t.Errorf("runtime breakdown = %v; IO and tracking must be non-zero", rt)
+	}
+	if e.Events() != 400 || e.Throughput() <= 0 || e.ProcessingWall() <= 0 {
+		t.Errorf("counters: events=%d tput=%f", e.Events(), e.Throughput())
+	}
+}
+
+// TestAutoCommitConsultsAdvisor: with AutoCommit on, an MSR engine tunes
+// its commit interval from the first epoch's profile.
+func TestAutoCommitConsultsAdvisor(t *testing.T) {
+	p := workload.DefaultGSParams()
+	p.Rows, p.Theta, p.Reads = 4096, 0, 0 // LSFD: uniform, no deps
+	gen := workload.NewGS(p)
+	dev := storage.NewMem()
+	bytes := metrics.NewBytes()
+	e, err := New(Config{
+		App: gen.App(), Device: dev, Mechanism: msr.New(dev, bytes, msr.Default()),
+		Workers: 2, CommitEvery: 1, SnapshotEvery: 8, AutoCommit: true, Bytes: bytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ProcessEpoch(workload.Batch(gen, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CommitEvery(); got != 8 {
+		t.Errorf("LSFD auto commit interval = %d, want 8", got)
+	}
+}
+
+func TestCrashRejectsWork(t *testing.T) {
+	gen := slGen(5)
+	e := newEngine(t, ftapi.WAL, gen, storage.NewMem(), 1, 8)
+	e.Crash()
+	if err := e.ProcessEpoch(nil); err != ErrCrashed {
+		t.Errorf("crashed engine returned %v", err)
+	}
+}
+
+func TestNativeRecoveryImpossible(t *testing.T) {
+	gen := slGen(6)
+	dev := storage.NewMem()
+	_, _, err := Recover(Config{
+		App: gen.App(), Device: dev, Mechanism: nativeStub{}, Workers: 1,
+	})
+	if err == nil {
+		t.Error("native recovery must fail")
+	}
+}
+
+type nativeStub struct{}
+
+func (nativeStub) Kind() ftapi.Kind                               { return ftapi.NAT }
+func (nativeStub) SealEpoch(*ftapi.EpochResult)                   {}
+func (nativeStub) Commit(uint64) error                            { return nil }
+func (nativeStub) GC(uint64)                                      {}
+func (nativeStub) Recover(*ftapi.RecoveryContext) (uint64, error) { return 0, nil }
+
+// TestSnapshotBlobRoundTrip: the self-describing snapshot blob restores
+// both the epoch and the state.
+func TestSnapshotBlobRoundTrip(t *testing.T) {
+	st := store.New([]types.TableSpec{{ID: 0, Rows: 4, Init: 9}})
+	st.Set(types.Key{Table: 0, Row: 2}, -5)
+	blob := encodeSnapshotBlob(17, st.Snapshot())
+
+	st2 := store.New([]types.TableSpec{{ID: 0, Rows: 4, Init: 9}})
+	ep, err := decodeSnapshotBlob(blob, st2)
+	if err != nil || ep != 17 {
+		t.Fatalf("decode: epoch=%d err=%v", ep, err)
+	}
+	if !st.Equal(st2) {
+		t.Errorf("state mismatch after round trip: %v", st.Diff(st2, 5))
+	}
+}
+
+// TestRecoveryReportShape: replayed event counts and epochs line up.
+func TestRecoveryReportShape(t *testing.T) {
+	gen := slGen(7)
+	dev := storage.NewMem()
+	bytes := metrics.NewBytes()
+	cfg := Config{
+		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
+		Workers: 2, CommitEvery: 1, SnapshotEvery: 4, Bytes: bytes,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := e.ProcessEpoch(workload.Batch(gen, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Crash()
+	bytes2 := metrics.NewBytes()
+	cfg2 := cfg
+	cfg2.Mechanism = wal.New(dev, bytes2)
+	cfg2.Bytes = bytes2
+	e2, report, err := Recover(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SnapshotEpoch != 4 || report.CommittedEpoch != 6 || report.LastEpoch != 6 {
+		t.Errorf("report epochs = %d/%d/%d, want 4/6/6",
+			report.SnapshotEpoch, report.CommittedEpoch, report.LastEpoch)
+	}
+	if report.EventsReplayed != 100 {
+		t.Errorf("events replayed = %d, want 100", report.EventsReplayed)
+	}
+	if report.Wall <= 0 || report.Breakdown.Total() <= 0 {
+		t.Error("report timings empty")
+	}
+	if report.Throughput() <= 0 {
+		t.Error("recovery throughput must be positive")
+	}
+	// The recovered engine continues processing.
+	if err := e2.ProcessEpoch(workload.Batch(gen, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Epoch() != 7 {
+		t.Errorf("epoch after continue = %d, want 7", e2.Epoch())
+	}
+}
+
+// TestWriteFailuresSurface: every durable-write path must return the
+// device's error instead of silently diverging state from the log.
+func TestWriteFailuresSurface(t *testing.T) {
+	gen := slGen(8)
+	for budget := 0; budget < 12; budget++ {
+		inner := storage.NewMem()
+		dev := storage.NewFaulty(inner, budget)
+		bytes := metrics.NewBytes()
+		e, err := New(Config{
+			App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
+			Workers: 2, CommitEvery: 1, SnapshotEvery: 2, Bytes: bytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		failed := false
+		for i := 0; i < 4; i++ {
+			if err := e.ProcessEpoch(workload.Batch(gen, 20)); err != nil {
+				if !errors.Is(err, storage.ErrInjected) {
+					t.Fatalf("budget %d: unexpected error %v", budget, err)
+				}
+				failed = true
+				break
+			}
+		}
+		// 4 epochs of WAL need: 4 input appends + 4 commits + 2 snapshots
+		// + 2*2 truncates = 14 writes; any smaller budget must fail.
+		if !failed {
+			t.Fatalf("budget %d: no failure surfaced", budget)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/vtime"
+)
+
+// RecoveryReport quantifies one recovery run: the six-way breakdown of
+// Figure 11 (aggregate thread-time; divide by workers for wall-clock
+// scale), the wall-clock duration, and the replayed volume. Recovery
+// throughput (Figure 13/14) is EventsReplayed divided by Wall.
+type RecoveryReport struct {
+	Breakdown metrics.RecoveryBreakdown
+	// CommitIO is time spent re-sealing and re-committing the uncommitted
+	// tail, outside the six-way decomposition.
+	CommitIO time.Duration
+	// Wall is the real wall-clock duration of the recovery run on this
+	// host (single-threaded replay plus simulation overhead); use
+	// SimWall for the recovery time a W-worker machine would take.
+	Wall time.Duration
+	// Workers is the parallelism the recovery was simulated at.
+	Workers int
+	// EventsReplayed counts input events between snapshot and failure point.
+	EventsReplayed int
+	// SnapshotEpoch, CommittedEpoch, and LastEpoch locate the recovery:
+	// state restored from SnapshotEpoch, mechanism log replayed through
+	// CommittedEpoch, inputs reprocessed through LastEpoch.
+	SnapshotEpoch  uint64
+	CommittedEpoch uint64
+	LastEpoch      uint64
+}
+
+// SimWall is the simulated wall-clock recovery time under the configured
+// worker count: the aggregate thread-time breakdown divided by workers
+// (see metrics.RecoveryBreakdown's accounting convention). This is the
+// "recovery time" of Figures 2 and 11.
+func (r *RecoveryReport) SimWall() time.Duration {
+	w := r.Workers
+	if w < 1 {
+		w = 1
+	}
+	return (r.Breakdown.Total() + r.CommitIO*time.Duration(w)) / time.Duration(w)
+}
+
+// Throughput returns the recovery throughput in events per simulated
+// second — the y-axis of Figures 13 and 14.
+func (r *RecoveryReport) Throughput() float64 {
+	return metrics.Throughput(r.EventsReplayed, r.SimWall())
+}
+
+// Recover rebuilds a working engine from the durable device after a crash,
+// following the protocol of Figure 7:
+//
+//  1. restore application state from the latest snapshot;
+//  2. reload persisted input events;
+//  3. let the mechanism replay its committed epochs (outputs suppressed —
+//     they were delivered before the crash);
+//  4. reprocess the uncommitted tail through the normal pipeline (outputs
+//     delivered — their durability gate never fired before the crash).
+//
+// The configuration must match the crashed engine's (same application,
+// same worker count, a fresh Mechanism instance of the same kind), and
+// Device must be the surviving device.
+func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.cfg.Mechanism.Kind() == ftapi.NAT {
+		return nil, nil, fmt.Errorf("engine: native execution persists nothing; recovery impossible")
+	}
+	report := &RecoveryReport{}
+	start := time.Now()
+
+	// Restore from checkpoint (Figure 7 steps 1-2). Device reads are real
+	// time (the throttle models the paper's SSD); state restore and input
+	// decode charge the calibrated virtual cost model so recovery times
+	// stay deterministic (see package vtime).
+	costs := vtime.Calibrate()
+	readStop := metrics.SerialTimer(&report.Breakdown.Reload, e.cfg.Workers)
+	blob, ok, err := e.cfg.Device.ReadBlob(storage.BlobSnapshot)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: recover: %w", err)
+	}
+	inputRecs, err := e.cfg.Device.ReadLog(storage.LogInput)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: recover inputs: %w", err)
+	}
+	// Under asynchronous commit, mechanism replay must not cross the
+	// delivery watermark: a commit record may be durable whose outputs
+	// never released; those epochs reprocess through the tail path.
+	commitLimit := uint64(1<<63 - 1)
+	if e.cfg.AsyncCommit {
+		if wm, wok, err := e.cfg.Device.ReadBlob(storage.BlobMeta); err != nil {
+			return nil, nil, fmt.Errorf("engine: recover watermark: %w", err)
+		} else if wok && len(wm) == 8 {
+			commitLimit = binary.BigEndian.Uint64(wm)
+		} else {
+			// Async engine that never released anything yet; the clamp
+			// below raises this to the snapshot epoch.
+			commitLimit = 0
+		}
+	}
+	readStop()
+
+	var snapEpoch uint64
+	if ok {
+		snapEpoch, err = decodeSnapshotBlob(blob, e.st)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: recover snapshot: %w", err)
+		}
+		metrics.ChargeSerial(&report.Breakdown.Reload,
+			time.Duration(e.st.NumRecords())*costs.Compare, e.cfg.Workers)
+	}
+
+	// Reload input events after the snapshot (Figure 7 step 4).
+	inputs := make([]ftapi.EpochEvents, 0, len(inputRecs))
+	nEvents := 0
+	for _, rec := range inputRecs {
+		if rec.Epoch <= snapEpoch {
+			continue // covered by the snapshot (GC may lag a crash)
+		}
+		events, err := codec.DecodeEvents(rec.Payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: recover inputs epoch %d: %w", rec.Epoch, err)
+		}
+		inputs = append(inputs, ftapi.EpochEvents{Epoch: rec.Epoch, Events: events})
+		nEvents += len(events)
+	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Epoch < inputs[j].Epoch })
+	report.Breakdown.Reload += time.Duration(nEvents) * costs.Record
+
+	// Mechanism-specific replay of committed epochs (Figure 7 steps 3-7).
+	if commitLimit < snapEpoch {
+		commitLimit = snapEpoch
+	}
+	rc := &ftapi.RecoveryContext{
+		App:           e.cfg.App,
+		Store:         e.st,
+		Device:        e.cfg.Device,
+		Workers:       e.cfg.Workers,
+		SnapshotEpoch: snapEpoch,
+		Inputs:        inputs,
+		CommitLimit:   commitLimit,
+		Breakdown:     &report.Breakdown,
+	}
+	committed, err := e.cfg.Mechanism.Recover(rc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: recover (%v): %w", e.cfg.Mechanism.Kind(), err)
+	}
+	if committed < snapEpoch {
+		committed = snapEpoch
+	}
+
+	// Reprocess the uncommitted tail through the normal pipeline. Inputs
+	// are already durable; outputs deliver because their gate never fired.
+	e.epoch = committed
+	e.lastCommit = committed
+	e.lastSnap = snapEpoch
+	for _, ee := range inputs {
+		if ee.Epoch <= committed {
+			report.EventsReplayed += len(ee.Events)
+			continue
+		}
+		if ee.Epoch != e.epoch+1 {
+			return nil, nil, fmt.Errorf("engine: recover: input log gap: have epoch %d, expected %d",
+				ee.Epoch, e.epoch+1)
+		}
+		ioBefore := e.runtime.IO
+		if err := e.processEpochAt(ee.Epoch, ee.Events, false, &report.Breakdown); err != nil {
+			return nil, nil, fmt.Errorf("engine: recover tail epoch %d: %w", ee.Epoch, err)
+		}
+		report.CommitIO += e.runtime.IO - ioBefore
+		e.epoch = ee.Epoch
+		report.EventsReplayed += len(ee.Events)
+	}
+
+	report.Wall = time.Since(start)
+	report.Workers = e.cfg.Workers
+	report.SnapshotEpoch = snapEpoch
+	report.CommittedEpoch = committed
+	report.LastEpoch = e.epoch
+	// Runtime accounting restarts clean: recovery costs live in the report.
+	e.runtime = metrics.RuntimeBreakdown{}
+	e.procWall, e.totalWall, e.events = 0, 0, 0
+	return e, report, nil
+}

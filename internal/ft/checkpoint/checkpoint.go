@@ -1,0 +1,38 @@
+// Package checkpoint implements CKPT, the global checkpointing baseline
+// (Section III-A): the engine's periodic snapshots and persisted input
+// events are the only durable artifacts. Nothing is logged per epoch, so
+// runtime overhead is minimal; recovery must reprocess every input event
+// after the latest checkpoint through the engine's normal path, which is
+// what makes CKPT recovery slow on long checkpoint intervals.
+package checkpoint
+
+import "morphstreamr/internal/ft/ftapi"
+
+// Mech is the CKPT mechanism. All methods besides Recover are no-ops: the
+// engine itself takes the snapshots and persists the inputs.
+type Mech struct{}
+
+// New creates the CKPT mechanism.
+func New() *Mech { return &Mech{} }
+
+// Kind implements ftapi.Mechanism.
+func (m *Mech) Kind() ftapi.Kind { return ftapi.CKPT }
+
+// SealEpoch implements ftapi.Mechanism; CKPT records nothing per epoch.
+func (m *Mech) SealEpoch(*ftapi.EpochResult) {}
+
+// Commit implements ftapi.Mechanism; there is no log to commit.
+func (m *Mech) Commit(uint64) error { return nil }
+
+// GC implements ftapi.Mechanism; there are no artifacts beyond those the
+// engine already garbage-collects.
+func (m *Mech) GC(uint64) {}
+
+// Recover implements ftapi.Mechanism. CKPT replays nothing itself: it
+// reports the snapshot epoch as its committed watermark, and the engine
+// reprocesses every later epoch through the normal path — full
+// reprocessing, outputs delivered (CKPT releases outputs only at snapshot
+// markers, so nothing after the snapshot was visible downstream).
+func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
+	return rc.SnapshotEpoch, nil
+}

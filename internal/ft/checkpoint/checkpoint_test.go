@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+)
+
+func TestIdentity(t *testing.T) {
+	m := New()
+	if m.Kind() != ftapi.CKPT {
+		t.Errorf("Kind = %v", m.Kind())
+	}
+}
+
+// TestNoDurableArtifacts: CKPT must write nothing per epoch — its minimal
+// runtime overhead is the paper's Figure 12a baseline property.
+func TestNoDurableArtifacts(t *testing.T) {
+	dev := storage.NewMem()
+	m := New()
+	h := fttest.New(t, fttest.SLGen(1), m, dev, 2)
+	h.RunEpoch(200)
+	h.Commit()
+	if n := dev.BytesWritten()[storage.LogFT]; n != 0 {
+		t.Errorf("CKPT wrote %d FT-log bytes; must be zero", n)
+	}
+	m.GC(1) // must not panic or do anything observable
+}
+
+// TestRecoverDelegatesEverything: CKPT replays nothing itself; it reports
+// the snapshot epoch so the engine reprocesses every later epoch.
+func TestRecoverDelegatesEverything(t *testing.T) {
+	m := New()
+	var bd metrics.RecoveryBreakdown
+	committed, err := m.Recover(&ftapi.RecoveryContext{
+		SnapshotEpoch: 5,
+		Breakdown:     &bd,
+	})
+	if err != nil || committed != 5 {
+		t.Errorf("Recover = %d, %v; want 5, nil", committed, err)
+	}
+	if bd.Total() != 0 {
+		t.Error("CKPT.Recover must not charge any time itself")
+	}
+}

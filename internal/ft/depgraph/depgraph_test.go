@@ -1,0 +1,146 @@
+package depgraph
+
+import (
+	"testing"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+)
+
+func TestRecoverMatchesOracle(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	h := fttest.New(t, fttest.SLGen(1), m, dev, 4)
+	for i := 0; i < 4; i++ {
+		h.RunEpoch(300)
+	}
+	h.Commit()
+	st, bd, committed := h.Recover(New(dev, metrics.NewBytes()))
+	if committed != 4 {
+		t.Fatalf("committed = %d, want 4", committed)
+	}
+	h.CheckAgainstOracle(st)
+	if bd.Construct == 0 {
+		t.Error("graph rebuild must charge construct time")
+	}
+}
+
+func TestRecoverSkewedWorkload(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	h := fttest.New(t, fttest.GSGen(2), m, dev, 4)
+	for i := 0; i < 3; i++ {
+		h.RunEpoch(400)
+	}
+	h.Commit()
+	st, _, _ := h.Recover(New(dev, metrics.NewBytes()))
+	h.CheckAgainstOracle(st)
+}
+
+// TestRecordEdgesOrderReplay: construct a deliberate write-write chain on
+// one key across epochs and verify the log encodes the ordering edges.
+func TestRecordEdges(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	h := fttest.New(t, fttest.GSGen(3), m, dev, 2)
+	h.RunEpoch(300)
+	h.RunEpoch(300)
+	h.Commit()
+
+	recs, err := dev.ReadLog(storage.LogFT)
+	if err != nil || len(recs) != 1 {
+		t.Fatal(err)
+	}
+	groups, err := ftapi.DecodeGroup(recs[0].Payload)
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("groups: %v, %v", len(groups), err)
+	}
+	totalEdges := 0
+	var all []codec.DLRecord
+	for _, g := range groups {
+		rs, err := codec.DecodeDL(g.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rs...)
+		for _, r := range rs {
+			totalEdges += len(r.In)
+			// Every edge must point to an earlier transaction.
+			for _, dep := range r.In {
+				if dep >= r.Event.Seq {
+					t.Fatalf("txn %d depends on non-earlier txn %d", r.Event.Seq, dep)
+				}
+			}
+		}
+	}
+	if totalEdges == 0 {
+		t.Fatal("a skewed workload must produce dependency edges")
+	}
+	// Cross-epoch edges must exist: epoch 2 txns depending on epoch 1
+	// txns (group commit removes epoch barriers from replay).
+	firstEpochMax := groups[0].Epoch
+	_ = firstEpochMax
+	seenCross := false
+	boundary := all[0].Event.Seq + 299 // last seq of epoch 1
+	for _, r := range all {
+		if r.Event.Seq > boundary {
+			for _, dep := range r.In {
+				if dep <= boundary {
+					seenCross = true
+				}
+			}
+		}
+	}
+	if !seenCross {
+		t.Error("no cross-epoch dependency edges recorded")
+	}
+}
+
+// TestAbortedNotLogged: aborted transactions are absent from the log.
+func TestAbortedNotLogged(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	h := fttest.New(t, fttest.SLGen(4), m, dev, 2)
+	ep := h.RunEpoch(400)
+	h.Commit()
+	committed := 0
+	for _, tn := range ep.Graph.Txns {
+		if !tn.Aborted() {
+			committed++
+		}
+	}
+	recs, _ := dev.ReadLog(storage.LogFT)
+	groups, _ := ftapi.DecodeGroup(recs[0].Payload)
+	rs, _ := codec.DecodeDL(groups[0].Payload)
+	if len(rs) != committed {
+		t.Errorf("log holds %d records, want %d committed", len(rs), committed)
+	}
+}
+
+func TestGCResetsTracker(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	h := fttest.New(t, fttest.GSGen(5), m, dev, 2)
+	h.RunEpoch(200)
+	h.Commit()
+	if m.deps.Size() == 0 {
+		t.Fatal("tracker empty after an epoch")
+	}
+	m.GC(1)
+	if m.deps.Size() != 0 {
+		t.Error("GC must reset the tracker")
+	}
+}
+
+func TestEmptyLogRecovery(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes())
+	st, _, committed := fttest.New(t, fttest.SLGen(6), m, dev, 2).Recover(m)
+	if committed != 0 {
+		t.Errorf("empty log committed = %d", committed)
+	}
+	_ = st
+}

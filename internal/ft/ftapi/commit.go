@@ -1,0 +1,85 @@
+package ftapi
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+)
+
+// GroupCommitter is the buffered group-commit machinery shared by every
+// logging mechanism: sealed epochs buffer their encoded payloads, and a
+// commit marker flushes the whole group as one atomic storage record
+// (a torn group would leak released outputs — see package doc).
+//
+// It also supports splitting a commit into a cheap synchronous prepare
+// (snapshot the buffer, frame the record) and an expensive asynchronous
+// durable write — the "logging off the critical path" future-work
+// direction the paper takes from Lineage Stash (Section VII). The engine
+// uses the split under its AsyncCommit option; outputs still release only
+// after the write completes, so exactly-once delivery is unaffected.
+type GroupCommitter struct {
+	dev   storage.Device
+	bytes *metrics.Bytes
+	// bufCategory accounts buffered (live) bytes; logCategory accounts
+	// durable bytes written.
+	bufCategory string
+	logCategory string
+
+	buffered []EpochPayload
+	bufBytes int64
+}
+
+// NewGroupCommitter creates the machinery for one mechanism.
+func NewGroupCommitter(dev storage.Device, bytes *metrics.Bytes, bufCategory, logCategory string) GroupCommitter {
+	return GroupCommitter{dev: dev, bytes: bytes, bufCategory: bufCategory, logCategory: logCategory}
+}
+
+// Buffer appends one sealed epoch's encoded payload.
+func (g *GroupCommitter) Buffer(epoch uint64, payload []byte) {
+	g.buffered = append(g.buffered, EpochPayload{Epoch: epoch, Payload: payload})
+	g.bufBytes += int64(len(payload))
+	g.bytes.Alloc(g.bufCategory, int64(len(payload)))
+}
+
+// Buffered reports how many sealed epochs await commit.
+func (g *GroupCommitter) Buffered() int { return len(g.buffered) }
+
+// Commit synchronously persists the buffered group.
+func (g *GroupCommitter) Commit(hi uint64) error {
+	write, ok := g.PrepareCommit(hi)
+	if !ok {
+		return nil
+	}
+	return write()
+}
+
+// PrepareCommit snapshots and frames the buffered group, clears the
+// buffer, and returns the durable write as a closure. The closure touches
+// only the storage device and the byte accounting (both thread-safe), so
+// it may run on another goroutine while the mechanism seals later epochs.
+// ok is false when nothing is buffered.
+func (g *GroupCommitter) PrepareCommit(hi uint64) (write func() error, ok bool) {
+	if len(g.buffered) == 0 {
+		return nil, false
+	}
+	payload := EncodeGroup(g.buffered)
+	freed := g.bufBytes
+	g.buffered, g.bufBytes = nil, 0
+	dev, bytes, bufCat, logCat := g.dev, g.bytes, g.bufCategory, g.logCategory
+	return func() error {
+		if err := dev.Append(storage.LogFT, storage.Record{Epoch: hi, Payload: payload}); err != nil {
+			return fmt.Errorf("%s: commit: %w", logCat, err)
+		}
+		bytes.Written(logCat, int64(len(payload)))
+		bytes.Free(bufCat, freed)
+		return nil
+	}, true
+}
+
+// AsyncCommitter is the optional mechanism capability behind the engine's
+// AsyncCommit mode: a commit that can be prepared synchronously and
+// written durably off the critical path.
+type AsyncCommitter interface {
+	PrepareCommit(hi uint64) (write func() error, ok bool)
+}

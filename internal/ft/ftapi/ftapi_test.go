@@ -1,0 +1,170 @@
+package ftapi
+
+import (
+	"reflect"
+	"testing"
+
+	"morphstreamr/internal/oracle"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+func TestKindStringsAndParse(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("unknown kind must not parse")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind fallback string wrong")
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	group := []EpochPayload{
+		{Epoch: 1, Payload: []byte("one")},
+		{Epoch: 2, Payload: nil},
+		{Epoch: 9, Payload: []byte{0, 1, 2, 255}},
+	}
+	got, err := DecodeGroup(EncodeGroup(group))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Epoch != 1 || string(got[0].Payload) != "one" {
+		t.Fatalf("group round trip: %+v", got)
+	}
+	if len(got[1].Payload) != 0 || !reflect.DeepEqual(got[2].Payload, group[2].Payload) {
+		t.Fatalf("group round trip payloads: %+v", got)
+	}
+}
+
+func TestDecodeGroupTruncated(t *testing.T) {
+	b := EncodeGroup([]EpochPayload{{Epoch: 1, Payload: []byte("payload")}})
+	for cut := 0; cut < len(b); cut++ {
+		if got, err := DecodeGroup(b[:cut]); err == nil && len(got) == 1 && string(got[0].Payload) == "payload" {
+			t.Fatalf("truncation at %d decoded as complete", cut)
+		}
+	}
+}
+
+func TestInputsThrough(t *testing.T) {
+	rc := &RecoveryContext{Inputs: []EpochEvents{{Epoch: 2}, {Epoch: 3}, {Epoch: 4}}}
+	if got := rc.InputsThrough(3); len(got) != 2 || got[1].Epoch != 3 {
+		t.Errorf("InputsThrough(3) = %v", got)
+	}
+	if got := rc.InputsThrough(9); len(got) != 3 {
+		t.Errorf("InputsThrough(9) = %v", got)
+	}
+	if got := rc.InputsThrough(1); len(got) != 0 {
+		t.Errorf("InputsThrough(1) = %v", got)
+	}
+}
+
+// mkTxn builds a one-op write transaction, optionally reading deps.
+func mkTxn(id uint64, key types.Key, deps ...types.Key) *types.Txn {
+	return &types.Txn{ID: id, TS: id, Ops: []types.Operation{{
+		TxnID: id, TS: id, Idx: 0, Key: key, Fn: types.FnSum, Deps: deps,
+	}}}
+}
+
+func collect(t *DepTracker, txn *types.Txn) []uint64 {
+	var out []uint64
+	t.TxnDeps(txn, WriterRef{TxnID: txn.ID}, func(r WriterRef) { out = append(out, r.TxnID) })
+	return out
+}
+
+func TestDepTrackerEdges(t *testing.T) {
+	ka := types.Key{Table: 0, Row: 1}
+	kb := types.Key{Table: 0, Row: 2}
+	tr := NewDepTracker()
+
+	// T1 writes A: no deps.
+	if deps := collect(tr, mkTxn(1, ka)); len(deps) != 0 {
+		t.Fatalf("T1 deps = %v", deps)
+	}
+	// T2 writes B reading A: read-after-write on T1.
+	if deps := collect(tr, mkTxn(2, kb, ka)); !reflect.DeepEqual(deps, []uint64{1}) {
+		t.Fatalf("T2 deps = %v, want [1]", deps)
+	}
+	// T3 writes A: write-after-write on T1 AND write-after-read on T2 —
+	// the anti-dependency without which T3 could clobber A before T2 read it.
+	deps := collect(tr, mkTxn(3, ka))
+	want := map[uint64]bool{1: true, 2: true}
+	if len(deps) != 2 || !want[deps[0]] || !want[deps[1]] {
+		t.Fatalf("T3 deps = %v, want {1,2}", deps)
+	}
+	// T4 writes A: only write-after-write on T3 (T3's write covered the
+	// earlier reader transitively).
+	if deps := collect(tr, mkTxn(4, ka)); !reflect.DeepEqual(deps, []uint64{3}) {
+		t.Fatalf("T4 deps = %v, want [3]", deps)
+	}
+}
+
+func TestDepTrackerSelfDepsExcluded(t *testing.T) {
+	ka := types.Key{Table: 0, Row: 1}
+	kb := types.Key{Table: 0, Row: 2}
+	tr := NewDepTracker()
+	collect(tr, mkTxn(1, ka))
+	// T2 both reads and writes A (transfer-shaped: op0 writes A, op1
+	// writes B reading A).
+	txn := &types.Txn{ID: 2, TS: 2, Ops: []types.Operation{
+		{TxnID: 2, TS: 2, Idx: 0, Key: ka, Fn: types.FnGuardedSubSelf, Const: 1},
+		{TxnID: 2, TS: 2, Idx: 1, Key: kb, Fn: types.FnGuardedAdd, Const: 1, Deps: []types.Key{ka}},
+	}}
+	deps := collect(tr, txn)
+	for _, d := range deps {
+		if d == 2 {
+			t.Fatal("transaction depends on itself")
+		}
+	}
+}
+
+func TestDepTrackerResetAndSize(t *testing.T) {
+	tr := NewDepTracker()
+	collect(tr, mkTxn(1, types.Key{Row: 1}))
+	collect(tr, mkTxn(2, types.Key{Row: 2}, types.Key{Row: 3}))
+	if tr.Size() == 0 {
+		t.Fatal("tracker empty after registrations")
+	}
+	tr.Reset()
+	if tr.Size() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+	if deps := collect(tr, mkTxn(3, types.Key{Row: 1})); len(deps) != 0 {
+		t.Fatalf("deps after reset = %v", deps)
+	}
+}
+
+// TestExecuteTxnOnStoreMatchesOracle: the replay executor and the oracle
+// must agree on every workload — they are the two independent statements
+// of transaction semantics used during recovery.
+func TestExecuteTxnOnStoreMatchesOracle(t *testing.T) {
+	p := workload.DefaultSLParams()
+	p.Rows, p.AbortRatio = 512, 0.2
+	gen := workload.NewSL(p)
+	st := store.New(gen.App().Tables())
+	o := oracle.New(gen.App())
+	for i := 0; i < 2000; i++ {
+		ev := gen.Next()
+		txnA := gen.App().Preprocess(ev)
+		txnB := gen.App().Preprocess(ev)
+		gotAborted := ExecuteTxnOnStore(st, &txnA)
+		want := o.ExecuteTxn(&txnB)
+		if gotAborted != want.Aborted {
+			t.Fatalf("event %d: store-executor aborted=%v oracle=%v", ev.Seq, gotAborted, want.Aborted)
+		}
+	}
+	for _, spec := range gen.App().Tables() {
+		for row := uint32(0); row < spec.Rows; row++ {
+			k := types.Key{Table: spec.ID, Row: row}
+			if st.Get(k) != o.Value(k) {
+				t.Fatalf("state diverged at %v: %d vs %d", k, st.Get(k), o.Value(k))
+			}
+		}
+	}
+}

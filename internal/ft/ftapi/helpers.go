@@ -1,0 +1,204 @@
+package ftapi
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/types"
+)
+
+// EpochPayload is one epoch's section inside an atomic commit record.
+type EpochPayload struct {
+	Epoch   uint64
+	Payload []byte
+}
+
+// EncodeGroup frames the epochs of one group commit into a single log
+// record payload. Group commits must be all-or-nothing — a torn commit
+// would make some outputs of the group durable-committed and others not —
+// so every mechanism persists one group as exactly one storage record.
+func EncodeGroup(group []EpochPayload) []byte {
+	n := 16
+	for _, g := range group {
+		n += 16 + len(g.Payload)
+	}
+	w := codec.NewBuffer(n)
+	w.Uvarint(uint64(len(group)))
+	for _, g := range group {
+		w.Uvarint(g.Epoch)
+		w.Uvarint(uint64(len(g.Payload)))
+		for _, b := range g.Payload {
+			w.Byte(b)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeGroup parses EncodeGroup output.
+func DecodeGroup(b []byte) ([]EpochPayload, error) {
+	r := codec.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(len(b)) {
+		return nil, fmt.Errorf("ftapi: group count %d exceeds input", n)
+	}
+	out := make([]EpochPayload, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var g EpochPayload
+		g.Epoch = r.Uvarint()
+		ln := r.Uvarint()
+		if r.Err() != nil || ln > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("ftapi: truncated group section %d", i)
+		}
+		g.Payload = make([]byte, ln)
+		for j := range g.Payload {
+			g.Payload[j] = r.Byte()
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, r.Err()
+}
+
+// ExecuteTxnOnStore runs one transaction directly against the store under
+// the shared abort contract, returning whether it committed. It is the
+// replay executor used by the logging mechanisms (WAL redo, DL graph
+// replay, LV vector replay): by the time a transaction is eligible to
+// replay, every transaction it depends on has already been applied, so
+// reading the live store is version-exact.
+//
+// The caller guarantees exclusive access to the transaction's keys (WAL by
+// being sequential; DL and LV by their dependency gating).
+func ExecuteTxnOnStore(st *store.Store, txn *types.Txn) (aborted bool) {
+	// Capture dependency values before any write of this transaction.
+	var depVals [][]types.Value
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		if len(op.Deps) == 0 {
+			continue
+		}
+		if depVals == nil {
+			depVals = make([][]types.Value, len(txn.Ops))
+		}
+		dv := make([]types.Value, len(op.Deps))
+		for j, dk := range op.Deps {
+			dv[j] = st.Get(dk)
+		}
+		depVals[i] = dv
+	}
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		if aborted && !op.IsCondition() {
+			continue
+		}
+		var dv []types.Value
+		if depVals != nil {
+			dv = depVals[i]
+		}
+		v, ok := types.Apply(op.Fn, st.Get(op.Key), dv, op.Const)
+		if !ok {
+			if op.IsCondition() {
+				aborted = true
+			}
+			continue
+		}
+		st.Set(op.Key, v)
+	}
+	return aborted
+}
+
+// WriterRef identifies a committed transaction and, for LV, where its log
+// record lives (the logging worker and its per-worker sequence number).
+type WriterRef struct {
+	TxnID  uint64
+	Worker uint32
+	LSN    uint64
+}
+
+// DepTracker derives, for committed transactions processed in timestamp
+// order, the full set of transactions each one must wait for during log
+// replay: read-after-write (a consumed parameter's producer),
+// write-after-write (the previous writer of an updated key), and
+// write-after-read (earlier committed readers of an updated key, without
+// which a replayed writer could clobber a value a reader has yet to
+// consume). DL turns these into explicit graph edges; LV folds them into
+// LSN vectors. The tracker spans epochs — group commit removes epoch
+// barriers from replay — and resets when a snapshot commits, because
+// dependencies on snapshot-covered transactions are pre-satisfied.
+type DepTracker struct {
+	lastWriter map[types.Key]WriterRef
+	readers    map[types.Key][]WriterRef
+}
+
+// NewDepTracker creates an empty tracker.
+func NewDepTracker() *DepTracker {
+	return &DepTracker{
+		lastWriter: make(map[types.Key]WriterRef),
+		readers:    make(map[types.Key][]WriterRef),
+	}
+}
+
+// TxnDeps reports every transaction the given committed transaction
+// depends on via add (possibly with duplicates; callers deduplicate), then
+// registers the transaction's own reads and writes. Transactions must be
+// fed in ascending timestamp order, committed ones only.
+func (t *DepTracker) TxnDeps(txn *types.Txn, self WriterRef, add func(WriterRef)) {
+	// Collect edges against the pre-transaction state of the maps; a
+	// transaction never depends on itself.
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		for _, dk := range op.Deps {
+			if ref, ok := t.lastWriter[dk]; ok && ref.TxnID != self.TxnID {
+				add(ref) // read-after-write
+			}
+		}
+		if ref, ok := t.lastWriter[op.Key]; ok && ref.TxnID != self.TxnID {
+			add(ref) // write-after-write
+		}
+		for _, ref := range t.readers[op.Key] {
+			if ref.TxnID != self.TxnID {
+				add(ref) // write-after-read
+			}
+		}
+	}
+	// Apply this transaction's footprint. (A key both read and written by
+	// this transaction ends up with the write superseding the read, which
+	// is correct: the write-after-write edge covers future conflicts.)
+	t.Register(txn, self)
+}
+
+// Register applies a transaction's footprint without collecting edges.
+// Mechanisms use it during recovery to rebuild the tracker from their own
+// replayed log records (in timestamp order), so that transactions
+// processed after recovery carry correct dependencies on pre-crash
+// transactions — without it, a second crash could replay them unordered.
+func (t *DepTracker) Register(txn *types.Txn, self WriterRef) {
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		for _, dk := range op.Deps {
+			t.readers[dk] = append(t.readers[dk], self)
+		}
+	}
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		t.lastWriter[op.Key] = self
+		delete(t.readers, op.Key)
+	}
+}
+
+// Reset drops all tracked state (snapshot committed).
+func (t *DepTracker) Reset() {
+	t.lastWriter = make(map[types.Key]WriterRef)
+	t.readers = make(map[types.Key][]WriterRef)
+}
+
+// Size estimates the tracker's live entry count, for memory accounting.
+func (t *DepTracker) Size() int {
+	n := len(t.lastWriter)
+	for _, rs := range t.readers {
+		n += len(rs)
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+// Package fttest provides the shared harness for mechanism-level tests:
+// it drives epochs through the real scheduler against a mechanism (the
+// way the engine would), runs the oracle alongside, and compares
+// recovered state — without pulling in the full engine, so mechanism
+// tests stay focused on logging and replay behaviour.
+package fttest
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/oracle"
+	"morphstreamr/internal/scheduler"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// Harness drives one mechanism through runtime epochs.
+type Harness struct {
+	T       *testing.T
+	Gen     workload.Generator
+	Mech    ftapi.Mechanism
+	Dev     storage.Device
+	Workers int
+
+	Store  *store.Store
+	Oracle *oracle.Oracle
+	Inputs []ftapi.EpochEvents
+	epoch  uint64
+}
+
+// New creates a harness with fresh state.
+func New(t *testing.T, gen workload.Generator, mech ftapi.Mechanism, dev storage.Device, workers int) *Harness {
+	return &Harness{
+		T: t, Gen: gen, Mech: mech, Dev: dev, Workers: workers,
+		Store:  store.New(gen.App().Tables()),
+		Oracle: oracle.New(gen.App()),
+	}
+}
+
+// RunEpoch processes one epoch of n events: persist inputs, execute,
+// seal. Commit is separate (CommitAll) so tests control grouping.
+func (h *Harness) RunEpoch(n int) *ftapi.EpochResult {
+	h.T.Helper()
+	h.epoch++
+	events := workload.Batch(h.Gen, n)
+	if err := h.Dev.Append(storage.LogInput, storage.Record{Epoch: h.epoch, Payload: nil}); err != nil {
+		h.T.Fatal(err)
+	}
+	h.Inputs = append(h.Inputs, ftapi.EpochEvents{Epoch: h.epoch, Events: events})
+
+	txns := make([]*types.Txn, len(events))
+	for i := range events {
+		txn := h.Gen.App().Preprocess(events[i])
+		txns[i] = &txn
+	}
+	g := tpg.Build(txns, h.Store.Get)
+	if _, err := scheduler.Run(g, h.Store, scheduler.Options{Workers: h.Workers}); err != nil {
+		h.T.Fatal(err)
+	}
+	for _, ev := range events {
+		h.Oracle.Apply(ev)
+	}
+	ep := &ftapi.EpochResult{Epoch: h.epoch, Events: events, Graph: g, Workers: h.Workers}
+	h.Mech.SealEpoch(ep)
+	return ep
+}
+
+// Commit group-commits everything sealed so far.
+func (h *Harness) Commit() {
+	h.T.Helper()
+	if err := h.Mech.Commit(h.epoch); err != nil {
+		h.T.Fatal(err)
+	}
+}
+
+// Recover replays the mechanism's committed epochs onto a fresh store and
+// returns it with the breakdown.
+func (h *Harness) Recover(mech ftapi.Mechanism) (*store.Store, *metrics.RecoveryBreakdown, uint64) {
+	h.T.Helper()
+	st := store.New(h.Gen.App().Tables())
+	var bd metrics.RecoveryBreakdown
+	committed, err := mech.Recover(&ftapi.RecoveryContext{
+		App:       h.Gen.App(),
+		Store:     st,
+		Device:    h.Dev,
+		Workers:   h.Workers,
+		Inputs:    h.Inputs,
+		Breakdown: &bd,
+	})
+	if err != nil {
+		h.T.Fatal(err)
+	}
+	return st, &bd, committed
+}
+
+// CheckAgainstOracle compares a store to the harness oracle record by
+// record.
+func (h *Harness) CheckAgainstOracle(st *store.Store) {
+	h.T.Helper()
+	bad := 0
+	for _, spec := range h.Gen.App().Tables() {
+		for row := uint32(0); row < spec.Rows; row++ {
+			k := types.Key{Table: spec.ID, Row: row}
+			if got, want := st.Get(k), h.Oracle.Value(k); got != want {
+				bad++
+				if bad <= 3 {
+					h.T.Errorf("%v: recovered=%d oracle=%d", k, got, want)
+				}
+			}
+		}
+	}
+	if bad > 3 {
+		h.T.Errorf("... and %d more mismatches", bad-3)
+	}
+}
+
+// SLGen returns a small Streaming Ledger generator for mechanism tests.
+func SLGen(seed int64) workload.Generator {
+	p := workload.DefaultSLParams()
+	p.Seed, p.Rows, p.AbortRatio = seed, 512, 0.2
+	return workload.NewSL(p)
+}
+
+// GSGen returns a small skewed Grep&Sum generator.
+func GSGen(seed int64) workload.Generator {
+	p := workload.DefaultGSParams()
+	p.Seed, p.Rows, p.Theta = seed, 512, 1.0
+	return workload.NewGS(p)
+}

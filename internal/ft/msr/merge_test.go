@@ -1,0 +1,91 @@
+package msr
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/workload"
+)
+
+// Merged commit-group replay: epochs committed together replay as one
+// batch (the recovery-side benefit of longer log commitment epochs). The
+// harness commits all epochs in one group, so recovery must merge them —
+// and still converge to the oracle.
+func TestMergedGroupReplayMatchesOracle(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes(), Default())
+	h := fttest.New(t, fttest.SLGen(21), m, dev, 4)
+	for i := 0; i < 4; i++ {
+		h.RunEpoch(300)
+	}
+	h.Commit() // one group covering epochs 1-4
+	st, _, committed := h.Recover(New(dev, metrics.NewBytes(), Default()))
+	if committed != 4 {
+		t.Fatalf("committed = %d, want 4", committed)
+	}
+	h.CheckAgainstOracle(st)
+}
+
+// Multiple separate commit groups replay group by group.
+func TestPerGroupReplayMatchesOracle(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes(), Default())
+	h := fttest.New(t, fttest.GSGen(22), m, dev, 4)
+	h.RunEpoch(400)
+	h.Commit()
+	h.RunEpoch(400)
+	h.RunEpoch(400)
+	h.Commit()
+	st, _, committed := h.Recover(New(dev, metrics.NewBytes(), Default()))
+	if committed != 3 {
+		t.Fatalf("committed = %d, want 3", committed)
+	}
+	h.CheckAgainstOracle(st)
+}
+
+// Every factor-analysis configuration must be state-correct, not merely
+// fast — the optimizations change scheduling, never results.
+func TestAllOptionCombinationsCorrect(t *testing.T) {
+	for mask := 0; mask < 16; mask++ {
+		opts := Options{
+			SelectiveLogging: mask&1 != 0,
+			OpRestructure:    mask&2 != 0,
+			AbortPushdown:    mask&4 != 0,
+			OptTaskAssign:    mask&8 != 0,
+		}
+		dev := storage.NewMem()
+		m := New(dev, metrics.NewBytes(), opts)
+		h := fttest.New(t, fttest.SLGen(23), m, dev, 4)
+		for i := 0; i < 3; i++ {
+			h.RunEpoch(250)
+		}
+		h.Commit()
+		st, _, _ := h.Recover(New(dev, metrics.NewBytes(), opts))
+		h.CheckAgainstOracle(st)
+		if t.Failed() {
+			t.Fatalf("state mismatch under options %+v", opts)
+		}
+	}
+}
+
+// Group entries persist only for chains that carry unlogged intra-group
+// parametric dependencies; a workload without parametric dependencies
+// (write-only) must log no group entries at all.
+func TestGroupsOnlyWhenNeeded(t *testing.T) {
+	dev := storage.NewMem()
+	m := New(dev, metrics.NewBytes(), Default())
+	gp := workload.DefaultGSParams()
+	gp.Seed, gp.Rows, gp.WriteOnly = 25, 512, true
+	h := fttest.New(t, workload.NewGS(gp), m, dev, 4)
+	h.RunEpoch(300)
+	h.Commit()
+	views := decodeSealed(t, m, dev, 1)[1]
+	if len(views.Groups) != 0 {
+		t.Errorf("write-only workload logged %d group entries; none needed", len(views.Groups))
+	}
+	if len(views.Parametric) != 0 {
+		t.Errorf("write-only workload logged %d parametric entries", len(views.Parametric))
+	}
+}

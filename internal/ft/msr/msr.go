@@ -1,0 +1,209 @@
+// Package msr implements MorphStreamR, the paper's contribution: instead
+// of recording inter-transaction dependencies (DL's edges, LV's vectors),
+// the Logging Manager records the intermediate results of dependencies the
+// scheduler has already resolved — the AbortView (which transactions
+// aborted) and the ParametricView (which value each parametric dependency
+// consumed). During recovery these results eliminate logical and
+// parametric dependencies outright, so operations restructure into
+// independent per-key chains that replay in parallel without lock
+// contention (Section V).
+//
+// Runtime cost is kept low by two mechanisms from Section VI:
+//
+//   - Selective logging: chains are grouped by a greedy weighted graph
+//     partitioning; only dependencies crossing group boundaries — the ones
+//     that would force cross-thread communication during recovery — are
+//     logged. Intra-group dependencies are re-resolved during recovery by
+//     the single worker owning the group (shadow-based exploration).
+//   - Workload-aware log commitment: the engine's commit-epoch length is
+//     chosen from profiled contention (see Advisor), trading group-commit
+//     batching against view-index size and runtime load balance.
+package msr
+
+import (
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+)
+
+// Options selects MorphStreamR's logging behaviour and recovery
+// optimizations. The zero value disables everything (the paper's "Simple"
+// factor-analysis configuration); Default enables everything.
+type Options struct {
+	// SelectiveLogging records only dependencies that cross chain-group
+	// boundaries (Section VI-A). Off = log every resolved dependency.
+	SelectiveLogging bool
+	// OpRestructure resolves parametric dependencies from the
+	// ParametricView during recovery (Section V-B2).
+	OpRestructure bool
+	// AbortPushdown discards input events of aborted transactions before
+	// preprocessing during recovery (Section V-B1).
+	AbortPushdown bool
+	// OptTaskAssign uses LPT greedy task assignment during recovery
+	// (Section V-B3); off = hash assignment.
+	OptTaskAssign bool
+}
+
+// Default returns the full MorphStreamR configuration.
+func Default() Options {
+	return Options{
+		SelectiveLogging: true,
+		OpRestructure:    true,
+		AbortPushdown:    true,
+		OptTaskAssign:    true,
+	}
+}
+
+// repartitionEvery controls how often selective logging recomputes the
+// chain-group partitioning. Workload shape drifts slowly, so the groups of
+// recently seen keys stay valid across epochs; recovery is insensitive to
+// the choice because it classifies by view-entry presence, not by
+// recomputing groups. Keys not covered by the cached partitioning are
+// conservatively treated as inter-group (logged).
+const repartitionEvery = 8
+
+// Mech is the MorphStreamR mechanism.
+type Mech struct {
+	ftapi.GroupCommitter
+	opts Options
+
+	groupCache    map[types.Key]int
+	groupCooldown int
+}
+
+// New creates the MSR mechanism writing to dev, accounting into bytes.
+func New(dev storage.Device, bytes *metrics.Bytes, opts Options) *Mech {
+	return &Mech{
+		GroupCommitter: ftapi.NewGroupCommitter(dev, bytes, "msr-views", "msr-log"),
+		opts:           opts,
+	}
+}
+
+// Kind implements ftapi.Mechanism.
+func (m *Mech) Kind() ftapi.Kind { return ftapi.MSR }
+
+// Options returns the mechanism's configuration.
+func (m *Mech) Options() Options { return m.opts }
+
+// SealEpoch implements ftapi.Mechanism: it collects the epoch's AbortView
+// and ParametricView. Under selective logging it first partitions the
+// epoch's chains with the greedy graph partitioner and records only the
+// parametric results whose edges cross groups.
+func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
+	var views codec.MSRViews
+	var groups map[types.Key]int
+	if m.opts.SelectiveLogging {
+		if m.groupCache == nil || m.groupCooldown <= 0 {
+			m.groupCache = PartitionChains(ep.Graph, ep.Workers)
+			m.groupCooldown = repartitionEvery
+		}
+		m.groupCooldown--
+		groups = m.groupCache
+	}
+	// needGroup collects the chains recovery must co-locate: the endpoints
+	// of parametric dependencies deliberately left unlogged. Logical
+	// dependencies never need co-location — the AbortView always carries
+	// the full abort verdicts.
+	var needGroup map[types.Key]struct{}
+	for _, tn := range ep.Graph.Txns {
+		if tn.Aborted() {
+			views.Aborted = append(views.Aborted, tn.Txn.ID)
+		}
+		for _, opn := range tn.Ops {
+			for i, src := range opn.PDSrc {
+				if src == nil {
+					continue
+				}
+				if groups != nil && sameGroup(groups, src.Op.Key, opn.Op.Key) {
+					// Intra-group: shadow-resolved during recovery by the
+					// worker owning both chains.
+					if needGroup == nil {
+						needGroup = make(map[types.Key]struct{})
+					}
+					needGroup[src.Op.Key] = struct{}{}
+					needGroup[opn.Op.Key] = struct{}{}
+					continue
+				}
+				views.Parametric = append(views.Parametric, codec.ViewEntry{
+					From:  opn.Op.Deps[i],
+					To:    opn.Op.Key,
+					TS:    opn.Op.TS,
+					Value: opn.DepVals[i],
+				})
+			}
+		}
+	}
+	// Persist the group of every co-location-relevant chain: the group map
+	// is itself an intermediate result of the resolved classification.
+	if len(needGroup) > 0 {
+		views.Groups = make([]codec.GroupEntry, 0, len(needGroup))
+		for _, ch := range ep.Graph.ChainList {
+			if _, need := needGroup[ch.Key]; need {
+				views.Groups = append(views.Groups, codec.GroupEntry{Key: ch.Key, Group: uint8(groups[ch.Key])})
+			}
+		}
+	}
+	m.Buffer(ep.Epoch, codec.EncodeMSR(views))
+}
+
+// GC implements ftapi.Mechanism; views live only until their covering
+// commit, so there is nothing left to drop.
+func (m *Mech) GC(uint64) {}
+
+// sameGroup reports whether both keys fall in the same cached group; keys
+// the cached partitioning has not seen default to inter-group (logged).
+func sameGroup(groups map[types.Key]int, a, b types.Key) bool {
+	ga, ok := groups[a]
+	if !ok {
+		return false
+	}
+	gb, ok := groups[b]
+	return ok && ga == gb
+}
+
+// PartitionChains groups an epoch's chains into k groups with the greedy
+// weighted graph partitioner: chain weight is its operation count, edge
+// weight the number of logical plus parametric dependencies between two
+// chains. The result maps chain key to group. It is deterministic in the
+// graph, which recovery relies on to reproduce the runtime classification.
+func PartitionChains(g *tpg.Graph, k int) map[types.Key]int {
+	n := len(g.ChainList)
+	idx := make(map[*tpg.Chain]int32, n)
+	for i, ch := range g.ChainList {
+		idx[ch] = int32(i)
+	}
+	weights := make([]int, n)
+	for i, ch := range g.ChainList {
+		weights[i] = len(ch.Ops)
+	}
+	adj := make([][]int32, n)
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, tn := range g.Txns {
+		for _, opn := range tn.Ops {
+			if opn.CondSrc != nil {
+				addEdge(idx[opn.CondSrc.Chain], idx[opn.Chain])
+			}
+			for _, src := range opn.PDSrc {
+				if src != nil {
+					addEdge(idx[src.Chain], idx[opn.Chain])
+				}
+			}
+		}
+	}
+	assign := partition.GreedyAdj(weights, adj, k)
+	out := make(map[types.Key]int, n)
+	for i, ch := range g.ChainList {
+		out[ch.Key] = assign[i]
+	}
+	return out
+}

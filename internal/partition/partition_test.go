@@ -1,0 +1,279 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"morphstreamr/internal/types"
+)
+
+func specs() []types.TableSpec {
+	return []types.TableSpec{{ID: 0, Rows: 1000}, {ID: 1, Rows: 64}}
+}
+
+func TestRangesCoverAllRows(t *testing.T) {
+	r := NewRanges(specs(), 7)
+	counts := make([]int, 7)
+	for row := uint32(0); row < 1000; row++ {
+		p := r.Of(types.Key{Table: 0, Row: row})
+		if p < 0 || p >= 7 {
+			t.Fatalf("row %d in partition %d", row, p)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < 1000/7-1 || c > 1000/7+2 {
+			t.Errorf("partition %d holds %d rows; range partitioning should balance", p, c)
+		}
+	}
+}
+
+func TestRangesRowsInMatchesOf(t *testing.T) {
+	r := NewRanges(specs(), 5)
+	for p := 0; p < 5; p++ {
+		lo, hi := r.RowsIn(0, p)
+		if lo >= hi {
+			t.Fatalf("partition %d empty: [%d, %d)", p, lo, hi)
+		}
+		for _, row := range []uint32{lo, hi - 1} {
+			if got := r.Of(types.Key{Table: 0, Row: row}); got != p {
+				t.Errorf("row %d: Of=%d, RowsIn says %d", row, got, p)
+			}
+		}
+	}
+	// Ranges tile the row space exactly.
+	prevHi := uint32(0)
+	for p := 0; p < 5; p++ {
+		lo, hi := r.RowsIn(0, p)
+		if lo != prevHi {
+			t.Errorf("gap/overlap at partition %d: lo=%d, prev hi=%d", p, lo, prevHi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 1000 {
+		t.Errorf("ranges end at %d, want 1000", prevHi)
+	}
+}
+
+func TestRangesDegenerateCases(t *testing.T) {
+	r := NewRanges(specs(), 0) // clamps to 1
+	if r.Count() != 1 || r.Of(types.Key{Table: 0, Row: 999}) != 0 {
+		t.Error("zero-count partitioner must behave as a single partition")
+	}
+	if p := r.Of(types.Key{Table: 9, Row: 0}); p != 0 {
+		t.Errorf("unknown table partition = %d, want 0", p)
+	}
+}
+
+// randomGraph builds a connected-ish weighted graph.
+func randomGraph(rng *rand.Rand, n int) []GraphVertex {
+	vs := make([]GraphVertex, n)
+	for i := range vs {
+		vs[i].Weight = 1 + rng.Intn(20)
+	}
+	addEdge := func(a, b, w int) {
+		if vs[a].Edges == nil {
+			vs[a].Edges = map[int]int{}
+		}
+		if vs[b].Edges == nil {
+			vs[b].Edges = map[int]int{}
+		}
+		vs[a].Edges[b] += w
+		vs[b].Edges[a] += w
+	}
+	for i := 0; i < 3*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addEdge(a, b, 1+rng.Intn(3))
+		}
+	}
+	return vs
+}
+
+func TestGreedyAssignsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vs := randomGraph(rng, 200)
+	assign := Greedy(vs, 6)
+	if len(assign) != len(vs) {
+		t.Fatalf("assignment length %d, want %d", len(assign), len(vs))
+	}
+	for i, g := range assign {
+		if g < 0 || g >= 6 {
+			t.Fatalf("vertex %d in group %d", i, g)
+		}
+	}
+}
+
+func TestGreedyBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		vs := randomGraph(rng, 150)
+		assign := Greedy(vs, 4)
+		if imb := Imbalance(vs, assign, 4); imb > 1.6 {
+			t.Errorf("trial %d: imbalance %.2f exceeds 1.6", trial, imb)
+		}
+	}
+}
+
+func TestGreedyBeatsRandomCut(t *testing.T) {
+	// The partitioner's whole point: fewer cut dependencies than naive
+	// placement at comparable balance.
+	rng := rand.New(rand.NewSource(3))
+	better := 0
+	for trial := 0; trial < 10; trial++ {
+		vs := randomGraph(rng, 120)
+		greedy := Greedy(vs, 4)
+		random := make([]int, len(vs))
+		for i := range random {
+			random[i] = rng.Intn(4)
+		}
+		if CutWeight(vs, greedy) <= CutWeight(vs, random) {
+			better++
+		}
+	}
+	if better < 7 {
+		t.Errorf("greedy beat random cut only %d/10 times", better)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := randomGraph(rng, 100)
+	a := Greedy(vs, 4)
+	b := Greedy(vs, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Greedy is nondeterministic on identical input")
+		}
+	}
+}
+
+func TestGreedyEmptyAndSmall(t *testing.T) {
+	if got := Greedy(nil, 4); len(got) != 0 {
+		t.Error("empty graph should yield empty assignment")
+	}
+	assign := Greedy([]GraphVertex{{Weight: 5}}, 0) // k clamps to 1
+	if len(assign) != 1 || assign[0] != 0 {
+		t.Errorf("single vertex: %v", assign)
+	}
+}
+
+// TestLPTBound: LPT's makespan is at most 4/3 - 1/(3m) of optimal; against
+// the trivial lower bound max(avg, maxTask) that means makespan <=
+// 4/3*max(avg, maxTask) + maxTask slack. Check the usual practical bound:
+// makespan <= avg + maxTask.
+func TestLPTBound(t *testing.T) {
+	f := func(raw []uint16, workersRaw uint8) bool {
+		workers := int(workersRaw%8) + 1
+		weights := make([]int, len(raw))
+		total, maxW := 0, 0
+		for i, r := range raw {
+			weights[i] = int(r % 1000)
+			total += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		assign := LPT(weights, workers)
+		if len(assign) != len(weights) {
+			return false
+		}
+		for _, w := range assign {
+			if w < 0 || w >= workers {
+				return false
+			}
+		}
+		return Makespan(weights, assign, workers) <= total/workers+maxW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPTExactOnEasyCase(t *testing.T) {
+	// Four equal tasks over four workers: perfect spread.
+	assign := LPT([]int{5, 5, 5, 5}, 4)
+	seen := make(map[int]bool)
+	for _, w := range assign {
+		if seen[w] {
+			t.Fatalf("two tasks on worker %d; want one each", w)
+		}
+		seen[w] = true
+	}
+	if Makespan([]int{5, 5, 5, 5}, assign, 4) != 5 {
+		t.Error("makespan should be 5")
+	}
+}
+
+func TestLPTBeatsInOrderOnSkew(t *testing.T) {
+	// A classic case where naive in-order placement loses: one giant task
+	// plus many small ones.
+	weights := []int{100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	lpt := LPT(weights, 2)
+	if Makespan(weights, lpt, 2) != 100 {
+		t.Errorf("LPT makespan = %d, want 100 (giant task alone)", Makespan(weights, lpt, 2))
+	}
+}
+
+// TestGreedyAdjMatchesGreedySemantics: the hot-path adjacency variant must
+// balance and cut like the map-based Greedy on equivalent input.
+func TestGreedyAdjBalancesAndCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 150
+		weights := make([]int, n)
+		adj := make([][]int32, n)
+		vs := make([]GraphVertex, n)
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(20)
+			vs[i] = GraphVertex{Weight: weights[i]}
+		}
+		for e := 0; e < 3*n; e++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+			if vs[a].Edges == nil {
+				vs[a].Edges = map[int]int{}
+			}
+			if vs[b].Edges == nil {
+				vs[b].Edges = map[int]int{}
+			}
+			vs[a].Edges[int(b)]++
+			vs[b].Edges[int(a)]++
+		}
+		assign := GreedyAdj(weights, adj, 4)
+		for i, g := range assign {
+			if g < 0 || g >= 4 {
+				t.Fatalf("vertex %d in group %d", i, g)
+			}
+		}
+		if imb := Imbalance(vs, assign, 4); imb > 1.6 {
+			t.Errorf("trial %d: GreedyAdj imbalance %.2f", trial, imb)
+		}
+		random := make([]int, n)
+		for i := range random {
+			random[i] = rng.Intn(4)
+		}
+		if CutWeight(vs, assign) > CutWeight(vs, random)*3/2 {
+			t.Errorf("trial %d: GreedyAdj cut worse than 1.5x random", trial)
+		}
+	}
+}
+
+// TestGreedyAdjDeterministic: the runtime partitioner must be a pure
+// function of its input (recovery reproducibility depends on it).
+func TestGreedyAdjDeterministic(t *testing.T) {
+	weights := []int{5, 3, 8, 1, 9, 2, 7}
+	adj := [][]int32{{1, 2}, {0}, {0, 4}, {}, {2, 5}, {4}, {}}
+	a := GreedyAdj(weights, adj, 3)
+	b := GreedyAdj(weights, adj, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GreedyAdj nondeterministic")
+		}
+	}
+}

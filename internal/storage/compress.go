@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Compressed wraps a Device and DEFLATE-compresses every payload on the
+// way down, decompressing on the way up — the log-compression direction
+// the paper sketches for computational storage (Section VII): trading CPU
+// (here, host CPU standing in for the device's) for durable bandwidth.
+//
+// Framing: a payload is stored as one byte tag (0 = stored raw, 1 =
+// DEFLATE) followed by the data. Payloads that do not shrink are stored
+// raw, so compression never inflates a record.
+//
+// Byte accounting: the inner device naturally accounts *compressed* sizes;
+// CompressedBytes/RawBytes expose the ratio achieved.
+type Compressed struct {
+	Inner Device
+	// Level is the flate level; zero means flate.DefaultCompression.
+	Level int
+
+	mu   sync.Mutex
+	raw  int64
+	comp int64
+}
+
+// NewCompressed wraps inner with default-level compression.
+func NewCompressed(inner Device) *Compressed {
+	return &Compressed{Inner: inner, Level: flate.DefaultCompression}
+}
+
+func (c *Compressed) level() int {
+	if c.Level == 0 {
+		return flate.DefaultCompression
+	}
+	return c.Level
+}
+
+func (c *Compressed) pack(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	w, err := flate.NewWriter(&buf, c.level())
+	if err != nil {
+		return nil, fmt.Errorf("storage: compress: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return nil, fmt.Errorf("storage: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("storage: compress: %w", err)
+	}
+	out := buf.Bytes()
+	if len(out) >= len(payload)+1 {
+		// Incompressible: store raw.
+		out = append([]byte{0}, payload...)
+	}
+	c.mu.Lock()
+	c.raw += int64(len(payload))
+	c.comp += int64(len(out))
+	c.mu.Unlock()
+	return out, nil
+}
+
+func unpack(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("storage: decompress: empty payload")
+	}
+	tag, body := data[0], data[1:]
+	switch tag {
+	case 0:
+		return append([]byte(nil), body...), nil
+	case 1:
+		out, err := io.ReadAll(flate.NewReader(bytes.NewReader(body)))
+		if err != nil {
+			return nil, fmt.Errorf("storage: decompress: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("storage: decompress: unknown tag %d", tag)
+	}
+}
+
+// Append implements Device.
+func (c *Compressed) Append(log string, rec Record) error {
+	packed, err := c.pack(rec.Payload)
+	if err != nil {
+		return err
+	}
+	return c.Inner.Append(log, Record{Epoch: rec.Epoch, Payload: packed})
+}
+
+// ReadLog implements Device.
+func (c *Compressed) ReadLog(log string) ([]Record, error) {
+	recs, err := c.Inner.ReadLog(log)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(recs))
+	for i, rec := range recs {
+		payload, err := unpack(rec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("storage: log %q record %d: %w", log, i, err)
+		}
+		out[i] = Record{Epoch: rec.Epoch, Payload: payload}
+	}
+	return out, nil
+}
+
+// WriteBlob implements Device.
+func (c *Compressed) WriteBlob(name string, payload []byte) error {
+	packed, err := c.pack(payload)
+	if err != nil {
+		return err
+	}
+	return c.Inner.WriteBlob(name, packed)
+}
+
+// ReadBlob implements Device.
+func (c *Compressed) ReadBlob(name string) ([]byte, bool, error) {
+	b, ok, err := c.Inner.ReadBlob(name)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	payload, err := unpack(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: blob %q: %w", name, err)
+	}
+	return payload, true, nil
+}
+
+// Truncate implements Device.
+func (c *Compressed) Truncate(log string, upTo uint64) error {
+	return c.Inner.Truncate(log, upTo)
+}
+
+// BytesWritten implements Device; sizes are post-compression.
+func (c *Compressed) BytesWritten() map[string]int64 { return c.Inner.BytesWritten() }
+
+// Ratio returns compressed/raw bytes over everything written so far
+// (1.0 = no gain; smaller is better), or 1 if nothing was written.
+func (c *Compressed) Ratio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.raw == 0 {
+		return 1
+	}
+	return float64(c.comp) / float64(c.raw)
+}

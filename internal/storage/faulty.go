@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by a Faulty device once its budget is exhausted.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Device and starts failing every write operation after a
+// configured number of successful ones — a deterministic stand-in for a
+// dying disk. Reads keep working (the medium's existing content remains
+// legible), which matches the failure mode recovery cares about: writes
+// that stop landing.
+//
+// It exists for tests: every engine and mechanism write path must surface
+// the error instead of silently diverging state from the log.
+type Faulty struct {
+	Inner Device
+
+	mu     sync.Mutex
+	budget int
+}
+
+// NewFaulty allows budget successful writes before injecting failures.
+func NewFaulty(inner Device, budget int) *Faulty {
+	return &Faulty{Inner: inner, budget: budget}
+}
+
+func (f *Faulty) spend() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget <= 0 {
+		return ErrInjected
+	}
+	f.budget--
+	return nil
+}
+
+// Remaining returns the writes left before failure.
+func (f *Faulty) Remaining() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.budget
+}
+
+// Append implements Device.
+func (f *Faulty) Append(log string, rec Record) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.Inner.Append(log, rec)
+}
+
+// WriteBlob implements Device.
+func (f *Faulty) WriteBlob(name string, payload []byte) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.Inner.WriteBlob(name, payload)
+}
+
+// Truncate implements Device; garbage collection is a write too.
+func (f *Faulty) Truncate(log string, upTo uint64) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.Inner.Truncate(log, upTo)
+}
+
+// ReadLog implements Device.
+func (f *Faulty) ReadLog(log string) ([]Record, error) { return f.Inner.ReadLog(log) }
+
+// ReadBlob implements Device.
+func (f *Faulty) ReadBlob(name string) ([]byte, bool, error) { return f.Inner.ReadBlob(name) }
+
+// BytesWritten implements Device.
+func (f *Faulty) BytesWritten() map[string]int64 { return f.Inner.BytesWritten() }

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// File is a directory-backed Device. Each log is one append-only file of
+// length-prefixed framed records; each blob is one file replaced via the
+// write-to-temp-then-rename idiom so that a crash never exposes a torn
+// blob. Appends are followed by fsync, honouring the synchronous-durability
+// contract of the Device interface.
+type File struct {
+	dir string
+
+	mu    sync.Mutex
+	logs  map[string]*os.File
+	bytes map[string]int64
+}
+
+// NewFile opens (creating if needed) a device rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create device dir: %w", err)
+	}
+	return &File{dir: dir, logs: make(map[string]*os.File), bytes: make(map[string]int64)}, nil
+}
+
+// Close releases all open log files.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, fh := range f.logs {
+		if err := fh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.logs = make(map[string]*os.File)
+	return first
+}
+
+func (f *File) logPath(log string) string {
+	return filepath.Join(f.dir, "log-"+sanitize(log)+".bin")
+}
+
+func (f *File) blobPath(name string) string {
+	return filepath.Join(f.dir, "blob-"+sanitize(name)+".bin")
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func (f *File) openLogLocked(log string) (*os.File, error) {
+	if fh, ok := f.logs[log]; ok {
+		return fh, nil
+	}
+	fh, err := os.OpenFile(f.logPath(log), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log %q: %w", log, err)
+	}
+	f.logs[log] = fh
+	return fh, nil
+}
+
+// Append implements Device. Record framing: 8-byte big-endian epoch,
+// 4-byte big-endian length, payload.
+func (f *File) Append(log string, rec Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, err := f.openLogLocked(log)
+	if err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], rec.Epoch)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Payload)))
+	if _, err := fh.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: append %q: %w", log, err)
+	}
+	if _, err := fh.Write(rec.Payload); err != nil {
+		return fmt.Errorf("storage: append %q: %w", log, err)
+	}
+	if err := fh.Sync(); err != nil {
+		return fmt.Errorf("storage: sync %q: %w", log, err)
+	}
+	f.bytes[log] += int64(len(rec.Payload))
+	return nil
+}
+
+// ReadLog implements Device.
+func (f *File) ReadLog(log string) ([]Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, err := os.ReadFile(f.logPath(log))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("storage: read log %q: %w", log, err)
+	}
+	return parseLog(log, b)
+}
+
+func parseLog(log string, b []byte) ([]Record, error) {
+	var out []Record
+	for off := 0; off < len(b); {
+		if off+12 > len(b) {
+			return nil, fmt.Errorf("storage: log %q: truncated header at %d", log, off)
+		}
+		epoch := binary.BigEndian.Uint64(b[off : off+8])
+		n := int(binary.BigEndian.Uint32(b[off+8 : off+12]))
+		off += 12
+		if off+n > len(b) {
+			return nil, fmt.Errorf("storage: log %q: truncated payload at %d", log, off)
+		}
+		out = append(out, Record{Epoch: epoch, Payload: append([]byte(nil), b[off:off+n]...)})
+		off += n
+	}
+	return out, nil
+}
+
+// WriteBlob implements Device via write-temp-fsync-rename.
+func (f *File) WriteBlob(name string, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dst := f.blobPath(name)
+	tmp := dst + ".tmp"
+	fh, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: write blob %q: %w", name, err)
+	}
+	if _, err := fh.Write(payload); err != nil {
+		fh.Close()
+		return fmt.Errorf("storage: write blob %q: %w", name, err)
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return fmt.Errorf("storage: sync blob %q: %w", name, err)
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("storage: close blob %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("storage: commit blob %q: %w", name, err)
+	}
+	f.bytes[name] += int64(len(payload))
+	return nil
+}
+
+// ReadBlob implements Device.
+func (f *File) ReadBlob(name string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, err := os.ReadFile(f.blobPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("storage: read blob %q: %w", name, err)
+	}
+	return b, true, nil
+}
+
+// Truncate implements Device by rewriting the log without the dropped
+// prefix and atomically swapping it in.
+func (f *File) Truncate(log string, upTo uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path := f.logPath(log)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("storage: truncate %q: %w", log, err)
+	}
+	recs, err := parseLog(log, b)
+	if err != nil {
+		return err
+	}
+	// Close the open append handle: we are about to replace the file.
+	if fh, ok := f.logs[log]; ok {
+		fh.Close()
+		delete(f.logs, log)
+	}
+	tmp := path + ".tmp"
+	fh, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: truncate %q: %w", log, err)
+	}
+	for _, rec := range recs {
+		if rec.Epoch <= upTo {
+			continue
+		}
+		var hdr [12]byte
+		binary.BigEndian.PutUint64(hdr[0:8], rec.Epoch)
+		binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Payload)))
+		if _, err := fh.Write(hdr[:]); err != nil {
+			fh.Close()
+			return fmt.Errorf("storage: truncate %q: %w", log, err)
+		}
+		if _, err := fh.Write(rec.Payload); err != nil {
+			fh.Close()
+			return fmt.Errorf("storage: truncate %q: %w", log, err)
+		}
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return fmt.Errorf("storage: truncate %q: %w", log, err)
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("storage: truncate %q: %w", log, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: truncate %q: %w", log, err)
+	}
+	return nil
+}
+
+// BytesWritten implements Device.
+func (f *File) BytesWritten() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.bytes))
+	for k, v := range f.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+var _ io.Closer = (*File)(nil)

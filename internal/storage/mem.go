@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"sync"
+)
+
+// Mem is an in-process Device. It survives Engine.Crash (which discards the
+// engine, not the device), matching the single-node-stoppage failure model
+// where the SSD's content outlives the power cut.
+type Mem struct {
+	mu    sync.Mutex
+	logs  map[string][]Record
+	blobs map[string][]byte
+	bytes map[string]int64
+}
+
+// NewMem creates an empty in-memory device.
+func NewMem() *Mem {
+	return &Mem{
+		logs:  make(map[string][]Record),
+		blobs: make(map[string][]byte),
+		bytes: make(map[string]int64),
+	}
+}
+
+// Append implements Device.
+func (m *Mem) Append(log string, rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Copy the payload: callers reuse encode buffers.
+	p := append([]byte(nil), rec.Payload...)
+	m.logs[log] = append(m.logs[log], Record{Epoch: rec.Epoch, Payload: p})
+	m.bytes[log] += int64(len(p))
+	return nil
+}
+
+// ReadLog implements Device.
+func (m *Mem) ReadLog(log string) ([]Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.logs[log]
+	out := make([]Record, len(src))
+	for i, rec := range src {
+		out[i] = Record{Epoch: rec.Epoch, Payload: append([]byte(nil), rec.Payload...)}
+	}
+	return out, nil
+}
+
+// WriteBlob implements Device.
+func (m *Mem) WriteBlob(name string, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[name] = append([]byte(nil), payload...)
+	m.bytes[name] += int64(len(payload))
+	return nil
+}
+
+// ReadBlob implements Device.
+func (m *Mem) ReadBlob(name string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[name]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), b...), true, nil
+}
+
+// Truncate implements Device.
+func (m *Mem) Truncate(log string, upTo uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.logs[log]
+	kept := src[:0]
+	for _, rec := range src {
+		if rec.Epoch > upTo {
+			kept = append(kept, rec)
+		}
+	}
+	m.logs[log] = kept
+	return nil
+}
+
+// BytesWritten implements Device.
+func (m *Mem) BytesWritten() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.bytes))
+	for k, v := range m.bytes {
+		out[k] = v
+	}
+	return out
+}

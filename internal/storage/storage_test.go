@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// deviceContract runs the behaviour shared by all Device implementations.
+func deviceContract(t *testing.T, dev Device) {
+	t.Helper()
+	// Empty reads.
+	recs, err := dev.ReadLog("missing")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("missing log: %v, %v", recs, err)
+	}
+	if _, ok, err := dev.ReadBlob("missing"); ok || err != nil {
+		t.Fatal("missing blob must read as absent")
+	}
+
+	// Appends preserve order and epochs.
+	for ep := uint64(1); ep <= 5; ep++ {
+		if err := dev.Append("log", Record{Epoch: ep, Payload: []byte{byte(ep), byte(ep + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err = dev.ReadLog("log")
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("read 5 records: %v, %v", len(recs), err)
+	}
+	for i, rec := range recs {
+		if rec.Epoch != uint64(i+1) || rec.Payload[0] != byte(i+1) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+
+	// Truncation drops the prefix.
+	if err := dev.Truncate("log", 3); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = dev.ReadLog("log")
+	if len(recs) != 2 || recs[0].Epoch != 4 {
+		t.Fatalf("after truncate: %+v", recs)
+	}
+	// Appends continue after truncation.
+	if err := dev.Append("log", Record{Epoch: 6, Payload: []byte{6}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = dev.ReadLog("log")
+	if len(recs) != 3 || recs[2].Epoch != 6 {
+		t.Fatalf("after post-truncate append: %+v", recs)
+	}
+
+	// Blobs replace atomically (last write wins).
+	if err := dev.WriteBlob("snap", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteBlob("snap", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := dev.ReadBlob("snap")
+	if err != nil || !ok || string(b) != "v2" {
+		t.Fatalf("blob = %q, %v, %v", b, ok, err)
+	}
+
+	// Byte accounting covers both names. Exact sizes depend on the
+	// device's on-media representation (compression wrappers store tagged
+	// payloads), so the contract only requires non-zero per-name counts.
+	bw := dev.BytesWritten()
+	if bw["log"] == 0 || bw["snap"] == 0 {
+		t.Errorf("byte accounting missing entries: %v", bw)
+	}
+	if SumBytes(bw) != bw["log"]+bw["snap"] {
+		t.Errorf("total = %d, want %d", SumBytes(bw), bw["log"]+bw["snap"])
+	}
+	names := SortedNames(bw)
+	if len(names) != 2 || names[0] != "log" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// TestRawByteAccounting: uncompressed devices account exact payload sizes.
+func TestRawByteAccounting(t *testing.T) {
+	dev := NewMem()
+	dev.Append("log", Record{Epoch: 1, Payload: []byte{1, 2, 3}})
+	dev.WriteBlob("snap", []byte("abcd"))
+	bw := dev.BytesWritten()
+	if bw["log"] != 3 || bw["snap"] != 4 {
+		t.Errorf("raw accounting = %v, want log=3 snap=4", bw)
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	deviceContract(t, NewMem())
+}
+
+func TestFileDevice(t *testing.T) {
+	dev, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	deviceContract(t, dev)
+}
+
+func TestThrottledDevice(t *testing.T) {
+	th := &Throttled{Inner: NewMem(), OpLatency: 0}
+	deviceContract(t, th)
+}
+
+// TestFileDevicePersists: a new File instance over the same directory sees
+// everything a previous instance wrote — the property real recovery needs.
+func TestFileDevicePersists(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Append(LogInput, Record{Epoch: 1, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteBlob(BlobSnapshot, []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+
+	dev2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	recs, err := dev2.ReadLog(LogInput)
+	if err != nil || len(recs) != 1 || string(recs[0].Payload) != "abc" {
+		t.Fatalf("reopened log: %+v, %v", recs, err)
+	}
+	b, ok, err := dev2.ReadBlob(BlobSnapshot)
+	if err != nil || !ok || string(b) != "snapshot" {
+		t.Fatalf("reopened blob: %q, %v, %v", b, ok, err)
+	}
+}
+
+func TestMemCopiesPayloads(t *testing.T) {
+	dev := NewMem()
+	buf := []byte{1, 2, 3}
+	dev.Append("log", Record{Epoch: 1, Payload: buf})
+	buf[0] = 99
+	recs, _ := dev.ReadLog("log")
+	if recs[0].Payload[0] != 1 {
+		t.Error("device aliases caller buffers")
+	}
+	recs[0].Payload[1] = 99
+	recs2, _ := dev.ReadLog("log")
+	if recs2[0].Payload[1] != 2 {
+		t.Error("reads alias device storage")
+	}
+}
+
+func TestThrottleChargesTime(t *testing.T) {
+	th := &Throttled{
+		Inner:            NewMem(),
+		OpLatency:        2 * time.Millisecond,
+		WriteBytesPerSec: 1 << 20, // 1 MiB/s
+	}
+	payload := make([]byte, 1<<18) // 256 KiB -> 250ms at 1 MiB/s
+	start := time.Now()
+	if err := th.Append("log", Record{Epoch: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("throttled append took %v; want >= ~250ms", elapsed)
+	}
+}
+
+func TestDefaultSSDEnvelope(t *testing.T) {
+	th := DefaultSSD(NewMem())
+	if th.WriteBytesPerSec != 2<<30 || th.OpLatency != 7*time.Microsecond {
+		t.Errorf("DefaultSSD envelope = %+v", th)
+	}
+	// Small writes should be fast (latency-bound, not bandwidth-bound).
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		th.Append("log", Record{Epoch: uint64(i), Payload: []byte{1}})
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("10 tiny appends took %v", elapsed)
+	}
+}
+
+func TestCompressedDevice(t *testing.T) {
+	deviceContract(t, NewCompressed(NewMem()))
+}
+
+func TestCompressedShrinksRepetitiveData(t *testing.T) {
+	inner := NewMem()
+	c := NewCompressed(inner)
+	payload := bytes.Repeat([]byte("transactional stream processing "), 256)
+	if err := c.Append("log", Record{Epoch: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.BytesWritten()["log"]; got >= int64(len(payload)) {
+		t.Errorf("compressed write stored %d bytes of %d raw", got, len(payload))
+	}
+	if r := c.Ratio(); r >= 0.5 {
+		t.Errorf("compression ratio %.2f; repetitive data should halve at least", r)
+	}
+	recs, err := c.ReadLog("log")
+	if err != nil || len(recs) != 1 || !bytes.Equal(recs[0].Payload, payload) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestCompressedStoresIncompressibleRaw(t *testing.T) {
+	c := NewCompressed(NewMem())
+	payload := make([]byte, 512)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(payload)
+	if err := c.WriteBlob("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.ReadBlob("b")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("incompressible blob round trip failed: %v", err)
+	}
+	if r := c.Ratio(); r > 1.01 {
+		t.Errorf("ratio %.3f; raw fallback must cap inflation at one tag byte", r)
+	}
+}
+
+func TestFaultyDevice(t *testing.T) {
+	f := NewFaulty(NewMem(), 2)
+	if err := f.Append("log", Record{Epoch: 1, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteBlob("b", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", f.Remaining())
+	}
+	if err := f.Append("log", Record{Epoch: 2, Payload: []byte{3}}); err != ErrInjected {
+		t.Errorf("expected injected fault, got %v", err)
+	}
+	if err := f.Truncate("log", 1); err != ErrInjected {
+		t.Errorf("truncate should fail too, got %v", err)
+	}
+	// Reads keep working.
+	recs, err := f.ReadLog("log")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("reads must survive: %v, %v", recs, err)
+	}
+}

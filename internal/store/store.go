@@ -1,0 +1,187 @@
+// Package store implements the shared mutable state of the engine: a set of
+// fixed-size in-memory tables addressed by (table, row) keys.
+//
+// Concurrency model. The engine's schedulers guarantee that at most one
+// worker writes a given record at a time (operations on one key form a
+// temporal chain executed in timestamp order), but a record written by one
+// worker may be read by another when resolving parametric dependencies at
+// epoch boundaries. Record values are therefore accessed with atomic
+// loads/stores: cheap, race-free, and strong enough because all cross-thread
+// reads are ordered by the scheduler's dependency counters (which are
+// themselves atomic and create the necessary happens-before edges).
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"morphstreamr/internal/types"
+)
+
+// Store holds every table of one application instance.
+type Store struct {
+	tables map[types.TableID]*table
+	specs  []types.TableSpec
+}
+
+type table struct {
+	spec types.TableSpec
+	rows []atomic.Int64
+}
+
+// New creates a store with the given tables, each record initialised to the
+// table's Init value.
+func New(specs []types.TableSpec) *Store {
+	s := &Store{tables: make(map[types.TableID]*table, len(specs))}
+	s.specs = append(s.specs, specs...)
+	for _, sp := range specs {
+		t := &table{spec: sp, rows: make([]atomic.Int64, sp.Rows)}
+		if sp.Init != 0 {
+			for i := range t.rows {
+				t.rows[i].Store(sp.Init)
+			}
+		}
+		s.tables[sp.ID] = t
+	}
+	return s
+}
+
+// Specs returns the table declarations the store was created with.
+func (s *Store) Specs() []types.TableSpec { return s.specs }
+
+// Get returns the current value of key. It panics on unknown tables or
+// out-of-range rows: those are programming errors in workload generators,
+// not runtime conditions.
+func (s *Store) Get(k types.Key) types.Value {
+	return s.row(k).Load()
+}
+
+// Set overwrites the value of key.
+func (s *Store) Set(k types.Key, v types.Value) {
+	s.row(k).Store(v)
+}
+
+func (s *Store) row(k types.Key) *atomic.Int64 {
+	t, ok := s.tables[k.Table]
+	if !ok {
+		panic(fmt.Sprintf("store: unknown table %d", k.Table))
+	}
+	if k.Row >= uint32(len(t.rows)) {
+		panic(fmt.Sprintf("store: row %d out of range for table %d (%d rows)",
+			k.Row, k.Table, len(t.rows)))
+	}
+	return &t.rows[k.Row]
+}
+
+// NumRecords returns the total number of records across all tables.
+func (s *Store) NumRecords() int {
+	n := 0
+	for _, sp := range s.specs {
+		n += int(sp.Rows)
+	}
+	return n
+}
+
+// Snapshot copies the full store content. The engine only calls it at epoch
+// barriers when no workers are mutating state, so a plain value copy is a
+// transaction-consistent global snapshot.
+func (s *Store) Snapshot() *Snapshot {
+	snap := &Snapshot{Tables: make([]TableSnapshot, 0, len(s.specs))}
+	for _, sp := range s.specs {
+		t := s.tables[sp.ID]
+		vals := make([]types.Value, len(t.rows))
+		for i := range t.rows {
+			vals[i] = t.rows[i].Load()
+		}
+		snap.Tables = append(snap.Tables, TableSnapshot{Spec: sp, Vals: vals})
+	}
+	return snap
+}
+
+// Restore overwrites the store content from a snapshot. The snapshot's
+// table specs must match the store's (same tables, same sizes).
+func (s *Store) Restore(snap *Snapshot) error {
+	if len(snap.Tables) != len(s.specs) {
+		return fmt.Errorf("store: snapshot has %d tables, store has %d",
+			len(snap.Tables), len(s.specs))
+	}
+	for _, ts := range snap.Tables {
+		t, ok := s.tables[ts.Spec.ID]
+		if !ok {
+			return fmt.Errorf("store: snapshot table %d not in store", ts.Spec.ID)
+		}
+		if len(ts.Vals) != len(t.rows) {
+			return fmt.Errorf("store: snapshot table %d has %d rows, store has %d",
+				ts.Spec.ID, len(ts.Vals), len(t.rows))
+		}
+		for i, v := range ts.Vals {
+			t.rows[i].Store(v)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two stores hold identical content. Used by the
+// crash-recovery equivalence tests.
+func (s *Store) Equal(o *Store) bool {
+	if len(s.specs) != len(o.specs) {
+		return false
+	}
+	for _, sp := range s.specs {
+		t, ot := s.tables[sp.ID], o.tables[sp.ID]
+		if ot == nil || len(t.rows) != len(ot.rows) {
+			return false
+		}
+		for i := range t.rows {
+			if t.rows[i].Load() != ot.rows[i].Load() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns up to max keys whose values differ between the stores,
+// formatted for test failure messages.
+func (s *Store) Diff(o *Store, max int) []string {
+	var out []string
+	for _, sp := range s.specs {
+		t, ot := s.tables[sp.ID], o.tables[sp.ID]
+		if ot == nil {
+			out = append(out, fmt.Sprintf("table %d missing", sp.ID))
+			continue
+		}
+		for i := range t.rows {
+			if len(out) >= max {
+				return out
+			}
+			a, b := t.rows[i].Load(), ot.rows[i].Load()
+			if a != b {
+				k := types.Key{Table: sp.ID, Row: uint32(i)}
+				out = append(out, fmt.Sprintf("%v: %d != %d", k, a, b))
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot is a transaction-consistent copy of the entire store.
+type Snapshot struct {
+	Tables []TableSnapshot
+}
+
+// TableSnapshot is the snapshot of one table.
+type TableSnapshot struct {
+	Spec types.TableSpec
+	Vals []types.Value
+}
+
+// Bytes estimates the in-memory size of the snapshot payload, used for
+// storage accounting.
+func (s *Snapshot) Bytes() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += 8 * len(t.Vals)
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"testing"
+
+	"morphstreamr/internal/types"
+)
+
+func twoTables() []types.TableSpec {
+	return []types.TableSpec{
+		{ID: 0, Rows: 8, Init: 100},
+		{ID: 1, Rows: 4, Init: 0},
+	}
+}
+
+func TestInitAndGetSet(t *testing.T) {
+	s := New(twoTables())
+	if got := s.Get(types.Key{Table: 0, Row: 3}); got != 100 {
+		t.Errorf("initial value = %d, want 100", got)
+	}
+	if got := s.Get(types.Key{Table: 1, Row: 0}); got != 0 {
+		t.Errorf("initial value = %d, want 0", got)
+	}
+	k := types.Key{Table: 0, Row: 5}
+	s.Set(k, -7)
+	if got := s.Get(k); got != -7 {
+		t.Errorf("after Set: %d, want -7", got)
+	}
+	if s.NumRecords() != 12 {
+		t.Errorf("NumRecords = %d, want 12", s.NumRecords())
+	}
+}
+
+func TestPanicsOnBadKeys(t *testing.T) {
+	s := New(twoTables())
+	for _, k := range []types.Key{{Table: 9, Row: 0}, {Table: 0, Row: 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for bad key %v", k)
+				}
+			}()
+			s.Get(k)
+		}()
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New(twoTables())
+	s.Set(types.Key{Table: 0, Row: 1}, 42)
+	snap := s.Snapshot()
+	s.Set(types.Key{Table: 0, Row: 1}, 99)
+	s.Set(types.Key{Table: 1, Row: 2}, 7)
+
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(types.Key{Table: 0, Row: 1}); got != 42 {
+		t.Errorf("restored value = %d, want 42", got)
+	}
+	if got := s.Get(types.Key{Table: 1, Row: 2}); got != 0 {
+		t.Errorf("restored value = %d, want 0", got)
+	}
+	if snap.Bytes() != 8*12 {
+		t.Errorf("snapshot Bytes() = %d, want %d", snap.Bytes(), 8*12)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New(twoTables())
+	snap := s.Snapshot()
+	s.Set(types.Key{Table: 0, Row: 0}, 1)
+	if snap.Tables[0].Vals[0] != 100 {
+		t.Error("snapshot aliases live store values")
+	}
+}
+
+func TestRestoreShapeMismatch(t *testing.T) {
+	s := New(twoTables())
+	other := New([]types.TableSpec{{ID: 0, Rows: 8, Init: 100}})
+	if err := s.Restore(other.Snapshot()); err == nil {
+		t.Error("restoring a snapshot with missing tables must fail")
+	}
+	bad := s.Snapshot()
+	bad.Tables[0].Vals = bad.Tables[0].Vals[:4]
+	if err := s.Restore(bad); err == nil {
+		t.Error("restoring a snapshot with short tables must fail")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := New(twoTables()), New(twoTables())
+	if !a.Equal(b) {
+		t.Fatal("fresh stores must be equal")
+	}
+	b.Set(types.Key{Table: 1, Row: 3}, 5)
+	if a.Equal(b) {
+		t.Fatal("stores differ but Equal says otherwise")
+	}
+	diff := a.Diff(b, 10)
+	if len(diff) != 1 {
+		t.Fatalf("Diff = %v, want one entry", diff)
+	}
+	b.Set(types.Key{Table: 0, Row: 0}, 1)
+	b.Set(types.Key{Table: 0, Row: 1}, 2)
+	if got := a.Diff(b, 2); len(got) != 2 {
+		t.Errorf("Diff cap: got %d entries, want 2", len(got))
+	}
+}

@@ -1,0 +1,71 @@
+package tpg
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/types"
+)
+
+// Fire executes one ready node: it resolves the node's base value (chain
+// predecessor's result, or the store for chain heads), copies producer
+// results into DepVals for resolved parametric edges, applies the operation
+// function under the abort contract, records the Result, and writes it
+// through to the store.
+//
+// Fire must only be called when the node's pending count is zero; it
+// panics on double execution, which would indicate a scheduler bug rather
+// than a recoverable condition.
+func Fire(n *OpNode, st *store.Store) {
+	if !n.MarkExecuted() {
+		panic(fmt.Sprintf("tpg: node %v ts=%d executed twice", n.Op.Key, n.Op.TS))
+	}
+	if n.ChainPrev != nil {
+		n.Base = n.ChainPrev.Result
+	} else {
+		n.Base = st.Get(n.Op.Key)
+	}
+	for i, src := range n.PDSrc {
+		if src != nil {
+			n.DepVals[i] = src.Result
+		}
+	}
+	switch {
+	case n.CondSrc != nil && n.Txn.Aborted():
+		// Logical dependency: the condition op failed, so this operation
+		// is a value-preserving no-op.
+		n.Result = n.Base
+	default:
+		v, ok := types.Apply(n.Op.Fn, n.Base, n.DepVals, n.Op.Const)
+		if ok {
+			n.Result = v
+		} else {
+			n.Result = n.Base
+			if n.Op.IsCondition() {
+				n.Txn.SetAborted()
+			}
+		}
+	}
+	st.Set(n.Op.Key, n.Result)
+}
+
+// Resolve notifies the executed node's dependents and appends any that
+// became ready (pending reached zero) to ready, returning the extended
+// slice. The chain successor, if ready, is placed first so schedulers that
+// pop from the front keep chain locality.
+func Resolve(n *OpNode, ready []*OpNode) []*OpNode {
+	if nx := n.ChainNext; nx != nil && nx.AddPending(-1) == 0 {
+		ready = append(ready, nx)
+	}
+	for _, d := range n.LDOut {
+		if d.AddPending(-1) == 0 {
+			ready = append(ready, d)
+		}
+	}
+	for _, d := range n.PDOut {
+		if d.AddPending(-1) == 0 {
+			ready = append(ready, d)
+		}
+	}
+	return ready
+}

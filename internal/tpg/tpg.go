@@ -1,0 +1,268 @@
+// Package tpg implements the task precedence graph (TPG) at the heart of
+// the engine (Section IV): vertices are state access operations, edges are
+// the three fine-grained dependency kinds of Section II-A:
+//
+//   - Temporal dependencies (TD) order operations on the same key by
+//     timestamp; each key's operations form a chain.
+//   - Logical dependencies (LD) tie a transaction's operations to its
+//     condition operation (index 0), which decides commit or abort.
+//   - Parametric dependencies (PD) connect an operation to the most recent
+//     earlier writer of each key whose value its function consumes.
+//
+// Determinism contract. An operation's dependency values are the values of
+// its dep keys as of the operation's timestamp: the Result of the latest
+// in-epoch writer with a smaller timestamp, or the epoch-start store value
+// when no such writer exists (captured at build time, before any execution
+// mutates the store). Because results are version-exact — consumers read
+// the producing operation's recorded Result, never the live record — the
+// final state is independent of the parallel schedule, and equals the
+// sequential timestamp-order execution. The oracle package checks this.
+//
+// Abort contract. A transaction aborts if and only if its condition
+// operation's function returns commit=false. Operations of an aborted
+// transaction are value-preserving no-ops whose Result is their base value,
+// keeping downstream temporal and parametric reads exact.
+package tpg
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"morphstreamr/internal/types"
+)
+
+// OpNode is one TPG vertex: an operation plus its execution state.
+type OpNode struct {
+	Op  *types.Operation
+	Txn *TxnNode
+
+	// Chain links (TD edges).
+	ChainPrev *OpNode
+	ChainNext *OpNode
+	Chain     *Chain
+
+	// PDSrc[i] is the in-epoch producer of Op.Deps[i], or nil when the
+	// value was captured from the epoch-start store into DepVals[i].
+	PDSrc []*OpNode
+	// PDOut lists operations whose DepVals await this node's Result.
+	PDOut []*OpNode
+	// CondSrc is the LD source (the transaction's condition op) for
+	// non-condition operations of multi-op transactions.
+	CondSrc *OpNode
+	// LDOut lists same-transaction operations notified by this condition op.
+	LDOut []*OpNode
+
+	// DepVals holds the resolved dependency values, aligned with Op.Deps.
+	// Entries with a nil PDSrc are filled at build time; the rest are
+	// copied from the producer's Result when the scheduler resolves the
+	// edge (or injected from the ParametricView during MSR recovery).
+	DepVals []types.Value
+
+	// Base is the value of Op.Key immediately before this operation; the
+	// chain head reads it from the store, later links from ChainPrev.
+	Base types.Value
+	// Result is the value of Op.Key immediately after this operation.
+	Result types.Value
+
+	// pending counts unresolved incoming edges. The node becomes ready
+	// when it reaches zero.
+	pending atomic.Int32
+	// executed is set exactly once, by the worker that ran the node.
+	executed atomic.Bool
+}
+
+// Pending returns the current unresolved-dependency count.
+func (n *OpNode) Pending() int32 { return n.pending.Load() }
+
+// AddPending adjusts the unresolved-dependency count by delta and returns
+// the new value. Schedulers use it to resolve edges; delta -1 reaching zero
+// means the node is ready.
+func (n *OpNode) AddPending(delta int32) int32 { return n.pending.Add(delta) }
+
+// Executed reports whether the node has run.
+func (n *OpNode) Executed() bool { return n.executed.Load() }
+
+// MarkExecuted records that the node has run. It returns false if the node
+// was already marked, which schedulers treat as a double-execution bug.
+func (n *OpNode) MarkExecuted() bool { return n.executed.CompareAndSwap(false, true) }
+
+// TxnNode groups the operation nodes of one state transaction.
+type TxnNode struct {
+	Txn     *types.Txn
+	Ops     []*OpNode
+	aborted atomic.Bool
+}
+
+// Aborted reports whether the transaction's condition op failed its guard.
+func (t *TxnNode) Aborted() bool { return t.aborted.Load() }
+
+// SetAborted marks the transaction aborted. Only the condition operation's
+// executor calls it; during MSR recovery, abort pushdown sets it before
+// execution starts.
+func (t *TxnNode) SetAborted() { t.aborted.Store(true) }
+
+// Executed assembles the post-execution view consumed by postprocessing.
+func (t *TxnNode) Executed() *types.ExecutedTxn {
+	res := make([]types.Value, len(t.Ops))
+	for i, op := range t.Ops {
+		res[i] = op.Result
+	}
+	return &types.ExecutedTxn{Txn: t.Txn, Results: res, Aborted: t.Aborted()}
+}
+
+// Chain is the temporally ordered list of one key's operations.
+type Chain struct {
+	Key types.Key
+	Ops []*OpNode // ascending timestamp
+	// Owner is the worker (or recovery task) the chain is assigned to;
+	// schedulers and partitioners set it before execution.
+	Owner int
+}
+
+// Weight is the chain's operation count, the task weight used by load
+// balancing and graph partitioning.
+func (c *Chain) Weight() int { return len(c.Ops) }
+
+// Graph is one epoch's TPG.
+type Graph struct {
+	Txns []*TxnNode
+	// Chains maps each accessed key to its chain.
+	Chains map[types.Key]*Chain
+	// ChainList holds the chains in deterministic (key) order.
+	ChainList []*Chain
+	// NumOps is the total vertex count.
+	NumOps int
+}
+
+// ReadBase supplies epoch-start values for keys without in-epoch producers.
+// It is store.Get in practice; build captures these values eagerly so that
+// later store mutation cannot leak mid-epoch values into dependencies.
+type ReadBase func(types.Key) types.Value
+
+// Build constructs the TPG for one epoch's transactions. Transactions must
+// arrive in ascending timestamp order (the spout's event order).
+func Build(txns []*types.Txn, readBase ReadBase) *Graph {
+	g := &Graph{Chains: make(map[types.Key]*Chain)}
+	g.Txns = make([]*TxnNode, 0, len(txns))
+
+	// Pass 1: create nodes and chains.
+	for _, txn := range txns {
+		tn := &TxnNode{Txn: txn, Ops: make([]*OpNode, len(txn.Ops))}
+		for i := range txn.Ops {
+			op := &txn.Ops[i]
+			n := &OpNode{Op: op, Txn: tn}
+			tn.Ops[i] = n
+			ch, ok := g.Chains[op.Key]
+			if !ok {
+				ch = &Chain{Key: op.Key}
+				g.Chains[op.Key] = ch
+			}
+			n.Chain = ch
+			ch.Ops = append(ch.Ops, n)
+			g.NumOps++
+		}
+		g.Txns = append(g.Txns, tn)
+	}
+
+	// Deterministic chain order for partitioners and schedulers.
+	g.ChainList = make([]*Chain, 0, len(g.Chains))
+	for _, ch := range g.Chains {
+		g.ChainList = append(g.ChainList, ch)
+	}
+	sort.Slice(g.ChainList, func(i, j int) bool {
+		return g.ChainList[i].Key.Less(g.ChainList[j].Key)
+	})
+
+	// Pass 2: TD edges. Transactions arrive in ascending TS, so each chain
+	// is already sorted; assert-by-construction with a defensive sort only
+	// if needed.
+	for _, ch := range g.ChainList {
+		if !sorted(ch.Ops) {
+			sort.SliceStable(ch.Ops, func(i, j int) bool {
+				return ch.Ops[i].Op.TS < ch.Ops[j].Op.TS
+			})
+		}
+		for i := 1; i < len(ch.Ops); i++ {
+			ch.Ops[i].ChainPrev = ch.Ops[i-1]
+			ch.Ops[i-1].ChainNext = ch.Ops[i]
+			ch.Ops[i].pending.Add(1)
+		}
+	}
+
+	// Pass 3: LD and PD edges.
+	for _, tn := range g.Txns {
+		if len(tn.Ops) > 1 {
+			cond := tn.Ops[0]
+			for _, n := range tn.Ops[1:] {
+				n.CondSrc = cond
+				cond.LDOut = append(cond.LDOut, n)
+				n.pending.Add(1)
+			}
+		}
+		for _, n := range tn.Ops {
+			if len(n.Op.Deps) == 0 {
+				continue
+			}
+			n.PDSrc = make([]*OpNode, len(n.Op.Deps))
+			n.DepVals = make([]types.Value, len(n.Op.Deps))
+			for i, dk := range n.Op.Deps {
+				src := latestEarlierWriter(g.Chains[dk], n.Op.TS)
+				if src == nil {
+					n.DepVals[i] = readBase(dk)
+					continue
+				}
+				n.PDSrc[i] = src
+				src.PDOut = append(src.PDOut, n)
+				n.pending.Add(1)
+			}
+		}
+	}
+	return g
+}
+
+func sorted(ops []*OpNode) bool {
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Op.TS > ops[i].Op.TS {
+			return false
+		}
+	}
+	return true
+}
+
+// latestEarlierWriter returns the chain's last operation with a timestamp
+// strictly below ts, or nil. Chains are sorted, so binary search applies.
+func latestEarlierWriter(ch *Chain, ts uint64) *OpNode {
+	if ch == nil || len(ch.Ops) == 0 {
+		return nil
+	}
+	// First index with TS >= ts.
+	i := sort.Search(len(ch.Ops), func(i int) bool { return ch.Ops[i].Op.TS >= ts })
+	if i == 0 {
+		return nil
+	}
+	return ch.Ops[i-1]
+}
+
+// Heads returns the nodes with no unresolved dependencies: the initial
+// ready frontier for schedulers.
+func (g *Graph) Heads() []*OpNode {
+	var out []*OpNode
+	for _, ch := range g.ChainList {
+		for _, n := range ch.Ops {
+			if n.Pending() == 0 {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// ExecutedTxns assembles the post-execution views of all transactions in
+// input order.
+func (g *Graph) ExecutedTxns() []*types.ExecutedTxn {
+	out := make([]*types.ExecutedTxn, len(g.Txns))
+	for i, tn := range g.Txns {
+		out[i] = tn.Executed()
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package types
+
+import "fmt"
+
+// FuncID selects a deterministic state-access function from the fixed
+// registry below. Modelling user-defined functions as a closed enum keeps
+// operations serialisable, which command logging (WAL) and dependency
+// logging (DL) require: a logged operation can be re-applied during
+// recovery without shipping code.
+//
+// Each function maps (cur, deps, c) -> (new value, commit?) where cur is the
+// current value of the operation's own key, deps are the values of the
+// operation's Deps keys as of the transaction's start, and c is the
+// operation's immediate constant. A false commit result aborts the whole
+// transaction (consistency guard violated).
+type FuncID uint8
+
+const (
+	// FnPut writes the constant: new = c. Used by write-only workloads.
+	FnPut FuncID = iota
+	// FnAdd adds the constant: new = cur + c. Used by deposits and counters.
+	FnAdd
+	// FnGuardedSubSelf debits the operation's own key guarded by its own
+	// balance: if cur >= c then new = cur - c else abort. This is the
+	// condition op of a Streaming Ledger transfer (f2 in Figure 3).
+	FnGuardedSubSelf
+	// FnGuardedAdd credits guarded by the first dep value (the source
+	// account's pre-transaction balance): if deps[0] >= c then
+	// new = cur + c else abort (f3 in Figure 3).
+	FnGuardedAdd
+	// FnGuardedSub debits guarded by the first dep value: if deps[0] >= c
+	// then new = cur - c else abort. Used for the asset-table side of a
+	// transfer.
+	FnGuardedSub
+	// FnSum writes the sum of the operation's own value and all dep values:
+	// new = cur + Σ deps. This is Grep&Sum's state access.
+	FnSum
+	// FnEwmaGuard folds a new speed sample into an exponentially weighted
+	// moving average: if c >= 0 then new = (cur*7 + c) / 8 (or c when the
+	// segment has no history) else abort. Negative samples model invalid
+	// vehicle reports, Toll Processing's abort source.
+	FnEwmaGuard
+	// FnInc increments by one regardless of c: new = cur + 1. Used for the
+	// unique-vehicle counter in Toll Processing.
+	FnInc
+	// FnSumAbortIf is FnSum with a validation guard: a non-zero constant
+	// aborts the transaction (modelling a failed input-validation check),
+	// otherwise new = cur + Σ deps. The abort-ratio sensitivity sweeps use
+	// it to dial in exact abort percentages on Grep&Sum.
+	FnSumAbortIf
+
+	// numFuncs bounds the registry; keep it last.
+	numFuncs
+)
+
+// NumFuncs is the number of registered functions; FuncIDs must be < NumFuncs.
+const NumFuncs = uint8(numFuncs)
+
+// String names the function for logs and test failure messages.
+func (f FuncID) String() string {
+	switch f {
+	case FnPut:
+		return "put"
+	case FnAdd:
+		return "add"
+	case FnGuardedSubSelf:
+		return "gsub-self"
+	case FnGuardedAdd:
+		return "gadd"
+	case FnGuardedSub:
+		return "gsub"
+	case FnSum:
+		return "sum"
+	case FnEwmaGuard:
+		return "ewma-guard"
+	case FnInc:
+		return "inc"
+	case FnSumAbortIf:
+		return "sum-abort-if"
+	default:
+		return fmt.Sprintf("func(%d)", uint8(f))
+	}
+}
+
+// NumDeps returns the number of dependency values the function consumes, or
+// -1 if it accepts any number (FnSum). Operations are validated against
+// this arity when transactions are built.
+func (f FuncID) NumDeps() int {
+	switch f {
+	case FnGuardedAdd, FnGuardedSub:
+		return 1
+	case FnSum, FnSumAbortIf:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Apply evaluates the function. It is the single definition of state-access
+// semantics: the parallel scheduler, the sequential oracle, and every
+// recovery replay path all funnel through it, so an agreement test against
+// the oracle covers the whole registry.
+//
+// Apply never panics on short dep slices; missing deps read as zero, which
+// the validating transaction builders prevent from occurring in practice.
+func Apply(fn FuncID, cur Value, deps []Value, c Value) (Value, bool) {
+	switch fn {
+	case FnPut:
+		return c, true
+	case FnAdd:
+		return cur + c, true
+	case FnGuardedSubSelf:
+		if cur >= c {
+			return cur - c, true
+		}
+		return cur, false
+	case FnGuardedAdd:
+		if dep0(deps) >= c {
+			return cur + c, true
+		}
+		return cur, false
+	case FnGuardedSub:
+		if dep0(deps) >= c {
+			return cur - c, true
+		}
+		return cur, false
+	case FnSum:
+		s := cur
+		for _, d := range deps {
+			s += d
+		}
+		return s, true
+	case FnEwmaGuard:
+		if c < 0 {
+			return cur, false
+		}
+		if cur == 0 {
+			return c, true
+		}
+		return (cur*7 + c) / 8, true
+	case FnInc:
+		return cur + 1, true
+	case FnSumAbortIf:
+		if c != 0 {
+			return cur, false
+		}
+		s := cur
+		for _, d := range deps {
+			s += d
+		}
+		return s, true
+	default:
+		return cur, false
+	}
+}
+
+func dep0(deps []Value) Value {
+	if len(deps) == 0 {
+		return 0
+	}
+	return deps[0]
+}

@@ -1,0 +1,115 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplySemantics(t *testing.T) {
+	tests := []struct {
+		name   string
+		fn     FuncID
+		cur    Value
+		deps   []Value
+		c      Value
+		want   Value
+		commit bool
+	}{
+		{"put", FnPut, 7, nil, 42, 42, true},
+		{"add", FnAdd, 10, nil, 5, 15, true},
+		{"add-negative", FnAdd, 10, nil, -4, 6, true},
+		{"gsub-self-ok", FnGuardedSubSelf, 100, nil, 30, 70, true},
+		{"gsub-self-exact", FnGuardedSubSelf, 30, nil, 30, 0, true},
+		{"gsub-self-abort", FnGuardedSubSelf, 29, nil, 30, 29, false},
+		{"gadd-ok", FnGuardedAdd, 5, []Value{100}, 30, 35, true},
+		{"gadd-abort", FnGuardedAdd, 5, []Value{29}, 30, 5, false},
+		{"gsub-ok", FnGuardedSub, 50, []Value{100}, 30, 20, true},
+		{"gsub-abort", FnGuardedSub, 50, []Value{10}, 30, 50, false},
+		{"sum-empty", FnSum, 3, nil, 0, 3, true},
+		{"sum", FnSum, 3, []Value{1, 2, 4}, 0, 10, true},
+		{"ewma-first", FnEwmaGuard, 0, nil, 64, 64, true},
+		{"ewma-fold", FnEwmaGuard, 80, nil, 8, (80*7 + 8) / 8, true},
+		{"ewma-abort", FnEwmaGuard, 80, nil, -5, 80, false},
+		{"inc", FnInc, 9, nil, 1234, 10, true},
+		{"sum-abort-if-ok", FnSumAbortIf, 3, []Value{1, 2}, 0, 6, true},
+		{"sum-abort-if-abort", FnSumAbortIf, 3, []Value{1, 2}, 1, 3, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, commit := Apply(tc.fn, tc.cur, tc.deps, tc.c)
+			if got != tc.want || commit != tc.commit {
+				t.Errorf("Apply(%v, %d, %v, %d) = (%d, %v), want (%d, %v)",
+					tc.fn, tc.cur, tc.deps, tc.c, got, commit, tc.want, tc.commit)
+			}
+		})
+	}
+}
+
+func TestApplyUnknownFuncAborts(t *testing.T) {
+	got, commit := Apply(FuncID(200), 5, nil, 0)
+	if commit || got != 5 {
+		t.Errorf("unknown func: got (%d, %v), want value-preserving abort", got, commit)
+	}
+}
+
+func TestApplyShortDepsDoesNotPanic(t *testing.T) {
+	// Guarded functions read deps[0]; a missing dep must read as zero,
+	// never panic.
+	got, commit := Apply(FnGuardedAdd, 5, nil, 3)
+	if commit || got != 5 {
+		t.Errorf("FnGuardedAdd with no deps: got (%d, %v), want abort", got, commit)
+	}
+}
+
+// TestApplyAbortPreservesValue: property — whenever Apply reports
+// commit=false, the returned value equals the current value.
+func TestApplyAbortPreservesValue(t *testing.T) {
+	f := func(fn uint8, cur int64, deps []int64, c int64) bool {
+		got, commit := Apply(FuncID(fn%NumFuncs), cur, deps, c)
+		return commit || got == cur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumOrderIndependent: property — FnSum is invariant under dependency
+// permutation, the algebraic fact MorphStreamR's restructured execution
+// relies on when chains replay in different relative orders.
+func TestSumOrderIndependent(t *testing.T) {
+	f := func(cur int64, deps []int64, seed int64) bool {
+		a, _ := Apply(FnSum, cur, deps, 0)
+		shuffled := append([]int64(nil), deps...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b, _ := Apply(FnSum, cur, shuffled, 0)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncIDStrings(t *testing.T) {
+	for fn := FuncID(0); fn < FuncID(NumFuncs); fn++ {
+		if s := fn.String(); s == "" || s[0] == 'f' && s != "put" && len(s) > 8 && s[:5] == "func(" {
+			t.Errorf("FuncID %d has fallback name %q", fn, s)
+		}
+	}
+	if s := FuncID(99).String(); s != "func(99)" {
+		t.Errorf("unknown FuncID string = %q", s)
+	}
+}
+
+func TestNumDepsArity(t *testing.T) {
+	if FnGuardedAdd.NumDeps() != 1 || FnGuardedSub.NumDeps() != 1 {
+		t.Error("guarded functions must require exactly one dep")
+	}
+	if FnSum.NumDeps() != -1 || FnSumAbortIf.NumDeps() != -1 {
+		t.Error("sum functions accept any dep count")
+	}
+	if FnPut.NumDeps() != 0 || FnAdd.NumDeps() != 0 || FnInc.NumDeps() != 0 {
+		t.Error("nullary functions must require zero deps")
+	}
+}

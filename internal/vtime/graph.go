@@ -1,0 +1,134 @@
+package vtime
+
+import (
+	"container/heap"
+	"time"
+
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+)
+
+// SimulateGraph replays a task precedence graph: operations execute for
+// real (via tpg.Fire, in a dependency-respecting order, so the store ends
+// up exactly as a parallel execution would leave it) while a W-worker
+// list schedule is simulated in virtual time.
+//
+// Chain ownership must already be set (Chain.Owner); an operation runs on
+// its chain's worker, starting no earlier than the virtual finish time of
+// every dependency. Stalls — a worker idle because its next operation
+// waits on another worker's unfinished producer — accumulate in Clock.
+// Stall, the quantity MorphStreamR's restructuring eliminates.
+func SimulateGraph(g *tpg.Graph, st *store.Store, workers int, costs Costs) Result {
+	clocks := make([]Clock, workers)
+	if g.NumOps == 0 {
+		return Finish(clocks)
+	}
+	ready := make([]opHeap, workers)
+
+	// Deterministic sequence numbers for tie-breaking.
+	seq := make(map[*tpg.OpNode]int, g.NumOps)
+	readyAt := make(map[*tpg.OpNode]time.Duration, g.NumOps)
+	i := 0
+	for _, tn := range g.Txns {
+		for _, n := range tn.Ops {
+			seq[n] = i
+			i++
+		}
+	}
+	for _, ch := range g.ChainList {
+		for _, n := range ch.Ops {
+			if n.Pending() == 0 {
+				heap.Push(&ready[ch.Owner], opItem{node: n, readyAt: 0, seq: seq[n]})
+			}
+		}
+	}
+
+	remaining := g.NumOps
+	for remaining > 0 {
+		// Pick the worker whose next operation can start earliest.
+		best, bestStart := -1, time.Duration(0)
+		for w := range ready {
+			if len(ready[w]) == 0 {
+				continue
+			}
+			start := clocks[w].Now
+			if ra := ready[w][0].readyAt; ra > start {
+				start = ra
+			}
+			if best == -1 || start < bestStart {
+				best, bestStart = w, start
+			}
+		}
+		if best == -1 {
+			// Every remaining operation is blocked: impossible for an
+			// acyclic graph whose producers resolve on finish.
+			panic("vtime: no runnable operations with work remaining (cyclic graph?)")
+		}
+		item := heap.Pop(&ready[best]).(opItem)
+		n := item.node
+
+		tpg.Fire(n, st)
+		// Dependencies resolved across workers cost a synchronisation
+		// round-trip each; same-worker resolution is free beyond the
+		// regular explore overhead.
+		explore := costs.Explore
+		for _, src := range n.PDSrc {
+			if src != nil && src.Chain.Owner != n.Chain.Owner {
+				explore += costs.Sync
+			}
+		}
+		if n.CondSrc != nil && n.CondSrc.Chain.Owner != n.Chain.Owner {
+			explore += costs.Sync
+		}
+		cost := costs.Op + time.Duration(len(n.DepVals))*costs.PerDep
+		fin := clocks[best].Advance(bestStart, explore, cost, n.Txn.Aborted())
+		remaining--
+
+		resolveInto(n, fin, seq, readyAt, ready)
+	}
+	return Finish(clocks)
+}
+
+// resolveInto notifies n's dependents that it finished at fin, pushing the
+// newly ready ones onto their owners' heaps.
+func resolveInto(n *tpg.OpNode, fin time.Duration, seq map[*tpg.OpNode]int,
+	readyAt map[*tpg.OpNode]time.Duration, ready []opHeap) {
+	notify := func(d *tpg.OpNode) {
+		if fin > readyAt[d] {
+			readyAt[d] = fin
+		}
+		if d.AddPending(-1) == 0 {
+			heap.Push(&ready[d.Chain.Owner], opItem{node: d, readyAt: readyAt[d], seq: seq[d]})
+		}
+	}
+	if nx := n.ChainNext; nx != nil {
+		notify(nx)
+	}
+	for _, d := range n.LDOut {
+		notify(d)
+	}
+	for _, d := range n.PDOut {
+		notify(d)
+	}
+}
+
+// opItem orders a worker's ready operations by readiness time, then by
+// deterministic sequence.
+type opItem struct {
+	node    *tpg.OpNode
+	readyAt time.Duration
+	seq     int
+}
+
+type opHeap []opItem
+
+func (h opHeap) Len() int { return len(h) }
+func (h opHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h opHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *opHeap) Push(x any)     { *h = append(*h, x.(opItem)) }
+func (h *opHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }

@@ -1,0 +1,89 @@
+package vtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// TxnGraph is a transaction-level precedence graph for virtual replay —
+// the shape DL rebuilds from its log, and the shape LV's vectors encode
+// implicitly. Nodes are identified by index.
+type TxnGraph struct {
+	// Out[i] lists the nodes depending on i; Indegree[i] counts i's
+	// unresolved dependencies.
+	Out      [][]int32
+	Indegree []int32
+}
+
+// SimulateTxnGraph replays the graph on W virtual workers with greedy
+// earliest-start list scheduling: any free worker takes the longest-ready
+// transaction. exec(i) must execute node i for real and return its virtual
+// cost plus whether it aborted; it is called exactly once per node, in an
+// order that respects the graph.
+//
+// Parallelism is bounded by the graph itself — the paper's point about
+// dependency-logging recovery being limited to the workload's inherent
+// parallelism.
+func SimulateTxnGraph(g *TxnGraph, workers int, exec func(i int32) (cost, explore time.Duration, abort bool)) Result {
+	clocks := make([]Clock, workers)
+	n := len(g.Indegree)
+	if n == 0 {
+		return Finish(clocks)
+	}
+	readyAt := make([]time.Duration, n)
+	var ready txnHeap
+	for i := 0; i < n; i++ {
+		if g.Indegree[i] == 0 {
+			heap.Push(&ready, txnItem{idx: int32(i), readyAt: 0})
+		}
+	}
+	done := 0
+	for done < n {
+		if len(ready) == 0 {
+			panic("vtime: no ready transactions with work remaining (cyclic log?)")
+		}
+		item := heap.Pop(&ready).(txnItem)
+		// Earliest-available worker takes the transaction.
+		best := 0
+		for w := 1; w < workers; w++ {
+			if clocks[w].Now < clocks[best].Now {
+				best = w
+			}
+		}
+		start := item.readyAt
+		if clocks[best].Now > start {
+			start = clocks[best].Now
+		}
+		cost, explore, aborted := exec(item.idx)
+		fin := clocks[best].Advance(start, explore, cost, aborted)
+		done++
+		for _, j := range g.Out[item.idx] {
+			if fin > readyAt[j] {
+				readyAt[j] = fin
+			}
+			g.Indegree[j]--
+			if g.Indegree[j] == 0 {
+				heap.Push(&ready, txnItem{idx: j, readyAt: readyAt[j]})
+			}
+		}
+	}
+	return Finish(clocks)
+}
+
+type txnItem struct {
+	idx     int32
+	readyAt time.Duration
+}
+
+type txnHeap []txnItem
+
+func (h txnHeap) Len() int { return len(h) }
+func (h txnHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].idx < h[j].idx
+}
+func (h txnHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *txnHeap) Push(x any)     { *h = append(*h, x.(txnItem)) }
+func (h *txnHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }

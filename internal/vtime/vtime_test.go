@@ -1,0 +1,280 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+
+	"morphstreamr/internal/metrics"
+
+	"morphstreamr/internal/oracle"
+	"morphstreamr/internal/scheduler"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+func TestCalibrateSane(t *testing.T) {
+	c := Calibrate()
+	if c.Op <= 0 || c.Build <= 0 || c.Preprocess <= 0 {
+		t.Fatalf("calibration produced non-positive costs: %+v", c)
+	}
+	if c.Op < c.Build {
+		t.Errorf("Op (%v) must not be below Build (%v): the exec-factor model", c.Op, c.Build)
+	}
+	if c2 := Calibrate(); c2 != c {
+		t.Error("Calibrate must be cached and stable within a process")
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	c := Costs{Compare: 10}
+	if got := c.SortCost(0); got != 0 {
+		t.Errorf("SortCost(0) = %v", got)
+	}
+	if got := c.SortCost(1); got != 0 {
+		t.Errorf("SortCost(1) = %v", got)
+	}
+	// 8 records, log2 = 3 -> 8*3*10 = 240ns.
+	if got := c.SortCost(8); got != 240 {
+		t.Errorf("SortCost(8) = %v, want 240ns", got)
+	}
+}
+
+func TestTxnAndGraphCost(t *testing.T) {
+	c := Costs{Op: 100, PerDep: 10, Preprocess: 7, Build: 3}
+	txn := &types.Txn{ID: 1, TS: 1, Ops: []types.Operation{
+		{TxnID: 1, TS: 1, Idx: 0, Key: types.Key{Row: 1}, Fn: types.FnAdd},
+		{TxnID: 1, TS: 1, Idx: 1, Key: types.Key{Row: 2}, Fn: types.FnGuardedAdd,
+			Deps: []types.Key{{Row: 1}}},
+	}}
+	if got := c.TxnCost(txn); got != 210 {
+		t.Errorf("TxnCost = %v, want 210ns", got)
+	}
+	if got := c.GraphCost(10, 20); got != 7*10+3*20 {
+		t.Errorf("GraphCost = %v", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	fin := c.Advance(100, 5, 20, false)
+	if fin != 125 || c.Stall != 100 || c.Explore != 5 || c.Execute != 20 || c.Abort != 0 {
+		t.Errorf("clock after advance: %+v, fin=%v", c, fin)
+	}
+	fin = c.Advance(50, 0, 10, true) // start in the past: no stall
+	if fin != 135 || c.Stall != 100 || c.Abort != 10 {
+		t.Errorf("clock after second advance: %+v, fin=%v", c, fin)
+	}
+}
+
+func TestFinishPadsToMakespan(t *testing.T) {
+	clocks := []Clock{{Now: 100}, {Now: 40}}
+	r := Finish(clocks)
+	if r.Makespan != 100 {
+		t.Errorf("makespan = %v", r.Makespan)
+	}
+	if r.Clocks[1].Stall != 60 || r.Clocks[1].Now != 100 {
+		t.Errorf("padding wrong: %+v", r.Clocks[1])
+	}
+}
+
+// TestSimulateGraphMatchesOracle: the virtual executor must leave exactly
+// the state a real parallel execution (and the oracle) would.
+func TestSimulateGraphMatchesOracle(t *testing.T) {
+	p := workload.DefaultSLParams()
+	p.Rows, p.AbortRatio = 512, 0.2
+	gen := workload.NewSL(p)
+	st := store.New(gen.App().Tables())
+	o := oracle.New(gen.App())
+	events := workload.Batch(gen, 1500)
+	txns := make([]*types.Txn, len(events))
+	for i := range events {
+		txn := gen.App().Preprocess(events[i])
+		txns[i] = &txn
+		o.Apply(events[i])
+	}
+	g := tpg.Build(txns, st.Get)
+	for _, ch := range g.ChainList {
+		ch.Owner = scheduler.HashAssign(4)(ch)
+	}
+	result := SimulateGraph(g, st, 4, Calibrate())
+	if result.Makespan <= 0 {
+		t.Fatal("zero makespan for non-empty graph")
+	}
+	for _, spec := range gen.App().Tables() {
+		for row := uint32(0); row < spec.Rows; row++ {
+			k := types.Key{Table: spec.ID, Row: row}
+			if st.Get(k) != o.Value(k) {
+				t.Fatalf("state diverged at %v: %d vs %d", k, st.Get(k), o.Value(k))
+			}
+		}
+	}
+}
+
+// TestSimulateGraphDeterministic: identical inputs must produce identical
+// clocks — the property that makes figures reproducible across hosts.
+func TestSimulateGraphDeterministic(t *testing.T) {
+	run := func() Result {
+		p := workload.DefaultGSParams()
+		p.Rows = 512
+		gen := workload.NewGS(p)
+		st := store.New(gen.App().Tables())
+		events := workload.Batch(gen, 800)
+		txns := make([]*types.Txn, len(events))
+		for i := range events {
+			txn := gen.App().Preprocess(events[i])
+			txns[i] = &txn
+		}
+		g := tpg.Build(txns, st.Get)
+		for _, ch := range g.ChainList {
+			ch.Owner = scheduler.HashAssign(4)(ch)
+		}
+		return SimulateGraph(g, st, 4, Costs{Op: 100, PerDep: 10, Explore: 5, Sync: 50})
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic makespan: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for i := range a.Clocks {
+		if a.Clocks[i] != b.Clocks[i] {
+			t.Fatalf("clock %d differs: %+v vs %+v", i, a.Clocks[i], b.Clocks[i])
+		}
+	}
+}
+
+// TestSimulateGraphParallelismHelps: a dependency-free graph's makespan
+// must shrink roughly linearly with workers; a single serial chain's must
+// not shrink at all.
+func TestSimulateGraphParallelismHelps(t *testing.T) {
+	costs := Costs{Op: 1000, Explore: 0}
+	mkIndependent := func(owners int) time.Duration {
+		st := store.New([]types.TableSpec{{ID: 0, Rows: 1024}})
+		txns := make([]*types.Txn, 1024)
+		for i := range txns {
+			id := uint64(i)
+			txns[i] = &types.Txn{ID: id, TS: id, Ops: []types.Operation{
+				{TxnID: id, TS: id, Idx: 0, Key: types.Key{Row: uint32(i)}, Fn: types.FnAdd, Const: 1},
+			}}
+		}
+		g := tpg.Build(txns, st.Get)
+		for i, ch := range g.ChainList {
+			ch.Owner = i % owners
+		}
+		return SimulateGraph(g, st, owners, costs).Makespan
+	}
+	m1, m4 := mkIndependent(1), mkIndependent(4)
+	if m4 <= m1/5 || m4 >= m1/3 {
+		t.Errorf("independent ops: makespan w1=%v w4=%v, want ~4x speedup", m1, m4)
+	}
+
+	mkChain := func(workers int) time.Duration {
+		st := store.New([]types.TableSpec{{ID: 0, Rows: 1}})
+		txns := make([]*types.Txn, 512)
+		for i := range txns {
+			id := uint64(i)
+			txns[i] = &types.Txn{ID: id, TS: id, Ops: []types.Operation{
+				{TxnID: id, TS: id, Idx: 0, Key: types.Key{Row: 0}, Fn: types.FnAdd, Const: 1},
+			}}
+		}
+		g := tpg.Build(txns, st.Get)
+		for _, ch := range g.ChainList {
+			ch.Owner = 0
+		}
+		return SimulateGraph(g, st, workers, costs).Makespan
+	}
+	c1, c4 := mkChain(1), mkChain(4)
+	if c4 != c1 {
+		t.Errorf("serial chain: makespan w1=%v w4=%v; a chain cannot parallelize", c1, c4)
+	}
+}
+
+// TestSimulateGraphSyncCharged: cross-worker dependencies cost Sync;
+// co-located ones do not.
+func TestSimulateGraphSyncCharged(t *testing.T) {
+	mk := func(sameWorker bool) time.Duration {
+		st := store.New([]types.TableSpec{{ID: 0, Rows: 2, Init: 100}})
+		a, b := types.Key{Row: 0}, types.Key{Row: 1}
+		txns := []*types.Txn{
+			{ID: 0, TS: 0, Ops: []types.Operation{{TxnID: 0, TS: 0, Idx: 0, Key: a, Fn: types.FnAdd, Const: 1}}},
+			{ID: 1, TS: 1, Ops: []types.Operation{{TxnID: 1, TS: 1, Idx: 0, Key: b, Fn: types.FnGuardedAdd, Const: 1, Deps: []types.Key{a}}}},
+		}
+		g := tpg.Build(txns, st.Get)
+		for i, ch := range g.ChainList {
+			if sameWorker {
+				ch.Owner = 0
+			} else {
+				ch.Owner = i % 2
+			}
+		}
+		r := SimulateGraph(g, st, 2, Costs{Op: 100, Sync: 77})
+		var explore time.Duration
+		for _, c := range r.Clocks {
+			explore += c.Explore
+		}
+		return explore
+	}
+	if got := mk(true); got != 0 {
+		t.Errorf("co-located dependency charged %v explore, want 0", got)
+	}
+	if got := mk(false); got != 77 {
+		t.Errorf("cross-worker dependency charged %v explore, want 77ns", got)
+	}
+}
+
+// TestSimulateTxnGraph: graph-constrained transaction replay respects
+// dependencies and bounds parallelism.
+func TestSimulateTxnGraph(t *testing.T) {
+	// Chain of 4 dependent transactions + 4 independent ones, 2 workers.
+	g := &TxnGraph{
+		Out:      [][]int32{{1}, {2}, {3}, nil, nil, nil, nil, nil},
+		Indegree: []int32{0, 1, 1, 1, 0, 0, 0, 0},
+	}
+	order := []int32{}
+	r := SimulateTxnGraph(g, 2, func(i int32) (time.Duration, time.Duration, bool) {
+		order = append(order, i)
+		return 100, 0, false
+	})
+	if len(order) != 8 {
+		t.Fatalf("executed %d of 8", len(order))
+	}
+	pos := map[int32]int{}
+	for p, i := range order {
+		pos[i] = p
+	}
+	for i := int32(0); i < 3; i++ {
+		if pos[i] > pos[i+1] {
+			t.Fatalf("dependency order violated: %d after %d", i, i+1)
+		}
+	}
+	// Critical path = 4 chained txns = 400ns; greedy list scheduling may
+	// delay the chain behind already-ready work, but never beyond one
+	// extra slot per chain step.
+	if r.Makespan < 400 || r.Makespan > 500 {
+		t.Errorf("makespan = %v, want within [400ns, 500ns]", r.Makespan)
+	}
+}
+
+func TestSimulateTxnGraphEmpty(t *testing.T) {
+	r := SimulateTxnGraph(&TxnGraph{}, 3, func(int32) (time.Duration, time.Duration, bool) {
+		t.Fatal("exec called on empty graph")
+		return 0, 0, false
+	})
+	if r.Makespan != 0 {
+		t.Errorf("empty graph makespan = %v", r.Makespan)
+	}
+}
+
+func TestChargeMapsStalls(t *testing.T) {
+	r := Result{Clocks: []Clock{{Execute: 10, Explore: 2, Abort: 3, Stall: 5}}}
+	var bd1 metrics.RecoveryBreakdown
+	r.Charge(&bd1, false)
+	if bd1.Wait != 5 || bd1.Explore != 2 || bd1.Execute != 10 || bd1.Abort != 3 {
+		t.Errorf("stall->wait mapping: %+v", bd1)
+	}
+	var bd2 metrics.RecoveryBreakdown
+	r.Charge(&bd2, true)
+	if bd2.Wait != 0 || bd2.Explore != 7 {
+		t.Errorf("stall->explore mapping: %+v", bd2)
+	}
+}

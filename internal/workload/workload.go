@@ -1,0 +1,92 @@
+// Package workload implements the paper's three benchmark applications
+// (Section VIII-A) as deterministic, seeded event generators paired with
+// types.App implementations:
+//
+//   - Streaming Ledger (SL): money/asset transfers between accounts.
+//     Parametric-dependency heavy — every transfer's credit and asset
+//     operations depend on the source account's balance.
+//   - Grep and Sum (GS): read a list of states, write the sum to the first.
+//     Skew heavy, with tunable dependency count, multi-partition ratio and
+//     abort ratio, making it the vehicle for the sensitivity studies.
+//   - Toll Processing (TP): Linear Road-style per-segment speed and
+//     vehicle-count maintenance with toll computation. Abort heavy —
+//     invalid vehicle reports abort their transactions.
+//
+// Generators are pure functions of their seed: the same parameters always
+// produce the same event stream, which the crash-recovery equivalence
+// tests rely on.
+package workload
+
+import (
+	"math/rand"
+
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/zipf"
+)
+
+// Generator produces the input event stream for one application instance.
+type Generator interface {
+	// App returns the application the events are meant for.
+	App() types.App
+	// Next produces the next event; sequence numbers increase from 0.
+	Next() types.Event
+}
+
+// Batch draws n consecutive events from a generator.
+func Batch(g Generator, n int) []types.Event {
+	out := make([]types.Event, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// doomedAmount is a transfer amount no account can ever hold, used to
+// engineer guaranteed guard failures when a generator's abort ratio calls
+// for one. Balances stay far below it: initial balances are ~10^4 and each
+// deposit adds at most 10^2, so even 10^9 events stay below 10^11 << 2^40.
+const doomedAmount = int64(1) << 40
+
+// keyPicker draws rows with Zipfian skew, scattering hot ranks across the
+// whole row space (and therefore across range partitions) with a fixed
+// multiplicative permutation so that skew does not degenerate into
+// "partition 0 is hot".
+type keyPicker struct {
+	z    *zipf.Generator
+	rows uint32
+}
+
+func newKeyPicker(seed int64, rows uint32, theta float64) *keyPicker {
+	return &keyPicker{z: zipf.New(seed, uint64(rows), theta), rows: rows}
+}
+
+// scramblePrime is coprime with every table size we use (it is prime and
+// far larger than any row count), making rank -> row a bijection.
+const scramblePrime = 2654435761
+
+func (p *keyPicker) next() uint32 {
+	rank := p.z.Next()
+	return uint32((rank * scramblePrime) % uint64(p.rows))
+}
+
+// pickIn draws a uniform row inside data partition part of a table.
+func pickIn(rng *rand.Rand, parts *partition.Ranges, t types.TableID, part int) uint32 {
+	lo, hi := parts.RowsIn(t, part)
+	if hi <= lo {
+		return lo
+	}
+	return lo + uint32(rng.Int63n(int64(hi-lo)))
+}
+
+// pickOther draws a uniform row outside data partition part of a table.
+func pickOther(rng *rand.Rand, parts *partition.Ranges, t types.TableID, part int) uint32 {
+	if parts.Count() <= 1 {
+		return pickIn(rng, parts, t, part)
+	}
+	p := int(rng.Int63n(int64(parts.Count() - 1)))
+	if p >= part {
+		p++
+	}
+	return pickIn(rng, parts, t, p)
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"testing"
+
+	"morphstreamr/internal/oracle"
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/types"
+)
+
+// allGens builds one generator per app with small tables.
+func allGens(seed int64) map[string]Generator {
+	sl := DefaultSLParams()
+	sl.Seed, sl.Rows = seed, 1024
+	gs := DefaultGSParams()
+	gs.Seed, gs.Rows, gs.AbortRatio = seed, 1024, 0.1
+	tp := DefaultTPParams()
+	tp.Seed, tp.Segments = seed, 512
+	return map[string]Generator{
+		"SL": NewSL(sl), "GS": NewGS(gs), "TP": NewTP(tp),
+	}
+}
+
+// TestAllTxnsValid: every generated event must preprocess into a
+// structurally valid transaction.
+func TestAllTxnsValid(t *testing.T) {
+	for name, gen := range allGens(1) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 3000; i++ {
+				ev := gen.Next()
+				if ev.Seq != uint64(i) {
+					t.Fatalf("event %d has seq %d", i, ev.Seq)
+				}
+				txn := gen.App().Preprocess(ev)
+				if err := types.ValidateTxn(&txn); err != nil {
+					t.Fatalf("event %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministic: same seed, same stream.
+func TestDeterministic(t *testing.T) {
+	a, b := allGens(7), allGens(7)
+	for name := range a {
+		for i := 0; i < 500; i++ {
+			ea, eb := a[name].Next(), b[name].Next()
+			if ea.Seq != eb.Seq || ea.Kind != eb.Kind || len(ea.Keys) != len(eb.Keys) {
+				t.Fatalf("%s: event %d differs across identically seeded generators", name, i)
+			}
+			for j := range ea.Keys {
+				if ea.Keys[j] != eb.Keys[j] {
+					t.Fatalf("%s: event %d key %d differs", name, i, j)
+				}
+			}
+			for j := range ea.Vals {
+				if ea.Vals[j] != eb.Vals[j] {
+					t.Fatalf("%s: event %d val %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAbortRatioRealised: the fraction of transactions the oracle aborts
+// must track the generator's configured abort ratio (doomed events plus a
+// small natural-abort margin).
+func TestAbortRatioRealised(t *testing.T) {
+	cases := []struct {
+		name  string
+		gen   Generator
+		ratio float64
+		slack float64
+	}{
+		{"SL", NewSL(func() SLParams {
+			p := DefaultSLParams()
+			p.Rows, p.AbortRatio, p.TransferRatio = 1024, 0.3, 1.0
+			return p
+		}()), 0.3, 0.1},
+		{"GS", NewGS(func() GSParams {
+			p := DefaultGSParams()
+			p.Rows, p.AbortRatio = 1024, 0.25
+			return p
+		}()), 0.25, 0.05},
+		{"TP", NewTP(func() TPParams {
+			p := DefaultTPParams()
+			p.Segments, p.AbortRatio = 512, 0.4
+			return p
+		}()), 0.4, 0.05},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := oracle.New(tc.gen.App())
+			const n = 4000
+			aborts := 0
+			for i := 0; i < n; i++ {
+				txn := tc.gen.App().Preprocess(tc.gen.Next())
+				if o.ExecuteTxn(&txn).Aborted {
+					aborts++
+				}
+			}
+			got := float64(aborts) / n
+			if got < tc.ratio-tc.slack || got > tc.ratio+tc.slack+0.1 {
+				t.Errorf("abort rate %.3f, configured %.2f", got, tc.ratio)
+			}
+		})
+	}
+}
+
+// TestSLMultiPartitionRatio: the fraction of transfers crossing data
+// partitions must track the configured ratio.
+func TestSLMultiPartitionRatio(t *testing.T) {
+	for _, ratio := range []float64{0, 0.5, 1.0} {
+		p := DefaultSLParams()
+		p.Rows, p.TransferRatio, p.MultiPartitionRatio = 4096, 1.0, ratio
+		gen := NewSL(p)
+		parts := partition.NewRanges(gen.App().Tables(), p.Partitions)
+		cross, total := 0, 4000
+		for i := 0; i < total; i++ {
+			ev := gen.Next()
+			if parts.Of(ev.Keys[0]) != parts.Of(ev.Keys[1]) {
+				cross++
+			}
+		}
+		got := float64(cross) / float64(total)
+		if got < ratio-0.05 || got > ratio+0.05 {
+			t.Errorf("ratio %.1f: measured cross-partition fraction %.3f", ratio, got)
+		}
+	}
+}
+
+// TestGSReadsDistinct: every Sum transaction reads the configured number
+// of distinct keys, never its own target.
+func TestGSReadsDistinct(t *testing.T) {
+	p := DefaultGSParams()
+	p.Rows, p.Reads = 256, 5
+	gen := NewGS(p)
+	for i := 0; i < 2000; i++ {
+		ev := gen.Next()
+		if len(ev.Keys) != 6 {
+			t.Fatalf("event %d has %d keys, want 6", i, len(ev.Keys))
+		}
+		seen := map[types.Key]bool{}
+		for _, k := range ev.Keys {
+			if seen[k] {
+				t.Fatalf("event %d repeats key %v", i, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestGSWriteOnlyMode: the skew-study configuration must emit only puts.
+func TestGSWriteOnlyMode(t *testing.T) {
+	p := DefaultGSParams()
+	p.Rows, p.WriteOnly = 256, true
+	gen := NewGS(p)
+	for i := 0; i < 200; i++ {
+		ev := gen.Next()
+		if ev.Kind != GSPut || len(ev.Keys) != 1 {
+			t.Fatalf("write-only mode emitted %+v", ev)
+		}
+		txn := gen.App().Preprocess(ev)
+		if len(txn.Ops) != 1 || txn.Ops[0].Fn != types.FnPut {
+			t.Fatalf("write-only txn = %+v", txn.Ops)
+		}
+	}
+}
+
+// TestSLConservation: deposits and committed transfers conserve the
+// accounts/assets ledger: total(accounts) == total(assets) at all times
+// when both tables start equal and every operation moves them in tandem.
+func TestSLConservation(t *testing.T) {
+	p := DefaultSLParams()
+	p.Rows, p.AbortRatio = 512, 0.2
+	gen := NewSL(p)
+	o := oracle.New(gen.App())
+	for i := 0; i < 3000; i++ {
+		o.Apply(gen.Next())
+	}
+	var acc, ast int64
+	for row := uint32(0); row < p.Rows; row++ {
+		acc += o.Value(types.Key{Table: SLAccounts, Row: row})
+		ast += o.Value(types.Key{Table: SLAssets, Row: row})
+	}
+	if acc != ast {
+		t.Errorf("accounts total %d != assets total %d; transfer atomicity broken", acc, ast)
+	}
+}
+
+// TestTPOutputs: toll outputs carry the abort status and a toll value
+// consistent with the model.
+func TestTPOutputs(t *testing.T) {
+	p := DefaultTPParams()
+	p.Segments, p.AbortRatio, p.Theta = 4, 0.3, 0 // tiny + hot: tolls must appear
+	gen := NewTP(p)
+	o := oracle.New(gen.App())
+	sawToll, sawAbort := false, false
+	for i := 0; i < 3000; i++ {
+		out := o.Apply(gen.Next())
+		if len(out.Vals) != 2 {
+			t.Fatalf("TP output %+v", out)
+		}
+		if out.Vals[0] == 1 {
+			sawAbort = true
+			if out.Vals[1] != 0 {
+				t.Fatal("aborted report must carry zero toll")
+			}
+		} else if out.Vals[1] > 0 {
+			sawToll = true
+		}
+	}
+	if !sawAbort {
+		t.Error("no aborts observed at 30% invalid reports")
+	}
+	if !sawToll {
+		t.Error("no tolls charged on 4 congested segments after 3000 reports")
+	}
+}
+
+// TestScrambleSpreadsHotKeys: the hottest zipf ranks must not all land in
+// data partition 0 — the key-scrambling permutation spreads them.
+func TestScrambleSpreadsHotKeys(t *testing.T) {
+	p := DefaultGSParams()
+	p.Rows, p.Theta = 1<<14, 1.2
+	gen := NewGS(p)
+	parts := partition.NewRanges(gen.App().Tables(), 4)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		ev := gen.Next()
+		counts[parts.Of(ev.Keys[0])]++
+	}
+	for part, c := range counts {
+		if c == 0 {
+			t.Errorf("partition %d received no writes despite scrambling", part)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package zipf provides a seeded Zipfian integer generator used by the
+// workload generators to model skewed state access (Section VI-B1).
+//
+// The generator draws from {0, 1, ..., n-1} with probability proportional to
+// 1/(i+1)^theta. theta = 0 degenerates to the uniform distribution, matching
+// the paper's "skew factor 0" configurations; larger theta concentrates mass
+// on low ranks. The implementation uses the classic Gray/Jain bounded
+// rejection-inversion-free approach from the YCSB generator: it derives the
+// sample analytically from the zeta normalisation constants, so sampling is
+// O(1) after an O(n) one-time setup.
+package zipf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator produces Zipf-distributed ranks in [0, n).
+type Generator struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+
+	// Precomputed constants (Gray et al.).
+	alpha, zetan, eta float64
+	uniform           bool
+}
+
+// New creates a generator over n items with skew theta, seeded
+// deterministically. theta must be >= 0; callers use values like 0, 0.4,
+// 0.8, 1.2 per the paper's sweeps. theta = 1 is the harmonic singularity
+// of the Gray/Jain formula (alpha = 1/(1-theta) diverges and the sampler
+// degenerates to a handful of ranks), so values within 0.005 of 1 are
+// nudged to 0.99 — the YCSB convention for "theta 1".
+func New(seed int64, n uint64, theta float64) *Generator {
+	if n == 0 {
+		panic("zipf: n must be positive")
+	}
+	if theta > 0.995 && theta < 1.005 {
+		theta = 0.99
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), n: n, theta: theta}
+	if theta == 0 {
+		g.uniform = true
+		return g
+	}
+	g.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	g.alpha = 1.0 / (1.0 - theta)
+	g.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/g.zetan)
+	return g
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank in [0, n). Rank 0 is the hottest item.
+func (g *Generator) Next() uint64 {
+	if g.uniform {
+		return uint64(g.rng.Int63n(int64(g.n)))
+	}
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1.0, g.alpha))
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// N returns the domain size.
+func (g *Generator) N() uint64 { return g.n }
+
+// Theta returns the skew parameter.
+func (g *Generator) Theta() float64 { return g.theta }

@@ -1,0 +1,112 @@
+package zipf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBounds(t *testing.T) {
+	f := func(seed int64, n uint16, pick uint8) bool {
+		size := uint64(n%1000) + 1
+		theta := []float64{0, 0.4, 0.8, 1.2}[pick%4]
+		g := New(seed, size, theta)
+		for i := 0; i < 100; i++ {
+			if r := g.Next(); r >= size {
+				return false
+			}
+		}
+		return g.N() == size && g.Theta() == theta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(7, 1000, 0.8), New(7, 1000, 0.8)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	const n, draws = 10, 100000
+	g := New(1, n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	for r, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.07 || frac > 0.13 {
+			t.Errorf("rank %d drawn with frequency %.3f; want ~0.10", r, frac)
+		}
+	}
+}
+
+// TestSkewConcentratesMass: the share of draws landing on rank 0 must grow
+// strictly with theta — the property the sensitivity study (Figure 14b)
+// depends on.
+func TestSkewConcentratesMass(t *testing.T) {
+	const n, draws = 1000, 50000
+	prev := -1.0
+	for _, theta := range []float64{0, 0.4, 0.8, 1.2} {
+		g := New(5, n, theta)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if g.Next() == 0 {
+				hot++
+			}
+		}
+		share := float64(hot) / draws
+		if share <= prev {
+			t.Errorf("theta=%.1f: hottest share %.4f did not grow (prev %.4f)", theta, share, prev)
+		}
+		prev = share
+	}
+	if prev < 0.1 {
+		t.Errorf("theta=1.2 hottest share %.4f; expected strong concentration", prev)
+	}
+}
+
+func TestHighSkewRankOrdering(t *testing.T) {
+	// Lower ranks must be at least roughly as popular as higher ranks.
+	const n, draws = 100, 200000
+	g := New(9, n, 1.2)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	if counts[0] <= counts[50] || counts[0] <= counts[99] {
+		t.Errorf("rank 0 (%d draws) not hotter than mid/tail ranks (%d, %d)",
+			counts[0], counts[50], counts[99])
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with n=0 must panic")
+		}
+	}()
+	New(1, 0, 0.5)
+}
+
+// TestThetaOneSingularityGuarded: theta = 1 must not degenerate (the
+// Gray/Jain formula diverges there); the generator nudges it to 0.99 and
+// still covers a wide key range.
+func TestThetaOneSingularityGuarded(t *testing.T) {
+	g := New(3, 4096, 1.0)
+	if g.Theta() != 0.99 {
+		t.Errorf("theta = %v, want nudged 0.99", g.Theta())
+	}
+	distinct := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		distinct[g.Next()] = true
+	}
+	if len(distinct) < 200 {
+		t.Errorf("theta~1 produced only %d distinct ranks; sampler degenerated", len(distinct))
+	}
+}

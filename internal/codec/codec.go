@@ -235,6 +235,12 @@ func DecodeSnapshot(b []byte) ([]SnapshotTable, error) {
 		if r.Err() == nil && rows > uint64(r.Remaining())+1 {
 			return nil, fmt.Errorf("codec: row count %d exceeds input: %w", rows, ErrShortBuffer)
 		}
+		// The guard above is skipped when a read already failed, so check
+		// before allocating: rows may hold a huge value whose trailing
+		// bytes were cut off (fuzz-found out-of-memory otherwise).
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		t.Vals = make([]types.Value, rows)
 		for j := range t.Vals {
 			t.Vals[j] = t.Init + r.Varint()

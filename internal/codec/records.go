@@ -41,7 +41,9 @@ func DecodeWAL(b []byte) ([]WALRecord, error) {
 			return nil, err
 		}
 	}
-	return out, nil
+	// r.Err() catches a short or missing count: a zero-length torn payload
+	// must fail, not parse as an empty batch.
+	return out, r.Err()
 }
 
 // DLRecord is one dependency-logging record in the style of DistDGCC: the
@@ -98,7 +100,7 @@ func DecodeDL(b []byte) ([]DLRecord, error) {
 		}
 		out = append(out, rec)
 	}
-	return out, nil
+	return out, r.Err()
 }
 
 // LVRecord is one Taurus-style log record: the committed command, the
@@ -154,7 +156,7 @@ func DecodeLV(b []byte) ([]LVRecord, error) {
 		}
 		out = append(out, rec)
 	}
-	return out, nil
+	return out, r.Err()
 }
 
 // ViewEntry is one MorphStreamR ParametricView record: the intermediate

@@ -202,6 +202,14 @@ var ErrCrashed = errors.New("engine: crashed; recover with engine.Recover")
 
 // ProcessEpoch ingests one punctuation interval's events. Event sequence
 // numbers must continue from the previous epoch (the spout's numbering).
+//
+// An error from the epoch pipeline — a failed input append, group commit,
+// snapshot, or garbage collection — leaves volatile state that no longer
+// matches the durable log (the epoch counter advanced, outputs may be
+// buffered against a commit that never landed), so the engine marks itself
+// crashed: the error surfaces to the caller exactly once and every further
+// call returns ErrCrashed. The only way forward is engine.Recover against
+// the surviving device, which is precisely what a real stoppage requires.
 func (e *Engine) ProcessEpoch(events []types.Event) error {
 	if e.crashed {
 		return ErrCrashed
@@ -209,6 +217,7 @@ func (e *Engine) ProcessEpoch(events []types.Event) error {
 	start := time.Now()
 	e.epoch++
 	if err := e.processEpochAt(e.epoch, events, true, nil); err != nil {
+		e.crashed = true
 		return err
 	}
 	e.totalWall += time.Since(start)

@@ -255,6 +255,87 @@ func TestRecoveryReportShape(t *testing.T) {
 	}
 }
 
+// TestFailedEpochMarksCrashed: once ProcessEpoch surfaces a durable-write
+// failure, the engine's volatile state has diverged from the device
+// (outputs buffered, store mutated, epoch counter advanced past what the
+// log covers), so it must refuse further work until Recover rebuilds it.
+func TestFailedEpochMarksCrashed(t *testing.T) {
+	gen := slGen(9)
+	dev := storage.NewFaulty(storage.NewMem(), 0)
+	bytes := metrics.NewBytes()
+	e, err := New(Config{
+		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
+		Workers: 2, CommitEvery: 1, SnapshotEvery: 2, Bytes: bytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ProcessEpoch(workload.Batch(gen, 20)); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	if err := e.ProcessEpoch(workload.Batch(gen, 20)); err != ErrCrashed {
+		t.Fatalf("engine accepted work after a failed epoch: %v", err)
+	}
+}
+
+// TestRecoverTornInputTail: a crash mid-append can leave a torn final
+// input record. Recovery must discard it (the epoch never processed, so
+// nothing references it) and come back in the state of the last full
+// epoch — matching a clean run of the same seeded workload.
+func TestRecoverTornInputTail(t *testing.T) {
+	gen := slGen(10)
+	inner := storage.NewMem()
+	dev := storage.NewFaultyMode(inner, 2, storage.TornWrite, storage.LogInput)
+	bytes := metrics.NewBytes()
+	cfg := Config{
+		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
+		Workers: 2, CommitEvery: 1, SnapshotEvery: 8, Bytes: bytes,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err = e.ProcessEpoch(workload.Batch(gen, 30))
+		if i < 2 && err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("epoch 3 input append should have torn: %v", err)
+	}
+	if recs, _ := inner.ReadLog(storage.LogInput); len(recs) != 3 {
+		t.Fatalf("input log has %d records, want 2 intact + 1 torn", len(recs))
+	}
+
+	// Recover against the surviving (healed) medium.
+	bytes2 := metrics.NewBytes()
+	cfg2 := cfg
+	cfg2.Device = inner
+	cfg2.Mechanism = wal.New(inner, bytes2)
+	cfg2.Bytes = bytes2
+	e2, report, err := Recover(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CommittedEpoch != 2 || report.LastEpoch != 2 {
+		t.Fatalf("recovered to committed=%d last=%d, want 2/2 (torn epoch 3 dropped)",
+			report.CommittedEpoch, report.LastEpoch)
+	}
+
+	// The recovered state matches a clean 2-epoch run of the same seed.
+	genRef := slGen(10)
+	ref := newEngine(t, ftapi.WAL, genRef, storage.NewMem(), 1, 8)
+	for i := 0; i < 2; i++ {
+		if err := ref.ProcessEpoch(workload.Batch(genRef, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ref.st.Equal(e2.st) {
+		t.Errorf("recovered state diverges: %v", ref.st.Diff(e2.st, 5))
+	}
+}
+
 // TestWriteFailuresSurface: every durable-write path must return the
 // device's error instead of silently diverging state from the log.
 func TestWriteFailuresSurface(t *testing.T) {

@@ -121,15 +121,24 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 			time.Duration(e.st.NumRecords())*costs.Compare, e.cfg.Workers)
 	}
 
-	// Reload input events after the snapshot (Figure 7 step 4).
+	// Reload input events after the snapshot (Figure 7 step 4). A decode
+	// failure on the log's final record is a torn tail: the device died
+	// mid-append, the epoch never processed to completion and nothing
+	// downstream can reference it, so it is logically truncated here.
+	// Failures anywhere earlier are real corruption.
 	inputs := make([]ftapi.EpochEvents, 0, len(inputRecs))
 	nEvents := 0
-	for _, rec := range inputRecs {
+	tornInput := uint64(0)
+	for i, rec := range inputRecs {
 		if rec.Epoch <= snapEpoch {
 			continue // covered by the snapshot (GC may lag a crash)
 		}
 		events, err := codec.DecodeEvents(rec.Payload)
 		if err != nil {
+			if i == len(inputRecs)-1 {
+				tornInput = rec.Epoch
+				continue
+			}
 			return nil, nil, fmt.Errorf("engine: recover inputs epoch %d: %w", rec.Epoch, err)
 		}
 		inputs = append(inputs, ftapi.EpochEvents{Epoch: rec.Epoch, Events: events})
@@ -158,6 +167,13 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	}
 	if committed < snapEpoch {
 		committed = snapEpoch
+	}
+	// A torn input record can only be the epoch the crash interrupted —
+	// input persists before processing, so no commit record may cover it.
+	// A mechanism claiming otherwise replayed state whose inputs are gone.
+	if tornInput != 0 && committed >= tornInput {
+		return nil, nil, fmt.Errorf("engine: recover: input log torn at epoch %d but %v committed through %d",
+			tornInput, e.cfg.Mechanism.Kind(), committed)
 	}
 
 	// Reprocess the uncommitted tail through the normal pipeline. Inputs

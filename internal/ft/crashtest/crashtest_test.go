@@ -1,0 +1,168 @@
+package crashtest
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/workload"
+)
+
+// recoverable are the mechanisms with a recovery story; NAT persists
+// nothing and is excluded by construction.
+var recoverable = []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+
+var logBased = []ftapi.Kind{ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+
+var modes = []storage.FaultMode{storage.FailStop, storage.TornWrite, storage.DroppedTail}
+
+func sweep(t *testing.T, cfg Config) {
+	t.Helper()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) == 0 || res.Runs != len(res.Sites) {
+		t.Fatalf("swept %d runs over %d sites; expected one run per site", res.Runs, len(res.Sites))
+	}
+	// An untargeted sweep must have enumerated every write category the
+	// run performs: input appends, the snapshot blob, GC truncations, and
+	// (for log-based schemes) group-commit appends.
+	if cfg.Target == "" {
+		ops := map[string]bool{}
+		for _, s := range res.Sites {
+			ops[s.Op+":"+s.Name] = true
+		}
+		want := []string{"append:" + storage.LogInput, "blob:" + storage.BlobSnapshot, "truncate:" + storage.LogInput}
+		if cfg.Kind != ftapi.CKPT {
+			want = append(want, "append:"+storage.LogFT)
+		}
+		for _, w := range want {
+			if !ops[w] {
+				t.Errorf("sweep never crossed a %q write; enumeration incomplete (sites: %v)", w, res.Sites)
+			}
+		}
+	}
+	for _, f := range res.Failures {
+		t.Errorf("%v", f)
+	}
+}
+
+// TestSweepSL: every enumerated write point of a Streaming Ledger run,
+// for every mechanism and every fault flavour, recovers to
+// oracle-equivalent state with exactly-once outputs — and the recovered
+// engine processes a further epoch correctly.
+func TestSweepSL(t *testing.T) {
+	for _, kind := range recoverable {
+		for _, mode := range modes {
+			kind, mode := kind, mode
+			t.Run(kind.String()+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				sweep(t, Config{
+					Kind:     kind,
+					NewGen:   func() workload.Generator { return fttest.SLGen(41) },
+					Mode:     mode,
+					Continue: true,
+				})
+			})
+		}
+	}
+}
+
+// TestSweepGS: the same exhaustive sweep over the skewed Grep&Sum
+// workload, whose parametric reads stress dependency replay.
+func TestSweepGS(t *testing.T) {
+	for _, kind := range recoverable {
+		for _, mode := range modes {
+			kind, mode := kind, mode
+			t.Run(kind.String()+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				sweep(t, Config{
+					Kind:     kind,
+					NewGen:   func() workload.Generator { return fttest.GSGen(43) },
+					Mode:     mode,
+					Continue: true,
+				})
+			})
+		}
+	}
+}
+
+// TestSweepTargetedFTLog aims torn writes exclusively at group-commit
+// records: every log-based mechanism must truncate the partial tail
+// record on Recover and come back at the preceding commit.
+func TestSweepTargetedFTLog(t *testing.T) {
+	for _, kind := range logBased {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Sweep(Config{
+				Kind:     kind,
+				NewGen:   func() workload.Generator { return fttest.SLGen(47) },
+				Mode:     storage.TornWrite,
+				Target:   storage.LogFT,
+				Continue: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Sites) == 0 {
+				t.Fatalf("%v wrote nothing to the FT log; targeted sweep is vacuous", kind)
+			}
+			for _, s := range res.Sites {
+				if s.Name != storage.LogFT {
+					t.Fatalf("targeted sweep leaked site %v", s)
+				}
+			}
+			for _, f := range res.Failures {
+				t.Errorf("%v", f)
+			}
+		})
+	}
+}
+
+// TestSweepTP: one fail-stop sweep over the Toll Processing workload,
+// whose conditional aborts exercise the abort-replay path of every
+// mechanism.
+func TestSweepTP(t *testing.T) {
+	for _, kind := range recoverable {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			sweep(t, Config{
+				Kind:   kind,
+				NewGen: func() workload.Generator { return fttest.TPGen(53) },
+				Mode:   storage.FailStop,
+			})
+		})
+	}
+}
+
+// TestCrossMechanismAgreement: on equivalent histories (same workload,
+// same crash boundary), all five mechanisms must recover the identical
+// store — each equals the oracle, and they pairwise agree.
+func TestCrossMechanismAgreement(t *testing.T) {
+	for _, epochs := range []int{3, 4, 6} { // mid-group, snapshot boundary, full run
+		cfg := Config{
+			NewGen: func() workload.Generator { return fttest.SLGen(59) },
+			Epochs: epochs,
+		}
+		engines, ref, err := BoundaryStores(cfg, recoverable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for kind, e := range engines {
+			if err := ref.CheckState(uint64(epochs), e.Store()); err != nil {
+				t.Errorf("epochs=%d %v: %v", epochs, kind, err)
+			}
+		}
+		base := engines[recoverable[0]]
+		for _, kind := range recoverable[1:] {
+			if !base.Store().Equal(engines[kind].Store()) {
+				t.Errorf("epochs=%d: %v and %v disagree: %v", epochs, recoverable[0], kind,
+					base.Store().Diff(engines[kind].Store(), 3))
+			}
+		}
+	}
+}

@@ -94,38 +94,25 @@ type txnNode struct {
 
 // Recover implements ftapi.Mechanism: reload records, rebuild the
 // dependency graph, then replay transactions in parallel as their
-// dependencies complete.
+// dependencies complete. A torn tail record (the group commit the device
+// died inside) is discarded; its epochs reprocess as uncommitted tail.
 func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	groups, err := rc.Device.ReadLog(storage.LogFT)
+	raw, err := rc.Device.ReadLog(storage.LogFT)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("depgraph: recover: %w", err)
 	}
-	var recs []codec.DLRecord
-	committed := rc.SnapshotEpoch
-	limit := rc.CommitLimit
-	if limit == 0 {
-		limit = ^uint64(0) // zero value: no cap
+	groups, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+		func(_ uint64, payload []byte) ([]codec.DLRecord, error) { return codec.DecodeDL(payload) })
+	if err != nil {
+		return 0, fmt.Errorf("depgraph: recover: %w", err)
 	}
-	for _, g := range groups {
-		if g.Epoch <= rc.SnapshotEpoch || g.Epoch > limit {
-			continue
-		}
-		eps, err := ftapi.DecodeGroup(g.Payload)
-		if err != nil {
-			return 0, fmt.Errorf("depgraph: recover: %w", err)
-		}
-		for _, ep := range eps {
-			rs, err := codec.DecodeDL(ep.Payload)
-			if err != nil {
-				return 0, fmt.Errorf("depgraph: recover epoch %d: %w", ep.Epoch, err)
-			}
-			recs = append(recs, rs...)
-			if ep.Epoch > committed {
-				committed = ep.Epoch
-			}
+	var recs []codec.DLRecord
+	for _, cg := range groups {
+		for _, ep := range cg.Epochs {
+			recs = append(recs, ep.Recs...)
 		}
 	}
 	// Decoding the fine-grained dependency records is part of reload;

@@ -2,6 +2,7 @@ package ftapi
 
 import (
 	"fmt"
+	"sync"
 
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/storage"
@@ -28,11 +29,38 @@ type GroupCommitter struct {
 
 	buffered []EpochPayload
 	bufBytes int64
+
+	// state is shared with prepared write closures (which may run on
+	// another goroutine): a failed durable write poisons the committer, so
+	// that later commits surface the failure instead of silently writing a
+	// log with the failed group's epochs missing — a gap recovery would
+	// misread as "those epochs never committed" while their successors did.
+	state *commitState
+}
+
+type commitState struct {
+	mu     sync.Mutex
+	failed error
+}
+
+func (s *commitState) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *commitState) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 // NewGroupCommitter creates the machinery for one mechanism.
 func NewGroupCommitter(dev storage.Device, bytes *metrics.Bytes, bufCategory, logCategory string) GroupCommitter {
-	return GroupCommitter{dev: dev, bytes: bytes, bufCategory: bufCategory, logCategory: logCategory}
+	return GroupCommitter{dev: dev, bytes: bytes, bufCategory: bufCategory, logCategory: logCategory,
+		state: &commitState{}}
 }
 
 // Buffer appends one sealed epoch's encoded payload.
@@ -54,21 +82,35 @@ func (g *GroupCommitter) Commit(hi uint64) error {
 	return write()
 }
 
+// Failed reports the error of the first durable group-commit write that
+// failed, if any. A poisoned committer refuses further commits: the failed
+// group's epochs are gone from the buffer, so anything written after them
+// would leave a silent gap in the log.
+func (g *GroupCommitter) Failed() error { return g.state.err() }
+
 // PrepareCommit snapshots and frames the buffered group, clears the
 // buffer, and returns the durable write as a closure. The closure touches
-// only the storage device and the byte accounting (both thread-safe), so
-// it may run on another goroutine while the mechanism seals later epochs.
-// ok is false when nothing is buffered.
+// only the storage device, the byte accounting, and the shared failure
+// state (all thread-safe), so it may run on another goroutine while the
+// mechanism seals later epochs. ok is false when nothing is buffered; a
+// poisoned committer returns a closure that surfaces the original failure.
 func (g *GroupCommitter) PrepareCommit(hi uint64) (write func() error, ok bool) {
+	if err := g.state.err(); err != nil {
+		logCat := g.logCategory
+		return func() error {
+			return fmt.Errorf("%s: commit: earlier group-commit write failed: %w", logCat, err)
+		}, true
+	}
 	if len(g.buffered) == 0 {
 		return nil, false
 	}
 	payload := EncodeGroup(g.buffered)
 	freed := g.bufBytes
 	g.buffered, g.bufBytes = nil, 0
-	dev, bytes, bufCat, logCat := g.dev, g.bytes, g.bufCategory, g.logCategory
+	dev, bytes, bufCat, logCat, state := g.dev, g.bytes, g.bufCategory, g.logCategory, g.state
 	return func() error {
 		if err := dev.Append(storage.LogFT, storage.Record{Epoch: hi, Payload: payload}); err != nil {
+			state.fail(err)
 			return fmt.Errorf("%s: commit: %w", logCat, err)
 		}
 		bytes.Written(logCat, int64(len(payload)))

@@ -98,3 +98,44 @@ func TestPrepareCommitErrorSurfaces(t *testing.T) {
 		t.Error("injected device failure not surfaced")
 	}
 }
+
+// TestCommitFailurePoisons: PrepareCommit clears the buffer before the
+// durable write runs, so a failed write leaves the failed group's epochs
+// gone from the buffer. If later commits then succeeded, the log would
+// have a silent gap recovery misreads as "those epochs never committed"
+// while their successors did. A failed write must therefore poison the
+// committer: later commits surface the original failure, and nothing
+// further reaches the log.
+func TestCommitFailurePoisons(t *testing.T) {
+	inner := storage.NewMem()
+	dev := storage.NewFaulty(inner, 0) // first write dies
+	g := NewGroupCommitter(dev, metrics.NewBytes(), "buf", "log")
+
+	g.Buffer(1, []byte("lost"))
+	if err := g.Commit(1); err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	if g.Failed() == nil {
+		t.Fatal("failed commit did not poison the committer")
+	}
+
+	// Point the committer at the healthy inner device: without poisoning,
+	// the next commit would land and leave epoch 1 silently missing.
+	g.dev = inner
+	g.Buffer(2, []byte("would-gap"))
+	if err := g.Commit(2); err == nil {
+		t.Fatal("poisoned committer accepted a later commit")
+	}
+	if recs, _ := inner.ReadLog(storage.LogFT); len(recs) != 0 {
+		t.Fatalf("poisoned committer wrote %d records past the gap", len(recs))
+	}
+
+	// The async split is poisoned the same way.
+	write, ok := g.PrepareCommit(2)
+	if !ok {
+		t.Fatal("poisoned PrepareCommit returned ok=false; failure would be silent")
+	}
+	if err := write(); err == nil {
+		t.Fatal("poisoned prepared write returned nil")
+	}
+}

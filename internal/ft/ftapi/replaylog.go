@@ -1,0 +1,85 @@
+package ftapi
+
+import (
+	"fmt"
+
+	"morphstreamr/internal/storage"
+)
+
+// DecodedEpoch is one committed epoch's decoded records of type T.
+type DecodedEpoch[T any] struct {
+	Epoch uint64
+	Recs  T
+}
+
+// CommitGroup is one atomic group-commit record after decoding: the epochs
+// it covers and their records. Mechanisms that replay per commit group
+// (MSR) keep the structure; the others flatten it.
+type CommitGroup[T any] struct {
+	Lo, Hi uint64
+	Epochs []DecodedEpoch[T]
+}
+
+// DecodeCommitted decodes a mechanism's group-commit log: for every record
+// within (snapEpoch, limit] it parses the group frame and runs the
+// mechanism's decode on each epoch section, returning the groups in log
+// order and the highest committed epoch seen.
+//
+// A decode failure in the log's final record is tolerated: the record is a
+// torn tail — the device died mid-append during the group commit, so the
+// commit never acknowledged, no outputs depending on it were released, and
+// discarding it (recovery's logical truncation) is the only consistent
+// choice. The whole group is dropped, never a prefix of it: group commits
+// are all-or-nothing (see EncodeGroup). A decode failure anywhere before
+// the final record is real corruption and returns an error naming the
+// record.
+//
+// A limit of zero means no cap.
+func DecodeCommitted[T any](recs []storage.Record, snapEpoch, limit uint64,
+	decode func(epoch uint64, payload []byte) (T, error)) (groups []CommitGroup[T], committed uint64, torn bool, err error) {
+
+	committed = snapEpoch
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
+	for i, g := range recs {
+		if g.Epoch <= snapEpoch || g.Epoch > limit {
+			continue
+		}
+		tail := i == len(recs)-1
+		eps, err := DecodeGroup(g.Payload)
+		if err != nil {
+			if tail {
+				return groups, committed, true, nil
+			}
+			return nil, 0, false, fmt.Errorf("log record %d (epoch %d): %w", i, g.Epoch, err)
+		}
+		cg := CommitGroup[T]{}
+		ok := true
+		for _, ep := range eps {
+			rs, err := decode(ep.Epoch, ep.Payload)
+			if err != nil {
+				if tail {
+					ok = false // torn inside the group: drop it whole
+					break
+				}
+				return nil, 0, false, fmt.Errorf("log record %d epoch %d: %w", i, ep.Epoch, err)
+			}
+			cg.Epochs = append(cg.Epochs, DecodedEpoch[T]{Epoch: ep.Epoch, Recs: rs})
+			if cg.Lo == 0 || ep.Epoch < cg.Lo {
+				cg.Lo = ep.Epoch
+			}
+			if ep.Epoch > cg.Hi {
+				cg.Hi = ep.Epoch
+			}
+		}
+		if !ok {
+			return groups, committed, true, nil
+		}
+		groups = append(groups, cg)
+		if cg.Hi > committed {
+			committed = cg.Hi
+		}
+	}
+	return groups, committed, false, nil
+}

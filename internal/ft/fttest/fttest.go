@@ -46,12 +46,24 @@ func New(t *testing.T, gen workload.Generator, mech ftapi.Mechanism, dev storage
 // seal. Commit is separate (CommitAll) so tests control grouping.
 func (h *Harness) RunEpoch(n int) *ftapi.EpochResult {
 	h.T.Helper()
-	h.epoch++
-	events := workload.Batch(h.Gen, n)
-	if err := h.Dev.Append(storage.LogInput, storage.Record{Epoch: h.epoch, Payload: nil}); err != nil {
+	ep, err := h.TryRunEpoch(n)
+	if err != nil {
 		h.T.Fatal(err)
 	}
-	h.Inputs = append(h.Inputs, ftapi.EpochEvents{Epoch: h.epoch, Events: events})
+	return ep
+}
+
+// TryRunEpoch is RunEpoch with the error surfaced instead of t.Fatal —
+// the crash-injection harness uses it to drive epochs into a dying device
+// and observe where the failure lands. On error, the epoch is not counted:
+// the oracle, the input list, and the epoch counter stay where they were,
+// so the harness state still describes only completed epochs.
+func (h *Harness) TryRunEpoch(n int) (*ftapi.EpochResult, error) {
+	events := workload.Batch(h.Gen, n)
+	epoch := h.epoch + 1
+	if err := h.Dev.Append(storage.LogInput, storage.Record{Epoch: epoch, Payload: nil}); err != nil {
+		return nil, err
+	}
 
 	txns := make([]*types.Txn, len(events))
 	for i := range events {
@@ -60,28 +72,44 @@ func (h *Harness) RunEpoch(n int) *ftapi.EpochResult {
 	}
 	g := tpg.Build(txns, h.Store.Get)
 	if _, err := scheduler.Run(g, h.Store, scheduler.Options{Workers: h.Workers}); err != nil {
-		h.T.Fatal(err)
+		return nil, err
 	}
+	h.epoch = epoch
+	h.Inputs = append(h.Inputs, ftapi.EpochEvents{Epoch: epoch, Events: events})
 	for _, ev := range events {
 		h.Oracle.Apply(ev)
 	}
-	ep := &ftapi.EpochResult{Epoch: h.epoch, Events: events, Graph: g, Workers: h.Workers}
+	ep := &ftapi.EpochResult{Epoch: epoch, Events: events, Graph: g, Workers: h.Workers}
 	h.Mech.SealEpoch(ep)
-	return ep
+	return ep, nil
 }
 
 // Commit group-commits everything sealed so far.
 func (h *Harness) Commit() {
 	h.T.Helper()
-	if err := h.Mech.Commit(h.epoch); err != nil {
+	if err := h.TryCommit(); err != nil {
 		h.T.Fatal(err)
 	}
+}
+
+// TryCommit is Commit with the error surfaced instead of t.Fatal.
+func (h *Harness) TryCommit() error {
+	return h.Mech.Commit(h.epoch)
 }
 
 // Recover replays the mechanism's committed epochs onto a fresh store and
 // returns it with the breakdown.
 func (h *Harness) Recover(mech ftapi.Mechanism) (*store.Store, *metrics.RecoveryBreakdown, uint64) {
 	h.T.Helper()
+	st, bd, committed, err := h.TryRecover(mech)
+	if err != nil {
+		h.T.Fatal(err)
+	}
+	return st, bd, committed
+}
+
+// TryRecover is Recover with the error surfaced instead of t.Fatal.
+func (h *Harness) TryRecover(mech ftapi.Mechanism) (*store.Store, *metrics.RecoveryBreakdown, uint64, error) {
 	st := store.New(h.Gen.App().Tables())
 	var bd metrics.RecoveryBreakdown
 	committed, err := mech.Recover(&ftapi.RecoveryContext{
@@ -93,10 +121,13 @@ func (h *Harness) Recover(mech ftapi.Mechanism) (*store.Store, *metrics.Recovery
 		Breakdown: &bd,
 	})
 	if err != nil {
-		h.T.Fatal(err)
+		return nil, nil, 0, err
 	}
-	return st, &bd, committed
+	return st, &bd, committed, nil
 }
+
+// Epoch reports the last completed epoch.
+func (h *Harness) Epoch() uint64 { return h.epoch }
 
 // CheckAgainstOracle compares a store to the harness oracle record by
 // record.
@@ -131,4 +162,12 @@ func GSGen(seed int64) workload.Generator {
 	p := workload.DefaultGSParams()
 	p.Seed, p.Rows, p.Theta = seed, 512, 1.0
 	return workload.NewGS(p)
+}
+
+// TPGen returns a small Toll Processing generator with the default's high
+// invalid-report rate, so mechanism tests cover aborting transactions.
+func TPGen(seed int64) workload.Generator {
+	p := workload.DefaultTPParams()
+	p.Seed, p.Segments = seed, 256
+	return workload.NewTP(p)
 }

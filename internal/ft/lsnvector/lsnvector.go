@@ -115,34 +115,22 @@ type replayRec struct {
 func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	groups, err := rc.Device.ReadLog(storage.LogFT)
+	raw, err := rc.Device.ReadLog(storage.LogFT)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("lsnvector: recover: %w", err)
 	}
-	var recs []codec.LVRecord
-	committed := rc.SnapshotEpoch
-	limit := rc.CommitLimit
-	if limit == 0 {
-		limit = ^uint64(0) // zero value: no cap
+	// A torn tail record — the group commit the device died inside — is
+	// discarded; its epochs reprocess through the uncommitted-tail path.
+	groups, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+		func(_ uint64, payload []byte) ([]codec.LVRecord, error) { return codec.DecodeLV(payload) })
+	if err != nil {
+		return 0, fmt.Errorf("lsnvector: recover: %w", err)
 	}
-	for _, g := range groups {
-		if g.Epoch <= rc.SnapshotEpoch || g.Epoch > limit {
-			continue
-		}
-		eps, err := ftapi.DecodeGroup(g.Payload)
-		if err != nil {
-			return 0, fmt.Errorf("lsnvector: recover: %w", err)
-		}
-		for _, ep := range eps {
-			rs, err := codec.DecodeLV(ep.Payload)
-			if err != nil {
-				return 0, fmt.Errorf("lsnvector: recover epoch %d: %w", ep.Epoch, err)
-			}
-			recs = append(recs, rs...)
-			if ep.Epoch > committed {
-				committed = ep.Epoch
-			}
+	var recs []codec.LVRecord
+	for _, cg := range groups {
+		for _, ep := range cg.Epochs {
+			recs = append(recs, ep.Recs...)
 		}
 	}
 	// Decoding a worker-count-sized vector per record is part of reload;

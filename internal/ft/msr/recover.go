@@ -31,7 +31,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// Reload the view log.
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	groups, err := rc.Device.ReadLog(storage.LogFT)
+	raw, err := rc.Device.ReadLog(storage.LogFT)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("msr: recover: %w", err)
@@ -41,7 +41,14 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// batch. Longer log commitment epochs therefore hand recovery larger
 	// batches — more chains to balance, fewer scheduling rounds — which is
 	// the recovery-side benefit the workload-aware commitment of Section
-	// VI-B trades against runtime overhead.
+	// VI-B trades against runtime overhead. A torn tail record (the group
+	// commit the device died inside) is discarded whole; its epochs
+	// reprocess through the engine's uncommitted-tail path.
+	decoded, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+		func(_ uint64, payload []byte) (codec.MSRViews, error) { return codec.DecodeMSR(payload) })
+	if err != nil {
+		return 0, fmt.Errorf("msr: recover: %w", err)
+	}
 	type commitGroup struct {
 		lo, hi uint64
 		views  codec.MSRViews
@@ -49,39 +56,15 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	}
 	entries := 0
 	var merged []commitGroup
-	committed := rc.SnapshotEpoch
-	limit := rc.CommitLimit
-	if limit == 0 {
-		limit = ^uint64(0) // zero value: no cap
-	}
-	for _, g := range groups {
-		if g.Epoch <= rc.SnapshotEpoch || g.Epoch > limit {
-			continue
-		}
-		eps, err := ftapi.DecodeGroup(g.Payload)
-		if err != nil {
-			return 0, fmt.Errorf("msr: recover: %w", err)
-		}
-		cg := commitGroup{epochs: make(map[uint64]bool, len(eps))}
-		for _, ep := range eps {
-			views, err := codec.DecodeMSR(ep.Payload)
-			if err != nil {
-				return 0, fmt.Errorf("msr: recover epoch %d: %w", ep.Epoch, err)
-			}
+	for _, dg := range decoded {
+		cg := commitGroup{lo: dg.Lo, hi: dg.Hi, epochs: make(map[uint64]bool, len(dg.Epochs))}
+		for _, ep := range dg.Epochs {
+			views := ep.Recs
 			cg.views.Aborted = append(cg.views.Aborted, views.Aborted...)
 			cg.views.Parametric = append(cg.views.Parametric, views.Parametric...)
 			cg.views.Groups = append(cg.views.Groups, views.Groups...)
 			cg.epochs[ep.Epoch] = true
 			entries += len(views.Aborted) + len(views.Parametric) + len(views.Groups)
-			if cg.lo == 0 || ep.Epoch < cg.lo {
-				cg.lo = ep.Epoch
-			}
-			if ep.Epoch > cg.hi {
-				cg.hi = ep.Epoch
-			}
-			if ep.Epoch > committed {
-				committed = ep.Epoch
-			}
 		}
 		merged = append(merged, cg)
 	}

@@ -61,38 +61,27 @@ func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
 func (m *Mech) GC(uint64) {}
 
 // Recover implements ftapi.Mechanism: reload all command records, sort
-// them into global order, and redo them one by one on a single thread.
+// them into global order, and redo them one by one on a single thread. A
+// torn tail record — a group commit the device died inside — is discarded:
+// its epochs never acknowledged, so they reprocess through the engine's
+// uncommitted-tail path instead.
 func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	groups, err := rc.Device.ReadLog(storage.LogFT)
+	raw, err := rc.Device.ReadLog(storage.LogFT)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("wal: recover: %w", err)
 	}
-	var recs []codec.WALRecord
-	committed := rc.SnapshotEpoch
-	limit := rc.CommitLimit
-	if limit == 0 {
-		limit = ^uint64(0) // zero value: no cap
+	groups, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+		func(_ uint64, payload []byte) ([]codec.WALRecord, error) { return codec.DecodeWAL(payload) })
+	if err != nil {
+		return 0, fmt.Errorf("wal: recover: %w", err)
 	}
-	for _, g := range groups {
-		if g.Epoch <= rc.SnapshotEpoch || g.Epoch > limit {
-			continue // covered by the restored snapshot
-		}
-		eps, err := ftapi.DecodeGroup(g.Payload)
-		if err != nil {
-			return 0, fmt.Errorf("wal: recover: %w", err)
-		}
-		for _, ep := range eps {
-			rs, err := codec.DecodeWAL(ep.Payload)
-			if err != nil {
-				return 0, fmt.Errorf("wal: recover epoch %d: %w", ep.Epoch, err)
-			}
-			recs = append(recs, rs...)
-			if ep.Epoch > committed {
-				committed = ep.Epoch
-			}
+	var recs []codec.WALRecord
+	for _, cg := range groups {
+		for _, ep := range cg.Epochs {
+			recs = append(recs, ep.Recs...)
 		}
 	}
 	// Global ordering: the logs are per-worker ordered, and command redo

@@ -2,40 +2,140 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
 // ErrInjected is returned by a Faulty device once its budget is exhausted.
 var ErrInjected = errors.New("storage: injected fault")
 
-// Faulty wraps a Device and starts failing every write operation after a
+// FaultMode selects what happens to the first write past a Faulty device's
+// budget. All modes return ErrInjected to the caller — the write never
+// acknowledges — but they differ in what the medium retains, which is what
+// recovery has to cope with.
+type FaultMode uint8
+
+const (
+	// FailStop persists nothing: the write vanishes entirely, like a
+	// controller that died before touching the medium.
+	FailStop FaultMode = iota
+	// TornWrite persists a strict prefix of an appended record's payload
+	// before dying, leaving a torn tail record for recovery to detect and
+	// discard. Blob writes and truncations stay atomic (the write-to-temp-
+	// then-rename idiom of the File device cannot tear), so they fail-stop.
+	TornWrite
+	// DroppedTail persists an appended record's frame with its payload
+	// lost (a zero-byte tail record) — the volatile-cache-drop flavour of
+	// a torn write. Blob writes and truncations fail-stop as in TornWrite.
+	DroppedTail
+)
+
+// String returns the mode name used in harness reports.
+func (m FaultMode) String() string {
+	switch m {
+	case FailStop:
+		return "fail-stop"
+	case TornWrite:
+		return "torn-write"
+	case DroppedTail:
+		return "dropped-tail"
+	default:
+		return fmt.Sprintf("FaultMode(%d)", uint8(m))
+	}
+}
+
+// WriteSite identifies one durable write the engine issued: its position in
+// the device's write sequence and what it was writing. The crash-point
+// sweep enumerates sites with a Trace device, then replays the workload
+// once per site with a Faulty device dying there.
+type WriteSite struct {
+	// Seq is the 0-based index of the write in the device's write order
+	// (counting only writes the wrapper observed).
+	Seq int
+	// Op is the write kind: "append", "blob", or "truncate".
+	Op string
+	// Name is the log or blob written.
+	Name string
+	// Epoch is the record epoch for appends, or the truncation watermark.
+	// Zero for blobs.
+	Epoch uint64
+	// Bytes is the payload size for appends and blob writes.
+	Bytes int
+}
+
+// String renders the site the way sweep failure reports print it.
+func (s WriteSite) String() string {
+	switch s.Op {
+	case "truncate":
+		return fmt.Sprintf("write %d: truncate[%s] upTo=%d", s.Seq, s.Name, s.Epoch)
+	case "blob":
+		return fmt.Sprintf("write %d: blob[%s] (%dB)", s.Seq, s.Name, s.Bytes)
+	default:
+		return fmt.Sprintf("write %d: append[%s] epoch=%d (%dB)", s.Seq, s.Name, s.Epoch, s.Bytes)
+	}
+}
+
+// Faulty wraps a Device and starts failing write operations after a
 // configured number of successful ones — a deterministic stand-in for a
 // dying disk. Reads keep working (the medium's existing content remains
 // legible), which matches the failure mode recovery cares about: writes
 // that stop landing.
+//
+// The fault mode decides what the first failing write leaves behind
+// (nothing, a torn prefix, or an empty record frame); every later matching
+// write fails with ErrInjected and persists nothing. A non-empty target
+// restricts both budget counting and injection to writes touching that log
+// or blob name; writes elsewhere always succeed, which lets tests aim a
+// fault at one log (say, the FT log's third group commit) while the rest of
+// the engine's write traffic proceeds.
 //
 // It exists for tests: every engine and mechanism write path must surface
 // the error instead of silently diverging state from the log.
 type Faulty struct {
 	Inner Device
 
-	mu     sync.Mutex
-	budget int
+	mu       sync.Mutex
+	budget   int
+	mode     FaultMode
+	target   string
+	seen     int
+	injected *WriteSite
 }
 
-// NewFaulty allows budget successful writes before injecting failures.
+// NewFaulty allows budget successful writes before injecting fail-stop
+// failures on every write.
 func NewFaulty(inner Device, budget int) *Faulty {
-	return &Faulty{Inner: inner, budget: budget}
+	return NewFaultyMode(inner, budget, FailStop, "")
 }
 
-func (f *Faulty) spend() error {
+// NewFaultyMode allows budget successful writes to target (every write when
+// target is empty), then injects one failure of the given mode; subsequent
+// matching writes fail-stop.
+func NewFaultyMode(inner Device, budget int, mode FaultMode, target string) *Faulty {
+	return &Faulty{Inner: inner, budget: budget, mode: mode, target: target}
+}
+
+// spend consumes budget for one write to name. It returns inject=false
+// while the write should pass through; when the budget is exhausted it
+// records the site and returns inject=true with first=true exactly once
+// (the write that gets the mode-specific treatment).
+func (f *Faulty) spend(site WriteSite) (inject, first bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.budget <= 0 {
-		return ErrInjected
+	if f.target != "" && site.Name != f.target {
+		return false, false
 	}
-	f.budget--
-	return nil
+	site.Seq = f.seen
+	f.seen++
+	if f.budget > 0 {
+		f.budget--
+		return false, false
+	}
+	if f.injected == nil {
+		f.injected = &site
+		return true, true
+	}
+	return true, false
 }
 
 // Remaining returns the writes left before failure.
@@ -45,26 +145,59 @@ func (f *Faulty) Remaining() int {
 	return f.budget
 }
 
-// Append implements Device.
-func (f *Faulty) Append(log string, rec Record) error {
-	if err := f.spend(); err != nil {
-		return err
+// Injected reports the site at which the device died, if it has.
+func (f *Faulty) Injected() (WriteSite, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.injected == nil {
+		return WriteSite{}, false
 	}
-	return f.Inner.Append(log, rec)
+	return *f.injected, true
 }
 
-// WriteBlob implements Device.
+// Append implements Device.
+func (f *Faulty) Append(log string, rec Record) error {
+	inject, first := f.spend(WriteSite{Op: "append", Name: log, Epoch: rec.Epoch, Bytes: len(rec.Payload)})
+	if !inject {
+		return f.Inner.Append(log, rec)
+	}
+	if first {
+		switch f.mode {
+		case TornWrite:
+			// A strict prefix of the payload reaches the medium before
+			// the device dies. The record frame (epoch) survives — it is
+			// written first — but the payload is cut mid-way, so decoders
+			// must reject it rather than misparse.
+			torn := Record{Epoch: rec.Epoch, Payload: rec.Payload[:len(rec.Payload)/2]}
+			if err := f.Inner.Append(log, torn); err != nil {
+				return err
+			}
+		case DroppedTail:
+			// The frame lands, the payload is lost in the device cache.
+			if err := f.Inner.Append(log, Record{Epoch: rec.Epoch}); err != nil {
+				return err
+			}
+		}
+	}
+	return ErrInjected
+}
+
+// WriteBlob implements Device. Blob replacement is atomic
+// (write-temp-then-rename), so every fault mode degenerates to fail-stop:
+// the old blob survives intact.
 func (f *Faulty) WriteBlob(name string, payload []byte) error {
-	if err := f.spend(); err != nil {
-		return err
+	if inject, _ := f.spend(WriteSite{Op: "blob", Name: name, Bytes: len(payload)}); inject {
+		return ErrInjected
 	}
 	return f.Inner.WriteBlob(name, payload)
 }
 
-// Truncate implements Device; garbage collection is a write too.
+// Truncate implements Device; garbage collection is a write too. Log
+// truncation rewrites into a temp file and renames, so it too fail-stops
+// under every mode: either the whole prefix is dropped or none of it.
 func (f *Faulty) Truncate(log string, upTo uint64) error {
-	if err := f.spend(); err != nil {
-		return err
+	if inject, _ := f.spend(WriteSite{Op: "truncate", Name: log, Epoch: upTo}); inject {
+		return ErrInjected
 	}
 	return f.Inner.Truncate(log, upTo)
 }

@@ -1,0 +1,62 @@
+package storage
+
+import "sync"
+
+// Trace wraps a Device and records a WriteSite for every write it forwards,
+// in device order. The crash-point sweep runs a workload once against a
+// Trace to enumerate every durable write the engine issues, then replays
+// the same seeded workload once per site against a Faulty device whose
+// budget stops exactly there — so every partial-persistence point the
+// engine can produce is exercised.
+type Trace struct {
+	Inner Device
+
+	mu    sync.Mutex
+	sites []WriteSite
+}
+
+// NewTrace creates a tracing wrapper around inner.
+func NewTrace(inner Device) *Trace { return &Trace{Inner: inner} }
+
+// Sites returns a copy of the recorded write sites in write order.
+func (t *Trace) Sites() []WriteSite {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]WriteSite, len(t.sites))
+	copy(out, t.sites)
+	return out
+}
+
+func (t *Trace) record(site WriteSite) {
+	t.mu.Lock()
+	site.Seq = len(t.sites)
+	t.sites = append(t.sites, site)
+	t.mu.Unlock()
+}
+
+// Append implements Device.
+func (t *Trace) Append(log string, rec Record) error {
+	t.record(WriteSite{Op: "append", Name: log, Epoch: rec.Epoch, Bytes: len(rec.Payload)})
+	return t.Inner.Append(log, rec)
+}
+
+// WriteBlob implements Device.
+func (t *Trace) WriteBlob(name string, payload []byte) error {
+	t.record(WriteSite{Op: "blob", Name: name, Bytes: len(payload)})
+	return t.Inner.WriteBlob(name, payload)
+}
+
+// Truncate implements Device.
+func (t *Trace) Truncate(log string, upTo uint64) error {
+	t.record(WriteSite{Op: "truncate", Name: log, Epoch: upTo})
+	return t.Inner.Truncate(log, upTo)
+}
+
+// ReadLog implements Device.
+func (t *Trace) ReadLog(log string) ([]Record, error) { return t.Inner.ReadLog(log) }
+
+// ReadBlob implements Device.
+func (t *Trace) ReadBlob(name string) ([]byte, bool, error) { return t.Inner.ReadBlob(name) }
+
+// BytesWritten implements Device.
+func (t *Trace) BytesWritten() map[string]int64 { return t.Inner.BytesWritten() }

@@ -26,6 +26,7 @@ import (
 	"morphstreamr/internal/ft/msr"
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
 )
 
@@ -113,6 +114,9 @@ type Scenario struct {
 	MSR *msr.Options
 	// AsyncCommit moves durable commits off the critical path (extension).
 	AsyncCommit bool
+	// Pipeline overlaps adjacent epochs' stream and transaction processing
+	// phases (extension; see engine.Config.Pipeline).
+	Pipeline bool
 	// Compression compresses durable payloads (extension).
 	Compression bool
 	// Repeat runs the scenario several times and reports the run with the
@@ -152,6 +156,7 @@ func executeOnce(s Scenario) (Run, error) {
 		SnapshotEvery: s.Scale.SnapshotEvery,
 		AutoCommit:    s.AutoCommit,
 		AsyncCommit:   s.AsyncCommit,
+		Pipeline:      s.Pipeline,
 		Compression:   s.Compression,
 		MSR:           s.MSR,
 		SSDModel:      s.Scale.SSD,
@@ -162,10 +167,16 @@ func executeOnce(s Scenario) (Run, error) {
 		return Run{}, err
 	}
 	total := s.Scale.SnapshotEvery + s.Scale.PostEpochs
-	for i := 0; i < total; i++ {
-		if err := sys.ProcessBatch(workload.Batch(gen, s.Scale.BatchSize)); err != nil {
-			return Run{}, fmt.Errorf("epoch %d: %w", i+1, err)
-		}
+	// Batches are drawn up front (the generator stream is identical either
+	// way) and submitted as one run, so pipelined scenarios can overlap
+	// adjacent epochs; without Pipeline this degenerates to the sequential
+	// per-epoch loop.
+	batches := make([][]types.Event, total)
+	for i := range batches {
+		batches[i] = workload.Batch(gen, s.Scale.BatchSize)
+	}
+	if err := sys.ProcessBatches(batches); err != nil {
+		return Run{}, fmt.Errorf("process: %w", err)
 	}
 	out := Run{
 		Kind:              s.Kind,

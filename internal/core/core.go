@@ -50,6 +50,11 @@ type Config struct {
 	// (Section VII's Lineage Stash-style direction); outputs still release
 	// only after their commit record lands, preserving exactly-once.
 	AsyncCommit bool
+	// Pipeline overlaps epoch N+1's preprocessing and graph construction
+	// with epoch N's execution when batches are submitted together via
+	// ProcessBatches; durable writes and output release stay in epoch
+	// order, so observable behaviour is unchanged.
+	Pipeline bool
 	// MSR configures MorphStreamR's logging and recovery optimizations;
 	// ignored by other schemes. Zero value means msr.Default().
 	MSR *msr.Options
@@ -153,6 +158,7 @@ func New(app types.App, cfg Config) (*System, error) {
 		SnapshotEvery: cfg.SnapshotEvery,
 		AutoCommit:    cfg.AutoCommit,
 		AsyncCommit:   cfg.AsyncCommit,
+		Pipeline:      cfg.Pipeline,
 		Bytes:         bytes,
 	})
 	if err != nil {
@@ -168,6 +174,14 @@ func New(app types.App, cfg Config) (*System, error) {
 // ProcessBatch ingests one punctuation interval's events.
 func (s *System) ProcessBatch(events []types.Event) error {
 	return s.Engine.ProcessEpoch(events)
+}
+
+// ProcessBatches ingests a run of punctuation intervals, one batch per
+// epoch, in order — semantically a loop of ProcessBatch calls. With
+// Config.Pipeline set, adjacent epochs' stream and transaction processing
+// phases overlap (see engine.Config.Pipeline).
+func (s *System) ProcessBatches(batches [][]types.Event) error {
+	return s.Engine.ProcessEpochs(batches)
 }
 
 // Crash models a power failure: all volatile state is lost; only the
@@ -190,6 +204,7 @@ func (s *System) Recover() (*System, *engine.RecoveryReport, error) {
 		CommitEvery:   s.Cfg.CommitEvery,
 		SnapshotEvery: s.Cfg.SnapshotEvery,
 		AsyncCommit:   s.Cfg.AsyncCommit,
+		Pipeline:      s.Cfg.Pipeline,
 		Bytes:         bytes,
 	})
 	if err != nil {

@@ -75,6 +75,16 @@ type Config struct {
 	// Requires a mechanism implementing ftapi.AsyncCommitter; others fall
 	// back to synchronous commits.
 	AsyncCommit bool
+	// Pipeline overlaps stream processing with transaction processing
+	// across epochs (the TStream-style compute/construct overlap): when a
+	// run of epochs is submitted together via ProcessEpochs, epoch N+1's
+	// preprocessing and structural graph construction happen on a builder
+	// goroutine while epoch N executes. Epoch-start dependency values are
+	// captured at the barrier between epochs, and every durable write and
+	// marker (commit, snapshot, output release) stays on the submitting
+	// goroutine in epoch order — the observable history, including the
+	// exact durable write sequence, is identical to sequential processing.
+	Pipeline bool
 	// Bytes receives artifact-size accounting; nil allocates a fresh one.
 	Bytes *metrics.Bytes
 }
@@ -132,6 +142,11 @@ type Engine struct {
 	// inflight is the pending asynchronous commit, if any: once done
 	// reports success, outputs up to its epoch may release.
 	inflight *asyncCommit
+
+	// builder recycles TPG memory across epochs: a graph is released back
+	// to it once its epoch is sealed (mechanisms do not retain graphs),
+	// so steady-state processing reuses two graphs' worth of arenas.
+	builder *tpg.Builder
 }
 
 // asyncCommit tracks one background group-commit write.
@@ -149,6 +164,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:         cfg,
 		st:          store.New(cfg.App.Tables()),
 		commitEvery: cfg.CommitEvery,
+		builder:     tpg.NewBuilder(),
 	}
 	e.ranges = partition.NewRanges(cfg.App.Tables(), cfg.Workers)
 	return e, nil
@@ -229,70 +245,73 @@ func (e *Engine) ProcessEpoch(events []types.Event) error {
 // non-nil, receives recovery-convention timing instead of the runtime
 // overhead accounting.
 func (e *Engine) processEpochAt(ep uint64, events []types.Event, persistInput bool, breakdown *metrics.RecoveryBreakdown) error {
-	isNative := e.cfg.Mechanism.Kind() == ftapi.NAT
-
-	// Persist input events before processing (Figure 10 step 1), so the
-	// epoch survives a crash at any later point.
-	if persistInput && !isNative {
-		t0 := time.Now()
-		payload := codec.EncodeEvents(events)
-		if err := e.cfg.Device.Append(storage.LogInput, storage.Record{Epoch: ep, Payload: payload}); err != nil {
-			return fmt.Errorf("engine: persist input: %w", err)
+	if breakdown == nil {
+		if err := e.persistEpochInput(ep, events, persistInput); err != nil {
+			return err
 		}
-		e.cfg.Bytes.Written("input", int64(len(payload)))
-		e.runtime.IO += time.Since(t0)
+		// Stream processing phase: preprocessing builds state transactions
+		// and the structural task precedence graph on recycled memory;
+		// epoch-start dependency values come from the store afterwards
+		// (they are only valid once the previous epoch has fully executed,
+		// which also lets the pipelined path build structure early).
+		proc := time.Now()
+		g := e.builder.Build(e.preprocess(events))
+		g.CaptureBases(e.st.Get)
+		return e.finishEpoch(ep, events, g, proc)
 	}
+	return e.reprocessEpoch(ep, events, breakdown)
+}
 
-	// Stream processing phase: preprocessing builds state transactions and
-	// the task precedence graph.
-	proc := time.Now()
+// persistEpochInput persists input events before processing (Figure 10
+// step 1), so the epoch survives a crash at any later point.
+func (e *Engine) persistEpochInput(ep uint64, events []types.Event, persistInput bool) error {
+	if !persistInput || e.cfg.Mechanism.Kind() == ftapi.NAT {
+		return nil
+	}
+	t0 := time.Now()
+	payload := codec.EncodeEvents(events)
+	if err := e.cfg.Device.Append(storage.LogInput, storage.Record{Epoch: ep, Payload: payload}); err != nil {
+		return fmt.Errorf("engine: persist input: %w", err)
+	}
+	e.cfg.Bytes.Written("input", int64(len(payload)))
+	e.runtime.IO += time.Since(t0)
+	return nil
+}
+
+// preprocess turns raw events into state transactions. It reads no engine
+// state besides the immutable App, so the pipelined path may run it on the
+// builder goroutine.
+func (e *Engine) preprocess(events []types.Event) []*types.Txn {
 	txns := make([]*types.Txn, 0, len(events))
 	for _, ev := range events {
 		txn := e.cfg.App.Preprocess(ev)
 		txns = append(txns, &txn)
 	}
+	return txns
+}
+
+// reprocessEpoch replays one epoch during recovery on the virtual W-worker
+// simulation (see package vtime), so that CKPT-style full reprocessing is
+// charged the stalls and load imbalance a real multicore would experience.
+func (e *Engine) reprocessEpoch(ep uint64, events []types.Event, breakdown *metrics.RecoveryBreakdown) error {
+	proc := time.Now()
+	txns := e.preprocess(events)
 	g := tpg.Build(txns, e.st.Get)
-	if breakdown != nil {
-		// Preprocessing and graph construction parallelize across the
-		// stream-processing executors; charge aggregate thread-time.
-		breakdown.Construct += vtime.Calibrate().GraphCost(len(events), g.NumOps)
-	}
+	// Preprocessing and graph construction parallelize across the
+	// stream-processing executors; charge aggregate thread-time.
+	costs := vtime.Calibrate()
+	breakdown.Construct += costs.GraphCost(len(events), g.NumOps)
 
-	// Workload-aware log commitment: on the very first epoch, let the
-	// mechanism inspect the graph and pick the commit interval.
-	if e.cfg.AutoCommit && ep == 1 && breakdown == nil {
-		if adv, ok := e.cfg.Mechanism.(Advisor); ok {
-			if ce := adv.AdviseCommitEvery(g, e.cfg.SnapshotEvery); ce > 0 {
-				e.commitEvery = ce
-			}
-		}
+	for _, ch := range g.ChainList {
+		ch.Owner = e.ranges.Of(ch.Key)
 	}
-
-	// Transaction processing phase. At runtime this is real parallel
-	// exploration of the graph; during recovery reprocessing, the replay
-	// executes on the virtual W-worker simulation (see package vtime), so
-	// that CKPT-style full reprocessing is charged the stalls and load
-	// imbalance a real multicore would experience.
-	if breakdown == nil {
-		if _, err := scheduler.Run(g, e.st, scheduler.Options{
-			Workers: e.cfg.Workers,
-			Assign:  func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
-		}); err != nil {
-			return fmt.Errorf("engine: epoch %d: %w", ep, err)
-		}
-	} else {
-		for _, ch := range g.ChainList {
-			ch.Owner = e.ranges.Of(ch.Key)
-		}
-		costs := vtime.Calibrate()
-		result := vtime.SimulateGraph(g, e.st, e.cfg.Workers, costs)
-		result.Charge(breakdown, false)
-		// Full reprocessing replays the entire stream-processing dataflow
-		// — operator queues, postprocessing, output regeneration — which
-		// log-based redo paths bypass; charge it as parallelizable
-		// thread-time.
-		breakdown.Execute += time.Duration(len(events)) * (costs.Pipeline + costs.Postprocess)
-	}
+	result := vtime.SimulateGraph(g, e.st, e.cfg.Workers, costs)
+	result.Charge(breakdown, false)
+	// Full reprocessing replays the entire stream-processing dataflow —
+	// operator queues, postprocessing, output regeneration — which
+	// log-based redo paths bypass; charge it as parallelizable
+	// thread-time.
+	breakdown.Execute += time.Duration(len(events)) * (costs.Pipeline + costs.Postprocess)
 
 	// Postprocessing: outputs are buffered until their release marker.
 	outs := make([]types.Output, 0, len(txns))
@@ -303,12 +322,59 @@ func (e *Engine) processEpochAt(ep uint64, events []types.Event, persistInput bo
 	e.procWall += time.Since(proc)
 	e.events += len(events)
 
-	if isNative {
-		// Native execution has no durability gate; release immediately.
+	if e.cfg.Mechanism.Kind() == ftapi.NAT {
 		e.release(ep)
 		return nil
 	}
+	return e.sealAndMark(ep, events, g)
+}
 
+// finishEpoch executes an already-built epoch graph and drives it through
+// postprocessing, sealing, and the commit/snapshot markers. proc is when
+// the epoch's stream-processing phase started (for procWall accounting).
+// The graph is handed back to the recycler once the mechanism has sealed
+// the epoch; on error the engine is crashing anyway, so it is simply
+// dropped.
+func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc time.Time) error {
+	// Workload-aware log commitment: on the very first epoch, let the
+	// mechanism inspect the graph and pick the commit interval.
+	if e.cfg.AutoCommit && ep == 1 {
+		if adv, ok := e.cfg.Mechanism.(Advisor); ok {
+			if ce := adv.AdviseCommitEvery(g, e.cfg.SnapshotEvery); ce > 0 {
+				e.commitEvery = ce
+			}
+		}
+	}
+
+	// Transaction processing phase: real parallel exploration of the graph.
+	if _, err := scheduler.Run(g, e.st, scheduler.Options{
+		Workers: e.cfg.Workers,
+		Assign:  func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
+	}); err != nil {
+		return fmt.Errorf("engine: epoch %d: %w", ep, err)
+	}
+
+	// Postprocessing: outputs are buffered until their release marker.
+	outs := make([]types.Output, 0, len(g.Txns))
+	for _, tn := range g.Txns {
+		outs = append(outs, e.cfg.App.Postprocess(tn.Executed()))
+	}
+	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
+	e.procWall += time.Since(proc)
+	e.events += len(events)
+
+	if e.cfg.Mechanism.Kind() == ftapi.NAT {
+		// Native execution has no durability gate; release immediately.
+		e.release(ep)
+		e.builder.Release(g)
+		return nil
+	}
+	return e.sealAndMark(ep, events, g)
+}
+
+// sealAndMark records the epoch with the fault-tolerance mechanism and
+// processes any commit/snapshot markers that fire at this epoch.
+func (e *Engine) sealAndMark(ep uint64, events []types.Event, g *tpg.Graph) error {
 	// Record intermediate results / log records (Figure 10 step 2).
 	t0 := time.Now()
 	e.cfg.Mechanism.SealEpoch(&ftapi.EpochResult{
@@ -318,6 +384,10 @@ func (e *Engine) processEpochAt(ep uint64, events []types.Event, persistInput bo
 		Workers: e.cfg.Workers,
 	})
 	e.runtime.Tracking += time.Since(t0)
+	// Mechanisms encode everything they need during SealEpoch and retain
+	// no graph references (the ftapi contract), so the graph's memory can
+	// be recycled for a later epoch.
+	e.builder.Release(g)
 
 	// Commit marker: group commit, then release the covered outputs. With
 	// AsyncCommit the durable write happens on a background goroutine and

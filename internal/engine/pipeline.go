@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"time"
+
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+)
+
+// builtEpoch is one epoch's stream-processing result handed from the
+// builder goroutine to the barrier goroutine: the batch index plus the
+// structural task precedence graph (bases not yet captured).
+type builtEpoch struct {
+	idx int
+	g   *tpg.Graph
+}
+
+// ProcessEpochs ingests a run of punctuation intervals, one batch per
+// epoch, in order. Semantically it is exactly a loop of ProcessEpoch calls
+// — same outputs, same durable write sequence, same error behaviour (the
+// first failing epoch surfaces its error and the engine marks itself
+// crashed; earlier epochs' effects stand).
+//
+// With Config.Pipeline set, it additionally overlaps stream processing
+// with transaction processing across adjacent epochs: a builder goroutine
+// preprocesses events and constructs the structural TPG for epoch N+1
+// while the caller's goroutine executes epoch N. The overlap is safe
+// because structural construction reads nothing but the batch itself —
+// epoch-start dependency values are captured from the store at the
+// barrier, after epoch N has fully executed — and every effectful step
+// (input persistence, execution, sealing, markers, output release) stays
+// on the caller's goroutine in epoch order. A crash at any point therefore
+// leaves the device in a state reachable by the sequential schedule, which
+// is what the recovery invariants (and the crash-point sweep) assume.
+func (e *Engine) ProcessEpochs(batches [][]types.Event) error {
+	if !e.cfg.Pipeline || len(batches) < 2 {
+		for _, b := range batches {
+			if err := e.ProcessEpoch(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if e.crashed {
+		return ErrCrashed
+	}
+
+	// The unbuffered channel gives one epoch of lookahead: the builder
+	// blocks handing over epoch N+1 until the barrier goroutine is done
+	// with epoch N, so at most two graphs are live at once.
+	built := make(chan builtEpoch)
+	stop := make(chan struct{})
+	go func() {
+		defer close(built)
+		for i := range batches {
+			g := e.builder.Build(e.preprocess(batches[i]))
+			select {
+			case built <- builtEpoch{idx: i, g: g}:
+			case <-stop:
+				// The barrier goroutine hit an error and will not drain
+				// us; drop the graph back into the recycler and quit.
+				e.builder.Release(g)
+				return
+			}
+		}
+	}()
+
+	for range batches {
+		start := time.Now() // include any stall waiting on the builder
+		b := <-built
+		e.epoch++
+		err := e.pipelinedEpoch(e.epoch, batches[b.idx], b.g)
+		if err != nil {
+			e.crashed = true
+			close(stop)
+			for range built { // unblock and join the builder
+			}
+			return err
+		}
+		e.totalWall += time.Since(start)
+	}
+	return nil
+}
+
+// pipelinedEpoch is the barrier half of one pipelined epoch: everything
+// except preprocessing and structural graph construction, in the same
+// order the sequential path performs it. Input persistence deliberately
+// happens here (not on the builder goroutine) so the durable write
+// sequence is identical to ProcessEpoch's.
+func (e *Engine) pipelinedEpoch(ep uint64, events []types.Event, g *tpg.Graph) error {
+	if err := e.persistEpochInput(ep, events, true); err != nil {
+		return err
+	}
+	proc := time.Now()
+	// Barrier: the previous epoch has fully executed and sealed, so the
+	// store now holds this epoch's start-state; capture the dependency
+	// base values structural construction had to leave open.
+	g.CaptureBases(e.st.Get)
+	return e.finishEpoch(ep, events, g, proc)
+}

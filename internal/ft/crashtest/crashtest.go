@@ -64,6 +64,11 @@ type Config struct {
 	// Continue additionally processes one post-recovery epoch and checks
 	// the state again, proving the recovered engine is live, not a husk.
 	Continue bool
+	// Pipelined drives the engine with epoch pipelining enabled (batches
+	// submitted as one run via ProcessEpochs, epoch N+1 building while N
+	// executes). The durable write sequence must be identical to the
+	// sequential schedule, so the same sweep invariants apply verbatim.
+	Pipelined bool
 }
 
 func (c *Config) normalize() {
@@ -226,8 +231,16 @@ func newEngine(cfg *Config, dev storage.Device, gen workload.Generator) (*engine
 		Workers:       cfg.Workers,
 		CommitEvery:   cfg.CommitEvery,
 		SnapshotEvery: cfg.SnapshotEvery,
+		Pipeline:      cfg.Pipelined,
 		Bytes:         bytes,
 	})
+}
+
+// processAll drives the reference batches through the engine as one
+// ProcessEpochs run — pipelined when the engine was built with
+// Config.Pipelined — whose first failing epoch surfaces as the error.
+func processAll(e *engine.Engine, batches [][]types.Event) error {
+	return e.ProcessEpochs(batches)
 }
 
 // Enumerate runs the workload fault-free against a counting device and
@@ -247,10 +260,8 @@ func enumerate(cfg *Config, ref *oracleRef) ([]storage.WriteSite, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, batch := range ref.batches {
-		if err := e.ProcessEpoch(batch); err != nil {
-			return nil, fmt.Errorf("crashtest: fault-free run failed: %w", err)
-		}
+	if err := processAll(e, ref.batches); err != nil {
+		return nil, fmt.Errorf("crashtest: fault-free run failed: %w", err)
 	}
 	if err := ref.checkState(uint64(cfg.Epochs), e.Store()); err != nil {
 		return nil, fmt.Errorf("crashtest: fault-free run already diverges: %w", err)
@@ -303,13 +314,7 @@ func runOne(cfg *Config, ref *oracleRef, k int) error {
 	if err != nil {
 		return err
 	}
-	var procErr error
-	for _, batch := range ref.batches {
-		if procErr = e.ProcessEpoch(batch); procErr != nil {
-			break
-		}
-	}
-	if procErr == nil {
+	if procErr := processAll(e, ref.batches); procErr == nil {
 		return fmt.Errorf("budget %d never hit the injected fault", k)
 	}
 	// The pre-crash ledger: outputs whose durability gate fired in time.
@@ -371,10 +376,8 @@ func BoundaryStores(cfg Config, kinds []ftapi.Kind) (map[ftapi.Kind]*engine.Engi
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, batch := range ref.batches {
-			if err := e.ProcessEpoch(batch); err != nil {
-				return nil, nil, fmt.Errorf("%v: %w", kind, err)
-			}
+		if err := processAll(e, ref.batches); err != nil {
+			return nil, nil, fmt.Errorf("%v: %w", kind, err)
 		}
 		e.Crash()
 		bytes := metrics.NewBytes()

@@ -166,3 +166,62 @@ func TestCrossMechanismAgreement(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepPipelined repeats a representative slice of the sweep with
+// epoch pipelining enabled: the overlap must leave the durable write
+// sequence — and therefore every crash point's recovery — untouched. MSR
+// under fail-stop and WAL under torn writes cover both the richest and the
+// most literal logging scheme against both clean and corrupted tails.
+func TestSweepPipelined(t *testing.T) {
+	cases := []struct {
+		kind ftapi.Kind
+		mode storage.FaultMode
+	}{
+		{ftapi.MSR, storage.FailStop},
+		{ftapi.WAL, storage.TornWrite},
+		{ftapi.CKPT, storage.DroppedTail},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.kind.String()+"/"+c.mode.String(), func(t *testing.T) {
+			t.Parallel()
+			sweep(t, Config{
+				Kind:      c.kind,
+				NewGen:    func() workload.Generator { return fttest.SLGen(41) },
+				Mode:      c.mode,
+				Continue:  true,
+				Pipelined: true,
+			})
+		})
+	}
+}
+
+// TestPipelinedWriteSequence: the pipelined and sequential schedules must
+// enumerate the identical crash-point set — the premise TestSweepPipelined
+// relies on, checked explicitly so a divergence fails loudly here rather
+// than as a cryptic budget miss.
+func TestPipelinedWriteSequence(t *testing.T) {
+	for _, kind := range recoverable {
+		cfg := Config{
+			Kind:   kind,
+			NewGen: func() workload.Generator { return fttest.GSGen(61) },
+		}
+		seqSites, err := Enumerate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		cfg.Pipelined = true
+		pipSites, err := Enumerate(cfg)
+		if err != nil {
+			t.Fatalf("%v pipelined: %v", kind, err)
+		}
+		if len(seqSites) != len(pipSites) {
+			t.Fatalf("%v: %d sequential sites vs %d pipelined", kind, len(seqSites), len(pipSites))
+		}
+		for i := range seqSites {
+			if seqSites[i] != pipSites[i] {
+				t.Fatalf("%v: write %d diverges: %v vs %v", kind, i, seqSites[i], pipSites[i])
+			}
+		}
+	}
+}

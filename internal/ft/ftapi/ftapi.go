@@ -84,6 +84,12 @@ func ParseKind(s string) (Kind, error) {
 // epoch, before its outputs are released. Mechanisms read but never mutate
 // it; the graph carries operation results, abort flags, and chain
 // structure — everything dependency tracking needs.
+//
+// The Graph (its nodes, chains, and transactions) is valid only for the
+// duration of the SealEpoch call: the engine recycles graph memory across
+// epochs, so a mechanism must encode whatever it needs during the call
+// and retain no references into the graph afterwards. (Epoch, Events, and
+// plain values copied out of the graph are fine to keep.)
 type EpochResult struct {
 	Epoch   uint64
 	Events  []types.Event

@@ -1,0 +1,159 @@
+package scheduler
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+)
+
+// RunChanRef is the seed channel-based parallel scheduler, preserved
+// verbatim as the before side of the work-stealing comparison (see
+// cmd/schedbench and BENCH_scheduler.json). Its two scaling bottlenecks
+// are exactly what Run removes: a global mutex taken on every operation
+// completion, and per-worker channels buffered at the graph's vertex
+// count — O(workers·ops) allocation per epoch.
+//
+// It is not used on any production path; do not improve it.
+func RunChanRef(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	clocks := make([]metrics.WorkerClock, workers)
+	if g.NumOps == 0 {
+		return clocks, nil
+	}
+	assign := opt.Assign
+	if assign == nil {
+		assign = HashAssign(workers)
+	}
+	for _, ch := range g.ChainList {
+		owner := assign(ch)
+		if owner < 0 || owner >= workers {
+			return nil, fmt.Errorf("scheduler: chain %v assigned to worker %d of %d",
+				ch.Key, owner, workers)
+		}
+		ch.Owner = owner
+	}
+
+	run := &chanRun{
+		st:      st,
+		queues:  make([]chan *tpg.OpNode, workers),
+		timing:  opt.Timing,
+		pending: int64(g.NumOps),
+	}
+	for w := range run.queues {
+		// Buffer sized so sends never block: a node enters a queue at most
+		// once, bounded by the graph's vertex count.
+		run.queues[w] = make(chan *tpg.OpNode, g.NumOps)
+	}
+	for _, n := range g.Heads() {
+		run.queues[n.Chain.Owner] <- n
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run.worker(w, &clocks[w])
+		}(w)
+	}
+	wg.Wait()
+	if n := run.pendingLeft(); n != 0 {
+		return clocks, fmt.Errorf("scheduler: %d operations never became ready (dependency cycle?)", n)
+	}
+	return clocks, nil
+}
+
+type chanRun struct {
+	st     *store.Store
+	queues []chan *tpg.OpNode
+	timing bool
+
+	mu      sync.Mutex
+	pending int64
+	closed  bool
+}
+
+// finish decrements the outstanding-operation count and closes all queues
+// when it reaches zero, releasing blocked workers.
+func (r *chanRun) finish() {
+	r.mu.Lock()
+	r.pending--
+	done := r.pending == 0 && !r.closed
+	if done {
+		r.closed = true
+	}
+	r.mu.Unlock()
+	if done {
+		for _, q := range r.queues {
+			close(q)
+		}
+	}
+}
+
+func (r *chanRun) pendingLeft() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}
+
+func (r *chanRun) worker(w int, clock *metrics.WorkerClock) {
+	q := r.queues[w]
+	var ready []*tpg.OpNode
+	for {
+		var n *tpg.OpNode
+		var ok bool
+		if r.timing {
+			start := time.Now()
+			select {
+			case n, ok = <-q:
+				clock.Explore += time.Since(start)
+			default:
+				n, ok = <-q
+				clock.Wait += time.Since(start)
+			}
+		} else {
+			n, ok = <-q
+		}
+		if !ok {
+			return
+		}
+		// Chain-locality loop: after firing a node, its chain successor is
+		// frequently the only newly ready node; keep it on this worker
+		// without a queue round-trip when we own it.
+		for n != nil {
+			r.fire(n, clock)
+			ready = tpg.Resolve(n, ready[:0])
+			r.finish()
+			n = nil
+			for _, d := range ready {
+				if n == nil && d.Chain.Owner == w {
+					n = d
+					continue
+				}
+				r.queues[d.Chain.Owner] <- d
+			}
+		}
+	}
+}
+
+func (r *chanRun) fire(n *tpg.OpNode, clock *metrics.WorkerClock) {
+	if !r.timing {
+		tpg.Fire(n, r.st)
+		return
+	}
+	start := time.Now()
+	tpg.Fire(n, r.st)
+	if n.Txn.Aborted() {
+		clock.Abort += time.Since(start)
+	} else {
+		clock.Execute += time.Since(start)
+	}
+}

@@ -1,0 +1,130 @@
+package scheduler
+
+import (
+	"sync/atomic"
+
+	"morphstreamr/internal/tpg"
+)
+
+// wsDeque is a Chase-Lev work-stealing deque of ready operations.
+//
+// The owning worker pushes and pops at the bottom (LIFO, which keeps the
+// most recently resolved — and therefore cache-hot — nodes local); thieves
+// steal single nodes from the top (FIFO, which takes the oldest ready work,
+// typically the head of a chain another worker has not reached yet). The
+// ring grows geometrically when full, so capacity adapts to the actual
+// ready frontier instead of being provisioned at the graph's vertex count.
+//
+// All indices are monotonically increasing int64s; top advances only via
+// compare-and-swap, which rules out ABA. Go's atomic operations are
+// sequentially consistent, providing the fences the original algorithm
+// (Chase & Lev, SPAA '05; Lê et al., PPoPP '13) places explicitly.
+type wsDeque struct {
+	top    atomic.Int64 // next index to steal from
+	bottom atomic.Int64 // next index to push at; owner-written
+	ring   atomic.Pointer[dequeRing]
+}
+
+// dequeRing is one power-of-two circular buffer generation.
+type dequeRing struct {
+	mask int64
+	slot []atomic.Pointer[tpg.OpNode]
+}
+
+func newDequeRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, slot: make([]atomic.Pointer[tpg.OpNode], capacity)}
+}
+
+// dequeInitialCap is the starting ring size; epochs with wider ready
+// frontiers grow by doubling, amortised O(1) per push.
+const dequeInitialCap = 64
+
+func (d *wsDeque) init() {
+	d.ring.Store(newDequeRing(dequeInitialCap))
+}
+
+// initDeques initialises a fleet of deques with their first-generation
+// rings carved out of two shared allocations, keeping the per-epoch
+// allocation count flat in the worker count. Rings that grow later are
+// allocated individually — growth is the rare case.
+func initDeques(ds []wsDeque) {
+	rings := make([]dequeRing, len(ds))
+	slots := make([]atomic.Pointer[tpg.OpNode], len(ds)*dequeInitialCap)
+	for i := range ds {
+		rings[i] = dequeRing{
+			mask: dequeInitialCap - 1,
+			slot: slots[i*dequeInitialCap : (i+1)*dequeInitialCap],
+		}
+		ds[i].ring.Store(&rings[i])
+	}
+}
+
+// push appends a node at the bottom. Owner-only.
+func (d *wsDeque) push(n *tpg.OpNode) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask {
+		r = d.grow(r, b, t)
+	}
+	r.slot[b&r.mask].Store(n)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live window. Owner-only. Thieves that
+// loaded the old ring still read correct values: the live slots of the old
+// generation are never overwritten (push would have grown again first), and
+// top's CAS protects against consuming a stale claim.
+func (d *wsDeque) grow(old *dequeRing, b, t int64) *dequeRing {
+	nr := newDequeRing((old.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.slot[i&nr.mask].Store(old.slot[i&old.mask].Load())
+	}
+	d.ring.Store(nr)
+	return nr
+}
+
+// pop removes and returns the most recently pushed node, or nil when the
+// deque is empty. Owner-only.
+func (d *wsDeque) pop() *tpg.OpNode {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical empty state (bottom == top).
+		d.bottom.Store(t)
+		return nil
+	}
+	r := d.ring.Load()
+	n := r.slot[b&r.mask].Load()
+	if t == b {
+		// Last element: race the thieves for it via top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			n = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+	}
+	return n
+}
+
+// steal removes and returns the oldest node, or nil. retry reports a lost
+// CAS race (the deque may still be non-empty and is worth another attempt).
+func (d *wsDeque) steal() (n *tpg.OpNode, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	r := d.ring.Load()
+	n = r.slot[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return n, false
+}
+
+// empty reports whether the deque currently holds no stealable work. It is
+// a racy snapshot, used only as a wake/park heuristic.
+func (d *wsDeque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

@@ -1,0 +1,159 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+
+	"morphstreamr/internal/tpg"
+)
+
+// TestDequeOwnerLIFO: without thieves, the owner sees its deque as a plain
+// LIFO stack, across enough pushes to force ring growth.
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d wsDeque
+	d.init()
+	const n = 3 * dequeInitialCap // two growths
+	nodes := make([]*tpg.OpNode, n)
+	for i := range nodes {
+		nodes[i] = new(tpg.OpNode)
+		d.push(nodes[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := d.pop(); got != nodes[i] {
+			t.Fatalf("pop %d: got %p want %p", i, got, nodes[i])
+		}
+	}
+	if d.pop() != nil || !d.empty() {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+// TestDequeStealFIFO: without the owner racing, thieves drain oldest-first.
+func TestDequeStealFIFO(t *testing.T) {
+	var d wsDeque
+	d.init()
+	nodes := make([]*tpg.OpNode, 100)
+	for i := range nodes {
+		nodes[i] = new(tpg.OpNode)
+		d.push(nodes[i])
+	}
+	for i := range nodes {
+		n, retry := d.steal()
+		if retry || n != nodes[i] {
+			t.Fatalf("steal %d: got %p (retry=%v) want %p", i, n, retry, nodes[i])
+		}
+	}
+	if n, _ := d.steal(); n != nil {
+		t.Fatal("steal from empty deque returned a node")
+	}
+}
+
+// TestDequeConcurrentSteals: one owner pushes and pops while many thieves
+// steal; every pushed node must be consumed by exactly one party.
+func TestDequeConcurrentSteals(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 4
+	)
+	var d wsDeque
+	d.init()
+
+	ids := make(map[*tpg.OpNode]int, total)
+	nodes := make([]*tpg.OpNode, total)
+	for i := range nodes {
+		nodes[i] = new(tpg.OpNode)
+		ids[nodes[i]] = i
+	}
+
+	var wg sync.WaitGroup
+	stolen := make([][]*tpg.OpNode, thieves)
+	ownerGot := make([]*tpg.OpNode, 0, total)
+	done := make(chan struct{})
+
+	for th := 0; th < thieves; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n, retry := d.steal()
+				if n != nil {
+					stolen[th] = append(stolen[th], n)
+					continue
+				}
+				if retry {
+					continue
+				}
+				select {
+				case <-done:
+					// Owner finished pushing; one last sweep so nothing
+					// is stranded between its final push and our exit.
+					if n, _ := d.steal(); n != nil {
+						stolen[th] = append(stolen[th], n)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: bursts of pushes interleaved with pops, like a worker
+	// resolving a fan-out and then draining its own queue.
+	for i := 0; i < total; {
+		for b := 0; b < 37 && i < total; b++ {
+			d.push(nodes[i])
+			i++
+		}
+		for b := 0; b < 11; b++ {
+			if n := d.pop(); n != nil {
+				ownerGot = append(ownerGot, n)
+			}
+		}
+	}
+	close(done)
+	// Owner drains what the thieves leave behind.
+	for {
+		n := d.pop()
+		if n == nil {
+			break
+		}
+		ownerGot = append(ownerGot, n)
+	}
+	wg.Wait()
+	// A thief may have been holding the last element when the owner saw
+	// empty; collect the stragglers after the join.
+	for {
+		n := d.pop()
+		if n == nil {
+			break
+		}
+		ownerGot = append(ownerGot, n)
+	}
+
+	seen := make([]bool, total)
+	count := 0
+	record := func(n *tpg.OpNode, who string) {
+		i, ok := ids[n]
+		if !ok {
+			t.Fatalf("%s consumed a node that was never pushed", who)
+		}
+		if seen[i] {
+			t.Fatalf("node %d consumed twice (last by %s)", i, who)
+		}
+		seen[i] = true
+		count++
+	}
+	for _, n := range ownerGot {
+		record(n, "owner")
+	}
+	for th := range stolen {
+		for _, n := range stolen[th] {
+			record(n, "thief")
+		}
+	}
+	if count != total {
+		t.Fatalf("consumed %d of %d nodes", count, total)
+	}
+}

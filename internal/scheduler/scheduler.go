@@ -1,13 +1,17 @@
 // Package scheduler executes a task precedence graph.
 //
-// The parallel scheduler mirrors MorphStream's TxnScheduler: every key
-// chain is owned by one worker (data locality), ready operations flow
-// through per-worker queues, and dependency counters gate execution.
-// Workers run their own chains but execute any ready node handed to them,
-// so cross-chain dependencies never block a worker that has other ready
-// work. Per-worker clocks split elapsed time into explore (scheduling),
-// execute (state accesses), abort (handling aborted transactions), and
-// wait (idle at an empty queue) — the quantities stacked in Figure 11.
+// The parallel scheduler follows MorphStream's TxnScheduler shape — key
+// chains are assigned to workers for data locality, ready operations gate
+// on dependency counters — but drains the graph through lock-free
+// work-stealing instead of per-worker channels: each worker owns a
+// Chase-Lev ring deque of ready nodes, executes its own bottom (LIFO,
+// cache-hot) and steals from other workers' tops when idle, so load
+// imbalance self-corrects without any global lock. Operation completion is
+// an atomic countdown; the worker that retires the last operation flips a
+// one-shot done flag and wakes everyone. Per-worker clocks split elapsed
+// time into explore (scheduling), execute (state accesses), abort
+// (handling aborted transactions), and wait (idle: failed steals and
+// parking) — the quantities stacked in Figure 11.
 //
 // The sequential executor runs the graph on one thread in timestamp order;
 // it is the redo engine of WAL recovery and the one-core base case of the
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morphstreamr/internal/metrics"
@@ -31,7 +36,9 @@ type Options struct {
 	// Workers is the degree of parallelism; 0 means GOMAXPROCS.
 	Workers int
 	// Assign maps a chain to its owning worker in [0, Workers). Nil uses
-	// a hash of the chain's key, the engine's default partitioning.
+	// a hash of the chain's key, the engine's default partitioning. The
+	// assignment seeds the initial work distribution and labels chains for
+	// the logging mechanisms; stealing rebalances execution at runtime.
 	Assign func(*tpg.Chain) int
 	// Timing enables per-operation clock accounting. Leave it off on the
 	// runtime hot path; recovery turns it on to produce breakdowns.
@@ -63,18 +70,17 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 	}
 
 	run := &parallelRun{
-		st:      st,
-		queues:  make([]chan *tpg.OpNode, workers),
-		timing:  opt.Timing,
-		pending: int64(g.NumOps),
+		st:     st,
+		deques: make([]wsDeque, workers),
+		timing: opt.Timing,
 	}
-	for w := range run.queues {
-		// Buffer sized so sends never block: a node enters a queue at most
-		// once, bounded by the graph's vertex count.
-		run.queues[w] = make(chan *tpg.OpNode, g.NumOps)
-	}
+	run.pending.Store(int64(g.NumOps))
+	run.idleCond = sync.NewCond(&run.idleMu)
+	initDeques(run.deques)
+	// Seeding happens before any worker starts, so owner-only pushes from
+	// this goroutine are safe (goroutine start establishes happens-before).
 	for _, n := range g.Heads() {
-		run.queues[n.Chain.Owner] <- n
+		run.deques[n.Chain.Owner].push(n)
 	}
 
 	var wg sync.WaitGroup
@@ -86,83 +92,215 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 		}(w)
 	}
 	wg.Wait()
-	if n := run.pendingLeft(); n != 0 {
+	if n := run.pending.Load(); n != 0 {
 		return clocks, fmt.Errorf("scheduler: %d operations never became ready (dependency cycle?)", n)
 	}
 	return clocks, nil
 }
 
+// spinSweeps is how many full pop+steal sweeps an idle worker performs
+// (yielding between them) before parking on the condition variable.
+// Parking promptly matters on oversubscribed hosts, where spinning idle
+// workers would steal cycles from the one making progress.
+const spinSweeps = 2
+
 type parallelRun struct {
 	st     *store.Store
-	queues []chan *tpg.OpNode
+	deques []wsDeque
 	timing bool
 
-	mu      sync.Mutex
-	pending int64
-	closed  bool
-}
+	// pending counts unretired operations; the worker that moves it to
+	// zero sets done and wakes all parked workers.
+	pending atomic.Int64
+	done    atomic.Bool
 
-// finish decrements the outstanding-operation count and closes all queues
-// when it reaches zero, releasing blocked workers.
-func (r *parallelRun) finish() {
-	r.mu.Lock()
-	r.pending--
-	done := r.pending == 0 && !r.closed
-	if done {
-		r.closed = true
-	}
-	r.mu.Unlock()
-	if done {
-		for _, q := range r.queues {
-			close(q)
-		}
-	}
-}
-
-func (r *parallelRun) pendingLeft() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.pending
+	// parked mirrors the number of workers blocked on idleCond; pushers
+	// check it before touching the mutex, keeping the hot path lock-free.
+	parked   atomic.Int32
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
 }
 
 func (r *parallelRun) worker(w int, clock *metrics.WorkerClock) {
-	q := r.queues[w]
 	var ready []*tpg.OpNode
+	var n *tpg.OpNode
 	for {
-		var n *tpg.OpNode
-		var ok bool
-		if r.timing {
-			start := time.Now()
-			select {
-			case n, ok = <-q:
-				clock.Explore += time.Since(start)
-			default:
-				n, ok = <-q
-				clock.Wait += time.Since(start)
+		if n == nil {
+			n = r.acquire(w, clock)
+			if n == nil {
+				return // done (or stalled; Run reports the residue)
 			}
-		} else {
-			n, ok = <-q
 		}
-		if !ok {
+		r.fire(n, clock)
+		var t0 time.Time
+		if r.timing {
+			t0 = time.Now()
+		}
+		ready = tpg.Resolve(n, ready[:0])
+		n = nil
+		if len(ready) > 0 {
+			// Chain-locality fast path: Resolve places the chain successor
+			// first; run it next without a deque round-trip and publish the
+			// rest for thieves.
+			n = ready[0]
+			if rest := ready[1:]; len(rest) > 0 {
+				d := &r.deques[w]
+				for _, x := range rest {
+					d.push(x)
+				}
+				r.wake(len(rest))
+			}
+		}
+		if r.timing {
+			clock.Explore += time.Since(t0)
+		}
+		if r.pending.Add(-1) == 0 {
+			// Last operation retired: nothing can be ready (so n == nil),
+			// terminate everyone.
+			r.done.Store(true)
+			r.wakeAll()
 			return
 		}
-		// Chain-locality loop: after firing a node, its chain successor is
-		// frequently the only newly ready node; keep it on this worker
-		// without a queue round-trip when we own it.
-		for n != nil {
-			r.fire(n, clock)
-			ready = tpg.Resolve(n, ready[:0])
-			r.finish()
-			n = nil
-			for _, d := range ready {
-				if n == nil && d.Chain.Owner == w {
-					n = d
-					continue
+	}
+}
+
+// acquire returns the next ready node, stealing when the local deque runs
+// dry and parking when the whole pool looks idle. It returns nil when the
+// run is complete (or a stall — a dependency cycle — was detected).
+//
+// Timing attribution: a dequeue that finds ready work without blocking —
+// a local pop, or a first-sweep steal — is explore time (scheduling work
+// actually done); once a full search comes up empty, everything until the
+// next acquisition — futile sweeps, yields, parking — is wait time. This
+// is the accounting the per-worker breakdown of Figure 11 expects: the
+// seed implementation's select/default split misattributed blocked-receive
+// time to Explore whenever the queue was momentarily empty.
+func (r *parallelRun) acquire(w int, clock *metrics.WorkerClock) *tpg.OpNode {
+	d := &r.deques[w]
+	var t0 time.Time
+	if r.timing {
+		t0 = time.Now()
+	}
+	if n := d.pop(); n != nil {
+		if r.timing {
+			clock.Explore += time.Since(t0)
+		}
+		return n
+	}
+	if n := r.stealSweep(w); n != nil {
+		if r.timing {
+			clock.Explore += time.Since(t0)
+		}
+		return n
+	}
+	// Blocked: from here on, elapsed time is starvation.
+	sweeps := 1
+	for {
+		if r.done.Load() {
+			if r.timing {
+				clock.Wait += time.Since(t0)
+			}
+			return nil
+		}
+		if sweeps < spinSweeps {
+			runtime.Gosched()
+		} else {
+			r.park()
+			sweeps = 0
+			// Re-check the local deque after waking: termination may have
+			// raced a push, and pop is owner-only so thieves cannot fully
+			// drain it for us.
+			if n := d.pop(); n != nil {
+				if r.timing {
+					clock.Wait += time.Since(t0)
 				}
-				r.queues[d.Chain.Owner] <- d
+				return n
+			}
+		}
+		if n := r.stealSweep(w); n != nil {
+			if r.timing {
+				clock.Wait += time.Since(t0)
+			}
+			return n
+		}
+		sweeps++
+	}
+}
+
+// stealSweep tries every other worker's deque once (plus contention
+// retries), starting after w to spread thieves across victims.
+func (r *parallelRun) stealSweep(w int) *tpg.OpNode {
+	W := len(r.deques)
+	for i := 1; i < W; i++ {
+		v := w + i
+		if v >= W {
+			v -= W
+		}
+		for {
+			n, retry := r.deques[v].steal()
+			if n != nil {
+				return n
+			}
+			if !retry {
+				break
 			}
 		}
 	}
+	return nil
+}
+
+// park blocks until new work may exist or the run completes. The final
+// parker performs stall detection: if every worker is parked, no deque
+// holds work, and operations remain unretired, no progress is possible —
+// a dependency cycle — so it terminates the pool instead of deadlocking.
+func (r *parallelRun) park() {
+	r.idleMu.Lock()
+	p := r.parked.Add(1)
+	if int(p) == len(r.deques) && !r.anyWork() && !r.done.Load() && r.pending.Load() > 0 {
+		r.done.Store(true)
+		r.idleCond.Broadcast()
+		r.parked.Add(-1)
+		r.idleMu.Unlock()
+		return
+	}
+	for !r.done.Load() && !r.anyWork() {
+		r.idleCond.Wait()
+	}
+	r.parked.Add(-1)
+	r.idleMu.Unlock()
+}
+
+// anyWork reports whether any deque currently holds stealable work. Racy
+// by design; used only under idleMu as the park predicate.
+func (r *parallelRun) anyWork() bool {
+	for i := range r.deques {
+		if !r.deques[i].empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// wake rouses up to n parked workers. Pushers call it after publishing
+// work; the atomic check keeps the loaded (nobody-parked) path lock-free.
+func (r *parallelRun) wake(n int) {
+	if r.parked.Load() == 0 {
+		return
+	}
+	r.idleMu.Lock()
+	if n == 1 {
+		r.idleCond.Signal()
+	} else {
+		r.idleCond.Broadcast()
+	}
+	r.idleMu.Unlock()
+}
+
+// wakeAll rouses every parked worker (termination).
+func (r *parallelRun) wakeAll() {
+	r.idleMu.Lock()
+	r.idleCond.Broadcast()
+	r.idleMu.Unlock()
 }
 
 func (r *parallelRun) fire(n *tpg.OpNode, clock *metrics.WorkerClock) {

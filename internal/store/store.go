@@ -20,7 +20,11 @@ import (
 
 // Store holds every table of one application instance.
 type Store struct {
-	tables map[types.TableID]*table
+	// tables is dense, indexed directly by TableID: table identifiers are
+	// small (uint8) and fixed at New, and Get/Set sit on the fire path of
+	// every operation, where a map lookup per access is measurable.
+	// Undeclared IDs within the slice hold nil.
+	tables []*table
 	specs  []types.TableSpec
 }
 
@@ -32,7 +36,13 @@ type table struct {
 // New creates a store with the given tables, each record initialised to the
 // table's Init value.
 func New(specs []types.TableSpec) *Store {
-	s := &Store{tables: make(map[types.TableID]*table, len(specs))}
+	maxID := types.TableID(0)
+	for _, sp := range specs {
+		if sp.ID > maxID {
+			maxID = sp.ID
+		}
+	}
+	s := &Store{tables: make([]*table, int(maxID)+1)}
 	s.specs = append(s.specs, specs...)
 	for _, sp := range specs {
 		t := &table{spec: sp, rows: make([]atomic.Int64, sp.Rows)}
@@ -62,15 +72,25 @@ func (s *Store) Set(k types.Key, v types.Value) {
 }
 
 func (s *Store) row(k types.Key) *atomic.Int64 {
-	t, ok := s.tables[k.Table]
-	if !ok {
+	if int(k.Table) >= len(s.tables) || s.tables[k.Table] == nil {
 		panic(fmt.Sprintf("store: unknown table %d", k.Table))
 	}
+	t := s.tables[k.Table]
 	if k.Row >= uint32(len(t.rows)) {
 		panic(fmt.Sprintf("store: row %d out of range for table %d (%d rows)",
 			k.Row, k.Table, len(t.rows)))
 	}
 	return &t.rows[k.Row]
+}
+
+// lookup returns the table for id, or nil when the store does not declare
+// it. Unlike row, it tolerates out-of-range IDs (used by cross-store
+// comparisons where the other store's layout may differ).
+func (s *Store) lookup(id types.TableID) *table {
+	if int(id) >= len(s.tables) {
+		return nil
+	}
+	return s.tables[id]
 }
 
 // NumRecords returns the total number of records across all tables.
@@ -106,8 +126,8 @@ func (s *Store) Restore(snap *Snapshot) error {
 			len(snap.Tables), len(s.specs))
 	}
 	for _, ts := range snap.Tables {
-		t, ok := s.tables[ts.Spec.ID]
-		if !ok {
+		t := s.lookup(ts.Spec.ID)
+		if t == nil {
 			return fmt.Errorf("store: snapshot table %d not in store", ts.Spec.ID)
 		}
 		if len(ts.Vals) != len(t.rows) {
@@ -128,7 +148,7 @@ func (s *Store) Equal(o *Store) bool {
 		return false
 	}
 	for _, sp := range s.specs {
-		t, ot := s.tables[sp.ID], o.tables[sp.ID]
+		t, ot := s.tables[sp.ID], o.lookup(sp.ID)
 		if ot == nil || len(t.rows) != len(ot.rows) {
 			return false
 		}
@@ -146,7 +166,7 @@ func (s *Store) Equal(o *Store) bool {
 func (s *Store) Diff(o *Store, max int) []string {
 	var out []string
 	for _, sp := range s.specs {
-		t, ot := s.tables[sp.ID], o.tables[sp.ID]
+		t, ot := s.tables[sp.ID], o.lookup(sp.ID)
 		if ot == nil {
 			out = append(out, fmt.Sprintf("table %d missing", sp.ID))
 			continue

@@ -1,0 +1,98 @@
+package tpg
+
+import (
+	"sync"
+
+	"morphstreamr/internal/types"
+)
+
+// arena is a chunked bump allocator. take hands out pointers into large
+// backing slices (so they stay valid forever), and rewind makes every slot
+// reusable without freeing the chunks — the caller is responsible for
+// resetting a recycled slot before use.
+type arena[T any] struct {
+	chunks [][]T
+	ci     int // current chunk
+	i      int // next index within it
+}
+
+const (
+	arenaFirstChunk = 256
+	arenaMaxChunk   = 16384
+)
+
+func (a *arena[T]) take() *T {
+	for {
+		if a.ci < len(a.chunks) {
+			c := a.chunks[a.ci]
+			if a.i < len(c) {
+				p := &c[a.i]
+				a.i++
+				return p
+			}
+			a.ci++
+			a.i = 0
+			continue
+		}
+		size := arenaFirstChunk
+		if n := len(a.chunks); n > 0 {
+			size = 2 * len(a.chunks[n-1])
+			if size > arenaMaxChunk {
+				size = arenaMaxChunk
+			}
+		}
+		a.chunks = append(a.chunks, make([]T, size))
+	}
+}
+
+func (a *arena[T]) rewind() {
+	a.ci, a.i = 0, 0
+}
+
+// Builder recycles whole graphs across epochs. Build hands out a graph
+// whose arenas, slices, and map buckets come from a previously released
+// graph whenever one is available, so steady-state epoch construction
+// allocates (almost) nothing; Release returns a graph once nothing
+// references it any more — in the engine, after the fault-tolerance
+// mechanism has sealed the epoch.
+//
+// Build and Release may be called from different goroutines (the pipelined
+// engine builds on a background goroutine and releases on the barrier
+// thread), but each is single-threaded with respect to itself, and a given
+// graph must not be used after Release.
+type Builder struct {
+	mu   sync.Mutex
+	free []*Graph
+}
+
+// NewBuilder creates an empty graph recycler.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build constructs the structural TPG for one epoch (see BuildStructure)
+// on recycled memory. The caller must CaptureBases before executing it.
+func (b *Builder) Build(txns []*types.Txn) *Graph {
+	b.mu.Lock()
+	var g *Graph
+	if n := len(b.free); n > 0 {
+		g = b.free[n-1]
+		b.free = b.free[:n-1]
+	}
+	b.mu.Unlock()
+	if g == nil {
+		g = newGraph()
+	}
+	g.build(txns)
+	return g
+}
+
+// Release returns a graph to the recycler. The graph, its nodes, and its
+// chains must no longer be referenced by anyone.
+func (b *Builder) Release(g *Graph) {
+	if g == nil {
+		return
+	}
+	g.rewind()
+	b.mu.Lock()
+	b.free = append(b.free, g)
+	b.mu.Unlock()
+}

@@ -132,29 +132,87 @@ type Graph struct {
 	ChainList []*Chain
 	// NumOps is the total vertex count.
 	NumOps int
+
+	// Arenas back the node, transaction, and chain allocations. A fresh
+	// graph grows them chunk by chunk; a recycled graph (see Builder)
+	// rewinds and reuses them, eliminating steady-state allocation.
+	nodes  arena[OpNode]
+	txns   arena[TxnNode]
+	chains arena[Chain]
 }
 
 // ReadBase supplies epoch-start values for keys without in-epoch producers.
-// It is store.Get in practice; build captures these values eagerly so that
-// later store mutation cannot leak mid-epoch values into dependencies.
+// It is store.Get in practice; CaptureBases reads these values before
+// execution starts so that store mutation cannot leak mid-epoch values
+// into dependencies.
 type ReadBase func(types.Key) types.Value
 
-// Build constructs the TPG for one epoch's transactions. Transactions must
-// arrive in ascending timestamp order (the spout's event order).
+// Build constructs the TPG for one epoch's transactions and captures
+// epoch-start base values. Transactions must arrive in ascending timestamp
+// order (the spout's event order).
 func Build(txns []*types.Txn, readBase ReadBase) *Graph {
-	g := &Graph{Chains: make(map[types.Key]*Chain)}
-	g.Txns = make([]*TxnNode, 0, len(txns))
+	g := BuildStructure(txns)
+	g.CaptureBases(readBase)
+	return g
+}
+
+// BuildStructure constructs the TPG's vertices and edges without touching
+// the store. The result is not executable until CaptureBases fills the
+// epoch-start dependency values; the split lets a pipelined engine build
+// epoch N+1's structure while epoch N is still mutating state, then
+// capture bases at the epoch barrier.
+func BuildStructure(txns []*types.Txn) *Graph {
+	g := newGraph()
+	g.build(txns)
+	return g
+}
+
+func newGraph() *Graph {
+	return &Graph{Chains: make(map[types.Key]*Chain)}
+}
+
+// newNode takes a (possibly recycled) node from the arena and resets it
+// for op. Slice fields keep their capacity; everything else is zeroed.
+// Fields are assigned individually because OpNode embeds atomics, which
+// must not be copied wholesale.
+func (g *Graph) newNode(op *types.Operation, tn *TxnNode) *OpNode {
+	n := g.nodes.take()
+	n.Op, n.Txn = op, tn
+	n.ChainPrev, n.ChainNext, n.Chain = nil, nil, nil
+	n.PDSrc = n.PDSrc[:0]
+	n.PDOut = n.PDOut[:0]
+	n.CondSrc = nil
+	n.LDOut = n.LDOut[:0]
+	n.DepVals = n.DepVals[:0]
+	n.Base, n.Result = 0, 0
+	n.pending.Store(0)
+	n.executed.Store(false)
+	return n
+}
+
+// build is the structural construction shared by Build, BuildStructure,
+// and Builder.Build.
+func (g *Graph) build(txns []*types.Txn) {
+	if g.Txns == nil {
+		g.Txns = make([]*TxnNode, 0, len(txns))
+	}
 
 	// Pass 1: create nodes and chains.
 	for _, txn := range txns {
-		tn := &TxnNode{Txn: txn, Ops: make([]*OpNode, len(txn.Ops))}
+		tn := g.txns.take()
+		tn.Txn = txn
+		tn.aborted.Store(false)
+		tn.Ops = resize(tn.Ops, len(txn.Ops))
 		for i := range txn.Ops {
 			op := &txn.Ops[i]
-			n := &OpNode{Op: op, Txn: tn}
+			n := g.newNode(op, tn)
 			tn.Ops[i] = n
 			ch, ok := g.Chains[op.Key]
 			if !ok {
-				ch = &Chain{Key: op.Key}
+				ch = g.chains.take()
+				ch.Key = op.Key
+				ch.Ops = ch.Ops[:0]
+				ch.Owner = 0
 				g.Chains[op.Key] = ch
 			}
 			n.Chain = ch
@@ -165,7 +223,9 @@ func Build(txns []*types.Txn, readBase ReadBase) *Graph {
 	}
 
 	// Deterministic chain order for partitioners and schedulers.
-	g.ChainList = make([]*Chain, 0, len(g.Chains))
+	if g.ChainList == nil {
+		g.ChainList = make([]*Chain, 0, len(g.Chains))
+	}
 	for _, ch := range g.Chains {
 		g.ChainList = append(g.ChainList, ch)
 	}
@@ -189,7 +249,8 @@ func Build(txns []*types.Txn, readBase ReadBase) *Graph {
 		}
 	}
 
-	// Pass 3: LD and PD edges.
+	// Pass 3: LD and PD edges. Dependency values without an in-epoch
+	// producer stay unfilled (PDSrc entry nil) until CaptureBases.
 	for _, tn := range g.Txns {
 		if len(tn.Ops) > 1 {
 			cond := tn.Ops[0]
@@ -203,12 +264,11 @@ func Build(txns []*types.Txn, readBase ReadBase) *Graph {
 			if len(n.Op.Deps) == 0 {
 				continue
 			}
-			n.PDSrc = make([]*OpNode, len(n.Op.Deps))
-			n.DepVals = make([]types.Value, len(n.Op.Deps))
+			n.PDSrc = resize(n.PDSrc, len(n.Op.Deps))
+			n.DepVals = resize(n.DepVals, len(n.Op.Deps))
 			for i, dk := range n.Op.Deps {
 				src := latestEarlierWriter(g.Chains[dk], n.Op.TS)
 				if src == nil {
-					n.DepVals[i] = readBase(dk)
 					continue
 				}
 				n.PDSrc[i] = src
@@ -217,7 +277,80 @@ func Build(txns []*types.Txn, readBase ReadBase) *Graph {
 			}
 		}
 	}
-	return g
+}
+
+// CaptureBases fills the dependency values that have no in-epoch producer
+// with the store's current (epoch-start) content. It must run after the
+// previous epoch's execution has fully finished and before this graph's
+// execution starts — the epoch barrier of the pipelined engine.
+func (g *Graph) CaptureBases(readBase ReadBase) {
+	for _, tn := range g.Txns {
+		for _, n := range tn.Ops {
+			for i, src := range n.PDSrc {
+				if src == nil {
+					n.DepVals[i] = readBase(n.Op.Deps[i])
+				}
+			}
+		}
+	}
+}
+
+// ResetExec rewinds the graph's execution state — dependency counters,
+// executed flags, abort verdicts, base/result values — so the same
+// structure can be executed again. Captured epoch-start dependency values
+// are kept as-is, so a re-run against a mutated store is structurally
+// identical but not value-identical to the first; benchmarks use it to
+// measure pure scheduling cost without rebuilding the graph.
+func (g *Graph) ResetExec() {
+	for _, tn := range g.Txns {
+		tn.aborted.Store(false)
+		for _, n := range tn.Ops {
+			n.pending.Store(0)
+			n.executed.Store(false)
+			n.Base, n.Result = 0, 0
+		}
+	}
+	for _, ch := range g.ChainList {
+		for i := 1; i < len(ch.Ops); i++ {
+			ch.Ops[i].pending.Add(1)
+		}
+	}
+	for _, tn := range g.Txns {
+		if len(tn.Ops) > 1 {
+			for _, n := range tn.Ops[1:] {
+				n.pending.Add(1)
+			}
+		}
+		for _, n := range tn.Ops {
+			for _, src := range n.PDSrc {
+				if src != nil {
+					n.pending.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// rewind clears the graph for reuse, keeping arena chunks, slice
+// capacities, and the chain map's buckets.
+func (g *Graph) rewind() {
+	g.Txns = g.Txns[:0]
+	clear(g.Chains)
+	g.ChainList = g.ChainList[:0]
+	g.NumOps = 0
+	g.nodes.rewind()
+	g.txns.rewind()
+	g.chains.rewind()
+}
+
+// resize returns s with length n and zeroed content, reusing capacity.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
 }
 
 func sorted(ops []*OpNode) bool {

@@ -1,0 +1,175 @@
+// Command chaosbench measures the self-healing runtime: for every
+// fault-tolerance mechanism and chaos scenario it drives a supervised run
+// through internal/ft/crashtest.Chaos and records detection latency, MTTR
+// (detection to resumed live processing), transient-retry absorption, and
+// whether the supervised recovery matched the offline crashtest path. The
+// committed report is the online-recovery record next to the paper's
+// offline replay numbers; regenerate it after supervisor changes with:
+//
+//	go run ./cmd/chaosbench -o BENCH_chaos.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"morphstreamr/internal/ft/crashtest"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/workload"
+)
+
+// Entry is one measured (mechanism, scenario, pipelined) cell: the median
+// sample by MTTR, with detection/MTTR extremes across samples.
+type Entry struct {
+	Kind      string `json:"kind"`
+	Scenario  string `json:"scenario"`
+	Pipelined bool   `json:"pipelined"`
+	Samples   int    `json:"samples"`
+
+	Recoveries int `json:"recoveries"`
+	// DetectionUs is fault occurrence to supervisor detection (zero when
+	// the fault healed below the supervisor).
+	DetectionUs    float64 `json:"detection_us"`
+	MinDetectionUs float64 `json:"min_detection_us"`
+	// MTTRUs is detection to recovery complete and the stream resumed.
+	MTTRUs    float64 `json:"mttr_us"`
+	MinMTTRUs float64 `json:"min_mttr_us"`
+	MaxMTTRUs float64 `json:"max_mttr_us"`
+	// Retries and Absorbed count transient-retry work across the run.
+	Retries  int64 `json:"retries"`
+	Absorbed int64 `json:"absorbed"`
+	// EventsReplayed is the recovery's replay volume (fatal/panic heals).
+	EventsReplayed int `json:"events_replayed"`
+	// OfflineMatch reports supervised-vs-offline recovery agreement
+	// (meaningful for fatal-heal; vacuously true otherwise).
+	OfflineMatch bool `json:"offline_match"`
+	// WallUs is the whole supervised run's wall clock.
+	WallUs float64 `json:"wall_us"`
+}
+
+// Report is the file layout of BENCH_chaos.json.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Epochs     int     `json:"epochs"`
+	EpochSize  int     `json:"epoch_size"`
+	Note       string  `json:"note"`
+	Entries    []Entry `json:"entries"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// measure runs one chaos cell `repeat` times and keeps the median sample
+// by MTTR (wall-clock healing time on a shared host is noisy; the median
+// is the honest central estimate), plus min/max spread.
+func measure(kind ftapi.Kind, sc crashtest.Scenario, pipelined bool, epochs, epochSize, repeat int) (Entry, error) {
+	outs := make([]*crashtest.ChaosOutcome, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		out, err := crashtest.Chaos(crashtest.ChaosConfig{
+			Config: crashtest.Config{
+				Kind:      kind,
+				NewGen:    func() workload.Generator { return fttest.SLGen(79) },
+				Epochs:    epochs,
+				EpochSize: epochSize,
+				Pipelined: pipelined,
+			},
+			Scenario: sc,
+		})
+		if err != nil {
+			return Entry{}, err
+		}
+		outs = append(outs, out)
+	}
+	// Insertion-sort by MTTR; repeat is tiny.
+	for i := 1; i < len(outs); i++ {
+		for j := i; j > 0 && outs[j].MTTR < outs[j-1].MTTR; j-- {
+			outs[j], outs[j-1] = outs[j-1], outs[j]
+		}
+	}
+	med := outs[len(outs)/2]
+	e := Entry{
+		Kind:           kind.String(),
+		Scenario:       sc.String(),
+		Pipelined:      pipelined,
+		Samples:        len(outs),
+		Recoveries:     med.Recoveries,
+		DetectionUs:    us(med.Detection),
+		MinDetectionUs: us(med.Detection),
+		MTTRUs:         us(med.MTTR),
+		MinMTTRUs:      us(outs[0].MTTR),
+		MaxMTTRUs:      us(outs[len(outs)-1].MTTR),
+		Retries:        med.RetryStats.Retries,
+		Absorbed:       med.RetryStats.Absorbed,
+		OfflineMatch:   med.OfflineMatch,
+		WallUs:         us(med.Wall),
+	}
+	for _, o := range outs {
+		if o.Detection > 0 && us(o.Detection) < e.MinDetectionUs {
+			e.MinDetectionUs = us(o.Detection)
+		}
+	}
+	if len(med.Reports) > 0 {
+		e.EventsReplayed = med.Reports[0].EventsReplayed
+	}
+	return e, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_chaos.json", "output path for the JSON report")
+	repeat := flag.Int("repeat", 5, "samples per cell; the median by MTTR is kept")
+	epochs := flag.Int("epochs", 10, "epochs per run")
+	epochSize := flag.Int("epochsize", 48, "events per epoch")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Epochs:     *epochs,
+		EpochSize:  *epochSize,
+		Note: "Each cell is one supervised chaos run (internal/ft/crashtest.Chaos): " +
+			"a scripted fault storm against a live engine, healed in-process by " +
+			"internal/supervisor. detection_us is fault injection to supervisor " +
+			"detection; mttr_us is detection to recovery complete and the stream " +
+			"resumed. transient-storm cells heal at the retry layer (0 recoveries, " +
+			"mttr 0); fatal-heal and mid-epoch-panic cells heal with exactly one " +
+			"in-process recovery, verified state- and output-equal to the oracle, " +
+			"and fatal-heal additionally verified report-equal to the offline " +
+			"crash-point recovery of the same write site.",
+	}
+
+	kinds := []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+	scenarios := []crashtest.Scenario{crashtest.TransientStorm, crashtest.FatalHeal, crashtest.MidEpochPanic}
+	for _, kind := range kinds {
+		for _, sc := range scenarios {
+			for _, pipelined := range []bool{false, true} {
+				e, err := measure(kind, sc, pipelined, *epochs, *epochSize, *repeat)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "chaosbench:", err)
+					os.Exit(1)
+				}
+				rep.Entries = append(rep.Entries, e)
+				fmt.Fprintf(os.Stderr, "%-5s %-16s pipelined=%-5v: detect %7.0f µs, mttr %7.0f µs, %d recoveries, %d retries\n",
+					e.Kind, e.Scenario, e.Pipelined, e.DetectionUs, e.MTTRUs, e.Recoveries, e.Retries)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *out, len(rep.Entries))
+}

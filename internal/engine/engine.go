@@ -87,6 +87,20 @@ type Config struct {
 	Pipeline bool
 	// Bytes receives artifact-size accounting; nil allocates a fresh one.
 	Bytes *metrics.Bytes
+	// OnEpoch, when non-nil, is called after each successfully processed
+	// epoch with its number. The supervisor's watchdog uses it as the
+	// liveness signal for stall detection.
+	OnEpoch func(epoch uint64)
+	// Sink, when non-nil, receives every batch of outputs at the moment
+	// they are released downstream (in release order), in addition to the
+	// engine's internal delivered ledger. It lets a supervisor accumulate
+	// outputs across engine incarnations without reading an abandoned
+	// engine's ledger from another goroutine.
+	Sink func(outs []types.Output)
+	// FireHook, when non-nil, is passed to the scheduler and runs before
+	// every operation fires on the live parallel path. Chaos testing and
+	// the supervisor's cancellation hooks use it; nil costs nothing.
+	FireHook func(*tpg.OpNode)
 }
 
 func (c *Config) normalize() error {
@@ -237,6 +251,9 @@ func (e *Engine) ProcessEpoch(events []types.Event) error {
 		return err
 	}
 	e.totalWall += time.Since(start)
+	if e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(e.epoch)
+	}
 	return nil
 }
 
@@ -348,8 +365,9 @@ func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc
 
 	// Transaction processing phase: real parallel exploration of the graph.
 	if _, err := scheduler.Run(g, e.st, scheduler.Options{
-		Workers: e.cfg.Workers,
-		Assign:  func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
+		Workers:  e.cfg.Workers,
+		Assign:   func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
+		FireHook: e.cfg.FireHook,
 	}); err != nil {
 		return fmt.Errorf("engine: epoch %d: %w", ep, err)
 	}
@@ -483,12 +501,16 @@ func (e *Engine) drainInflight() error {
 	return e.commitVisible(ep)
 }
 
-// release moves pending outputs of epochs <= upTo to the delivered ledger.
+// release moves pending outputs of epochs <= upTo to the delivered ledger
+// (and the configured Sink, if any).
 func (e *Engine) release(upTo uint64) {
 	kept := e.pending[:0]
 	for _, p := range e.pending {
 		if p.epoch <= upTo {
 			e.delivered = append(e.delivered, p.outs...)
+			if e.cfg.Sink != nil {
+				e.cfg.Sink(p.outs)
+			}
 		} else {
 			kept = append(kept, p)
 		}

@@ -78,6 +78,9 @@ func (e *Engine) ProcessEpochs(batches [][]types.Event) error {
 			return err
 		}
 		e.totalWall += time.Since(start)
+		if e.cfg.OnEpoch != nil {
+			e.cfg.OnEpoch(e.epoch)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,95 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/workload"
+)
+
+// TestChaosMatrix drives the supervisor through every fault scenario for
+// every recoverable mechanism, pipelined and not: transient storms heal
+// with zero recoveries, fatal faults and mid-epoch panics with exactly
+// one, and every run's final state and output ledger match the oracle.
+// Chaos() itself performs the verification; a non-nil error is a failure.
+func TestChaosMatrix(t *testing.T) {
+	kinds := []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+	scenarios := []Scenario{TransientStorm, FatalHeal, MidEpochPanic}
+	for _, kind := range kinds {
+		for _, sc := range scenarios {
+			for _, pipelined := range []bool{false, true} {
+				kind, sc, pipelined := kind, sc, pipelined
+				name := fmt.Sprintf("%v/%v/pipelined=%v", kind, sc, pipelined)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					out, err := Chaos(ChaosConfig{
+						Config: Config{
+							Kind:      kind,
+							NewGen:    func() workload.Generator { return fttest.SLGen(61) },
+							Pipelined: pipelined,
+						},
+						Scenario: sc,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sc == FatalHeal {
+						if !out.OfflineMatch {
+							t.Fatal("supervised recovery diverged from the offline crashtest path")
+						}
+						if out.MTTR <= 0 {
+							t.Fatalf("MTTR not measured: %+v", out)
+						}
+					}
+					if sc == MidEpochPanic && len(out.Incidents) == 1 && out.Incidents[0].Cause != "panic" {
+						t.Fatalf("panic classified as %q", out.Incidents[0].Cause)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosFaultSitePlacement moves the fatal fault across the write
+// sequence — early (before the first commit), middle, and late — to cover
+// heals that resume from different punctuations.
+func TestChaosFaultSitePlacement(t *testing.T) {
+	for _, at := range []int{1, 4, 9} {
+		at := at
+		t.Run(fmt.Sprintf("write=%d", at), func(t *testing.T) {
+			t.Parallel()
+			_, err := Chaos(ChaosConfig{
+				Config: Config{
+					Kind:   ftapi.WAL,
+					NewGen: func() workload.Generator { return fttest.SLGen(67) },
+				},
+				Scenario: FatalHeal,
+				FaultAt:  at,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosLongStorm stretches the storm to many consecutive writes and
+// the retry budget with it: still zero recoveries, still oracle-equal.
+func TestChaosLongStorm(t *testing.T) {
+	out, err := Chaos(ChaosConfig{
+		Config: Config{
+			Kind:   ftapi.MSR,
+			NewGen: func() workload.Generator { return fttest.SLGen(71) },
+		},
+		Scenario: TransientStorm,
+		StormLen: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RetryStats.Retries < 8 {
+		t.Fatalf("storm of 8 produced only %d retries", out.RetryStats.Retries)
+	}
+}

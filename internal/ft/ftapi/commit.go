@@ -1,12 +1,21 @@
 package ftapi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/storage"
 )
+
+// ErrPoisoned marks errors surfaced by a poisoned GroupCommitter: an
+// earlier durable group-commit write failed, and committing anything after
+// the lost group would leave a silent gap in the log. Callers match it with
+// errors.Is (and reach the original write failure with errors.As/Is through
+// the chain); the supervisor uses it to classify the failure and, after a
+// successful recovery, calls Rearm on the replacement mechanism's committer.
+var ErrPoisoned = errors.New("ftapi: group committer poisoned")
 
 // GroupCommitter is the buffered group-commit machinery shared by every
 // logging mechanism: sealed epochs buffer their encoded payloads, and a
@@ -88,6 +97,22 @@ func (g *GroupCommitter) Commit(hi uint64) error {
 // would leave a silent gap in the log.
 func (g *GroupCommitter) Failed() error { return g.state.err() }
 
+// Rearm clears the poison after a successful recovery and drops anything
+// still buffered. It is only sound once recovery has re-established the
+// durable log as the source of truth: the poisoned committer's lost group
+// was replayed (or re-executed) from the last committed punctuation, so the
+// gap the poison guarded against no longer exists. Buffered epochs are
+// discarded for the same reason — the new incarnation reprocesses them.
+func (g *GroupCommitter) Rearm() {
+	g.state.mu.Lock()
+	g.state.failed = nil
+	g.state.mu.Unlock()
+	if g.bufBytes > 0 {
+		g.bytes.Free(g.bufCategory, g.bufBytes)
+	}
+	g.buffered, g.bufBytes = nil, 0
+}
+
 // PrepareCommit snapshots and frames the buffered group, clears the
 // buffer, and returns the durable write as a closure. The closure touches
 // only the storage device, the byte accounting, and the shared failure
@@ -98,7 +123,7 @@ func (g *GroupCommitter) PrepareCommit(hi uint64) (write func() error, ok bool) 
 	if err := g.state.err(); err != nil {
 		logCat := g.logCategory
 		return func() error {
-			return fmt.Errorf("%s: commit: earlier group-commit write failed: %w", logCat, err)
+			return fmt.Errorf("%s: commit: %w: %w", logCat, ErrPoisoned, err)
 		}, true
 	}
 	if len(g.buffered) == 0 {
@@ -109,12 +134,15 @@ func (g *GroupCommitter) PrepareCommit(hi uint64) (write func() error, ok bool) 
 	g.buffered, g.bufBytes = nil, 0
 	dev, bytes, bufCat, logCat, state := g.dev, g.bytes, g.bufCategory, g.logCategory, g.state
 	return func() error {
+		// The group left the buffer at prepare time, so its live bytes are
+		// released whether or not the write lands; on failure the payload is
+		// dropped (and the committer poisoned), not retained.
+		defer bytes.Free(bufCat, freed)
 		if err := dev.Append(storage.LogFT, storage.Record{Epoch: hi, Payload: payload}); err != nil {
 			state.fail(err)
 			return fmt.Errorf("%s: commit: %w", logCat, err)
 		}
 		bytes.Written(logCat, int64(len(payload)))
-		bytes.Free(bufCat, freed)
 		return nil
 	}, true
 }

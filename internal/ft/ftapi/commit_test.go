@@ -1,6 +1,7 @@
 package ftapi
 
 import (
+	"errors"
 	"testing"
 
 	"morphstreamr/internal/metrics"
@@ -137,5 +138,72 @@ func TestCommitFailurePoisons(t *testing.T) {
 	}
 	if err := write(); err == nil {
 		t.Fatal("poisoned prepared write returned nil")
+	}
+}
+
+// TestPoisonSentinelMatchable: poison errors carry the exported sentinel
+// and the original device failure through the chain, so supervisors can
+// classify with errors.Is instead of string matching.
+func TestPoisonSentinelMatchable(t *testing.T) {
+	dev := storage.NewFaulty(storage.NewMem(), 0)
+	g := NewGroupCommitter(dev, metrics.NewBytes(), "buf", "log")
+
+	g.Buffer(1, []byte("lost"))
+	first := g.Commit(1)
+	if first == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	// The first failure is the device error itself, not yet a poison error.
+	if errors.Is(first, ErrPoisoned) {
+		t.Fatalf("first failure already marked poisoned: %v", first)
+	}
+
+	g.Buffer(2, []byte("later"))
+	later := g.Commit(2)
+	if !errors.Is(later, ErrPoisoned) {
+		t.Fatalf("later commit not matchable as ErrPoisoned: %v", later)
+	}
+	if !errors.Is(later, storage.ErrInjected) {
+		t.Fatalf("original write failure lost from the chain: %v", later)
+	}
+	if !errors.Is(g.Failed(), storage.ErrInjected) {
+		t.Fatalf("Failed() = %v", g.Failed())
+	}
+}
+
+// TestRearmClearsPoison: after recovery re-establishes the log as the
+// source of truth, Rearm restores the committer to a working state with an
+// empty buffer.
+func TestRearmClearsPoison(t *testing.T) {
+	inner := storage.NewMem()
+	dev := storage.NewFaulty(inner, 0)
+	bytes := metrics.NewBytes()
+	g := NewGroupCommitter(dev, bytes, "buf", "log")
+
+	g.Buffer(1, []byte("lost"))
+	if err := g.Commit(1); err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	g.Buffer(2, []byte("stale")) // buffered while poisoned
+
+	g.dev = inner // device healed
+	g.Rearm()
+	if g.Failed() != nil {
+		t.Fatalf("Rearm left poison: %v", g.Failed())
+	}
+	if g.Buffered() != 0 {
+		t.Fatalf("Rearm left %d buffered epochs", g.Buffered())
+	}
+	if live := bytes.Live(); live != 0 {
+		t.Fatalf("Rearm leaked %d live buffered bytes", live)
+	}
+
+	g.Buffer(3, []byte("fresh"))
+	if err := g.Commit(3); err != nil {
+		t.Fatalf("rearmed commit failed: %v", err)
+	}
+	recs, _ := inner.ReadLog(storage.LogFT)
+	if len(recs) != 1 || recs[0].Epoch != 3 {
+		t.Fatalf("log after rearm = %+v", recs)
 	}
 }

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Incident records one detected runtime failure and, if healing succeeded,
+// how long it took. Detection is fault-occurrence to detection (zero-ish
+// for surfaced errors, up to the stall timeout for wedged epochs); MTTR is
+// detection to resumed live processing — the end-to-end healing time that
+// fault-recovery benchmarking measures on top of the paper's replay speed.
+type Incident struct {
+	// Cause classifies the failure: "io-transient-exhausted", "io-fatal",
+	// "poisoned", "panic", or "stall".
+	Cause string
+	// Err is the surfaced error text ("" for stalls).
+	Err string
+	// DetectedAt is when the supervisor observed the failure.
+	DetectedAt time.Time
+	// Detection is the latency from fault occurrence (first injection or
+	// last observed progress) to DetectedAt, when the baseline is known.
+	Detection time.Duration
+	// MTTR is DetectedAt to recovery completed and the stream resumed.
+	MTTR time.Duration
+	// RecoveredEpoch is the epoch processing resumed from (last committed
+	// punctuation + 1). Zero when healing failed.
+	RecoveredEpoch uint64
+	// Healed reports whether in-process recovery succeeded.
+	Healed bool
+}
+
+// Health is a thread-safe incident log kept by the supervisor.
+type Health struct {
+	mu        sync.Mutex
+	incidents []Incident
+}
+
+// NewHealth creates an empty incident log.
+func NewHealth() *Health { return &Health{} }
+
+// Record appends one incident.
+func (h *Health) Record(inc Incident) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.incidents = append(h.incidents, inc)
+}
+
+// Incidents returns a snapshot of all recorded incidents in order.
+func (h *Health) Incidents() []Incident {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Incident, len(h.incidents))
+	copy(out, h.incidents)
+	return out
+}
+
+// Healed counts incidents that recovered successfully.
+func (h *Health) Healed() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, inc := range h.incidents {
+		if inc.Healed {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanMTTR averages MTTR over healed incidents (zero when none).
+func (h *Health) MeanMTTR() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sum time.Duration
+	n := 0
+	for _, inc := range h.incidents {
+		if inc.Healed {
+			sum += inc.MTTR
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}

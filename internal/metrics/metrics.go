@@ -235,6 +235,17 @@ func (b *Bytes) WrittenBy(category string) int64 {
 	return b.counts[category]
 }
 
+// Live returns the current live bytes summed across categories.
+func (b *Bytes) Live() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t int64
+	for _, n := range b.live {
+		t += n
+	}
+	return t
+}
+
 // PeakLive returns the peak live bytes summed across categories: the
 // maximum per-category peaks, a close upper bound on true peak usage given
 // the engine's epoch-synchronised lifecycle.

@@ -1,0 +1,71 @@
+package scheduler
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"morphstreamr/internal/tpg"
+)
+
+// TestOpPanicFailsEpochNotProcess: an operation panic must surface as an
+// ErrOpPanic-wrapped error from Run — the pool shuts down, no goroutine
+// leaks, the process survives.
+func TestOpPanicFailsEpochNotProcess(t *testing.T) {
+	gen := smallGens(1)["SL"]
+	for _, workers := range []int{1, 2, 4} {
+		g, st, _ := buildEpoch(gen, 400)
+		target := g.NumOps / 2
+		var fired atomic.Int64
+		_, err := Run(g, st, Options{
+			Workers: workers,
+			FireHook: func(n *tpg.OpNode) {
+				if fired.Add(1) == int64(target) {
+					panic("injected op failure")
+				}
+			},
+		})
+		if !errors.Is(err, ErrOpPanic) {
+			t.Fatalf("w=%d: want ErrOpPanic, got %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "injected op failure") {
+			t.Fatalf("w=%d: panic value lost: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "panic_test.go") {
+			t.Fatalf("w=%d: stack trace missing from error", workers)
+		}
+	}
+}
+
+// TestOpPanicFirstWins: when several workers panic, Run reports the first
+// recorded one and survives the rest.
+func TestOpPanicFirstWins(t *testing.T) {
+	gen := smallGens(2)["GS"]
+	g, st, _ := buildEpoch(gen, 400)
+	_, err := Run(g, st, Options{
+		Workers:  4,
+		FireHook: func(n *tpg.OpNode) { panic("every op panics") },
+	})
+	if !errors.Is(err, ErrOpPanic) {
+		t.Fatalf("want ErrOpPanic, got %v", err)
+	}
+}
+
+// TestFireHookObservesEveryOp: with no panic, the hook sees every fired
+// operation exactly once and the run completes normally.
+func TestFireHookObservesEveryOp(t *testing.T) {
+	gen := smallGens(3)["SL"]
+	g, st, events := buildEpoch(gen, 400)
+	var fired atomic.Int64
+	if _, err := Run(g, st, Options{
+		Workers:  4,
+		FireHook: func(n *tpg.OpNode) { fired.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != int64(g.NumOps) {
+		t.Fatalf("hook saw %d ops, want %d", got, g.NumOps)
+	}
+	compareToOracle(t, gen.App(), st, oracleState(gen.App(), events))
+}

@@ -19,8 +19,10 @@
 package scheduler
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,12 @@ import (
 	"morphstreamr/internal/tpg"
 	"morphstreamr/internal/types"
 )
+
+// ErrOpPanic is wrapped by Run's error when an operation panicked. The
+// panic is confined to the failing epoch: the worker pool shuts down
+// cleanly, Run returns instead of crashing the process, and the caller
+// (the supervisor) treats the epoch as failed and recovers.
+var ErrOpPanic = errors.New("scheduler: operation panicked")
 
 // Options configures a parallel run.
 type Options struct {
@@ -43,6 +51,11 @@ type Options struct {
 	// Timing enables per-operation clock accounting. Leave it off on the
 	// runtime hot path; recovery turns it on to produce breakdowns.
 	Timing bool
+	// FireHook, when non-nil, runs before every operation fires on the
+	// parallel path. It exists for chaos testing — injecting panics or
+	// wedging a worker at a chosen operation — and for the supervisor's
+	// cancellation hooks; nil costs nothing on the hot path.
+	FireHook func(*tpg.OpNode)
 }
 
 // Run executes every node of the graph with the configured worker pool and
@@ -73,6 +86,7 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 		st:     st,
 		deques: make([]wsDeque, workers),
 		timing: opt.Timing,
+		hook:   opt.FireHook,
 	}
 	run.pending.Store(int64(g.NumOps))
 	run.idleCond = sync.NewCond(&run.idleMu)
@@ -88,10 +102,24 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			// Panic isolation: an operation panic fails the epoch, not the
+			// process. Record the first panic, terminate the pool, and let
+			// Run surface it; peers drain normally once done is set.
+			defer func() {
+				if pv := recover(); pv != nil {
+					run.recordPanic(pv, debug.Stack())
+					run.done.Store(true)
+					run.wakeAll()
+				}
+			}()
 			run.worker(w, &clocks[w])
 		}(w)
 	}
 	wg.Wait()
+	if pv := run.panicked.Load(); pv != nil {
+		p := pv.(*opPanic)
+		return clocks, fmt.Errorf("%w: %v\n%s", ErrOpPanic, p.value, p.stack)
+	}
 	if n := run.pending.Load(); n != 0 {
 		return clocks, fmt.Errorf("scheduler: %d operations never became ready (dependency cycle?)", n)
 	}
@@ -108,6 +136,10 @@ type parallelRun struct {
 	st     *store.Store
 	deques []wsDeque
 	timing bool
+	hook   func(*tpg.OpNode)
+
+	// panicked holds the first *opPanic recovered from a worker.
+	panicked atomic.Value
 
 	// pending counts unretired operations; the worker that moves it to
 	// zero sets done and wakes all parked workers.
@@ -303,7 +335,22 @@ func (r *parallelRun) wakeAll() {
 	r.idleMu.Unlock()
 }
 
+// opPanic records the first worker panic of a run.
+type opPanic struct {
+	value any
+	stack []byte
+}
+
+// recordPanic stores the first panic; later ones (peers tripping over the
+// same poisoned state) are dropped — the first is the cause.
+func (r *parallelRun) recordPanic(pv any, stack []byte) {
+	r.panicked.CompareAndSwap(nil, &opPanic{value: pv, stack: stack})
+}
+
 func (r *parallelRun) fire(n *tpg.OpNode, clock *metrics.WorkerClock) {
+	if h := r.hook; h != nil {
+		h(n)
+	}
 	if !r.timing {
 		tpg.Fire(n, r.st)
 		return

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,10 @@ import (
 	"strings"
 	"sync"
 )
+
+// openFile is a test seam for fault injection (e.g. handing back /dev/full
+// or an already-closed handle to exercise cleanup paths).
+var openFile = os.OpenFile
 
 // File is a directory-backed Device. Each log is one append-only file of
 // length-prefixed framed records; each blob is one file replaced via the
@@ -68,7 +73,7 @@ func (f *File) openLogLocked(log string) (*os.File, error) {
 	if fh, ok := f.logs[log]; ok {
 		return fh, nil
 	}
-	fh, err := os.OpenFile(f.logPath(log), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	fh, err := openFile(f.logPath(log), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open log %q: %w", log, err)
 	}
@@ -78,6 +83,11 @@ func (f *File) openLogLocked(log string) (*os.File, error) {
 
 // Append implements Device. Record framing: 8-byte big-endian epoch,
 // 4-byte big-endian length, payload.
+//
+// A failed append leaves no partial frame behind: the file is truncated
+// back to its pre-write length and the cached handle is dropped, so an
+// in-process retry (or a healed incarnation reusing the directory) starts
+// from a clean log tail rather than a torn header.
 func (f *File) Append(log string, rec Record) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -85,20 +95,41 @@ func (f *File) Append(log string, rec Record) error {
 	if err != nil {
 		return err
 	}
+	var size int64 = -1
+	if st, err := fh.Stat(); err == nil {
+		size = st.Size()
+	}
 	var hdr [12]byte
 	binary.BigEndian.PutUint64(hdr[0:8], rec.Epoch)
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Payload)))
 	if _, err := fh.Write(hdr[:]); err != nil {
-		return fmt.Errorf("storage: append %q: %w", log, err)
+		return f.undoAppendLocked(log, fh, size, fmt.Errorf("storage: append %q: %w", log, err))
 	}
 	if _, err := fh.Write(rec.Payload); err != nil {
-		return fmt.Errorf("storage: append %q: %w", log, err)
+		return f.undoAppendLocked(log, fh, size, fmt.Errorf("storage: append %q: %w", log, err))
 	}
 	if err := fh.Sync(); err != nil {
-		return fmt.Errorf("storage: sync %q: %w", log, err)
+		return f.undoAppendLocked(log, fh, size, fmt.Errorf("storage: sync %q: %w", log, err))
 	}
 	f.bytes[log] += int64(len(rec.Payload))
 	return nil
+}
+
+// undoAppendLocked rolls a failed append back to the pre-write file size,
+// closes the handle, and drops it from the cache so the next append
+// reopens fresh. The original write error always comes first in the join;
+// rollback problems are appended rather than swallowed.
+func (f *File) undoAppendLocked(log string, fh *os.File, size int64, werr error) error {
+	if size >= 0 {
+		if terr := fh.Truncate(size); terr != nil {
+			werr = errors.Join(werr, fmt.Errorf("storage: rollback %q: %w", log, terr))
+		}
+	}
+	if cerr := fh.Close(); cerr != nil {
+		werr = errors.Join(werr, fmt.Errorf("storage: close %q: %w", log, cerr))
+	}
+	delete(f.logs, log)
+	return werr
 }
 
 // ReadLog implements Device.
@@ -139,26 +170,38 @@ func (f *File) WriteBlob(name string, payload []byte) error {
 	defer f.mu.Unlock()
 	dst := f.blobPath(name)
 	tmp := dst + ".tmp"
-	fh, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	fh, err := openFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: write blob %q: %w", name, err)
 	}
 	if _, err := fh.Write(payload); err != nil {
-		fh.Close()
-		return fmt.Errorf("storage: write blob %q: %w", name, err)
+		return dropTemp(tmp, fh, fmt.Errorf("storage: write blob %q: %w", name, err))
 	}
 	if err := fh.Sync(); err != nil {
-		fh.Close()
-		return fmt.Errorf("storage: sync blob %q: %w", name, err)
+		return dropTemp(tmp, fh, fmt.Errorf("storage: sync blob %q: %w", name, err))
 	}
 	if err := fh.Close(); err != nil {
-		return fmt.Errorf("storage: close blob %q: %w", name, err)
+		return dropTemp(tmp, nil, fmt.Errorf("storage: close blob %q: %w", name, err))
 	}
 	if err := os.Rename(tmp, dst); err != nil {
 		return fmt.Errorf("storage: commit blob %q: %w", name, err)
 	}
 	f.bytes[name] += int64(len(payload))
 	return nil
+}
+
+// dropTemp abandons a failed temp-file write: the handle (if still open)
+// is closed with its error propagated, and the temp file is removed
+// best-effort — it was never renamed into place, so leaving it behind is a
+// disk leak, not a correctness hazard.
+func dropTemp(tmp string, fh *os.File, werr error) error {
+	if fh != nil {
+		if cerr := fh.Close(); cerr != nil {
+			werr = errors.Join(werr, fmt.Errorf("storage: close %q: %w", tmp, cerr))
+		}
+	}
+	os.Remove(tmp)
+	return werr
 }
 
 // ReadBlob implements Device.
@@ -194,11 +237,13 @@ func (f *File) Truncate(log string, upTo uint64) error {
 	}
 	// Close the open append handle: we are about to replace the file.
 	if fh, ok := f.logs[log]; ok {
-		fh.Close()
 		delete(f.logs, log)
+		if cerr := fh.Close(); cerr != nil {
+			return fmt.Errorf("storage: truncate %q: close append handle: %w", log, cerr)
+		}
 	}
 	tmp := path + ".tmp"
-	fh, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	fh, err := openFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: truncate %q: %w", log, err)
 	}
@@ -210,20 +255,17 @@ func (f *File) Truncate(log string, upTo uint64) error {
 		binary.BigEndian.PutUint64(hdr[0:8], rec.Epoch)
 		binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Payload)))
 		if _, err := fh.Write(hdr[:]); err != nil {
-			fh.Close()
-			return fmt.Errorf("storage: truncate %q: %w", log, err)
+			return dropTemp(tmp, fh, fmt.Errorf("storage: truncate %q: %w", log, err))
 		}
 		if _, err := fh.Write(rec.Payload); err != nil {
-			fh.Close()
-			return fmt.Errorf("storage: truncate %q: %w", log, err)
+			return dropTemp(tmp, fh, fmt.Errorf("storage: truncate %q: %w", log, err))
 		}
 	}
 	if err := fh.Sync(); err != nil {
-		fh.Close()
-		return fmt.Errorf("storage: truncate %q: %w", log, err)
+		return dropTemp(tmp, fh, fmt.Errorf("storage: truncate %q: %w", log, err))
 	}
 	if err := fh.Close(); err != nil {
-		return fmt.Errorf("storage: truncate %q: %w", log, err)
+		return dropTemp(tmp, nil, fmt.Errorf("storage: truncate %q: %w", log, err))
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("storage: truncate %q: %w", log, err)

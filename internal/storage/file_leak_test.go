@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openFDs counts this process's open file descriptors via /proc/self/fd.
+// Skips the calling test on platforms without procfs.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}
+
+// swapOpenFile installs a fault-injecting openFile seam for one test.
+func swapOpenFile(t *testing.T, fn func(string, int, os.FileMode) (*os.File, error)) {
+	t.Helper()
+	orig := openFile
+	openFile = fn
+	t.Cleanup(func() { openFile = orig })
+}
+
+// TestFileNoLeakOnFailedWrites verifies the cleanup-path contract: after a
+// failed append, blob write, or truncate, every handle the device opened
+// has been closed again. Failures are injected by handing out /dev/full
+// handles — real descriptors whose writes fail with ENOSPC — so a leaked
+// handle shows up as fd-count drift.
+func TestFileNoLeakOnFailedWrites(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skipf("no /dev/full: %v", err)
+	}
+	swapOpenFile(t, func(string, int, os.FileMode) (*os.File, error) {
+		return os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	})
+
+	dev, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	before := openFDs(t)
+	for i := 0; i < 10; i++ {
+		if err := dev.Append("log", Record{Epoch: 1, Payload: []byte("payload")}); err == nil {
+			t.Fatal("append to /dev/full succeeded")
+		}
+		if err := dev.WriteBlob("snap", []byte("payload")); err == nil {
+			t.Fatal("blob write to /dev/full succeeded")
+		}
+	}
+	if after := openFDs(t); after != before {
+		t.Fatalf("fd leak: %d open before failed writes, %d after", before, after)
+	}
+	if len(dev.logs) != 0 {
+		t.Fatalf("failed append left %d cached handles", len(dev.logs))
+	}
+}
+
+// TestFileCloseErrorsPropagate drives the error-join paths with handles
+// that are already closed, so every Write/Sync/Close on them fails; the
+// surfaced error must keep os.ErrClosed matchable through the chain.
+func TestFileCloseErrorsPropagate(t *testing.T) {
+	dir := t.TempDir()
+	swapOpenFile(t, func(name string, flag int, perm os.FileMode) (*os.File, error) {
+		fh, err := os.OpenFile(name, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		fh.Close()
+		return fh, nil
+	})
+
+	dev, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	if err := dev.Append("log", Record{Epoch: 1, Payload: []byte("a")}); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("append: %v", err)
+	}
+	if len(dev.logs) != 0 {
+		t.Fatalf("failed append left %d cached handles", len(dev.logs))
+	}
+	if err := dev.WriteBlob("snap", []byte("a")); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("blob: %v", err)
+	}
+	// The failed blob's temp file was removed, not left behind.
+	if _, err := os.Stat(filepath.Join(dir, "blob-snap.bin.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp blob left behind: %v", err)
+	}
+}
+
+// TestFileAppendRollsBackPartialFrame verifies that a failed append leaves
+// the log exactly as it was: readable, with no torn frame at the tail.
+func TestFileAppendRollsBackPartialFrame(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.Append("log", Record{Epoch: 1, Payload: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the cached handle for one where the payload write will fail
+	// mid-frame: a read-only descriptor on the same file. The header and
+	// payload writes both fail, and rollback truncates to the pre-write
+	// size — which is a no-op here since nothing landed, but the handle
+	// must be dropped and the log must stay parseable.
+	ro, err := os.Open(dev.logPath("log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.mu.Lock()
+	if fh, ok := dev.logs["log"]; ok {
+		fh.Close()
+	}
+	dev.logs["log"] = ro
+	dev.mu.Unlock()
+
+	if err := dev.Append("log", Record{Epoch: 2, Payload: []byte("bad")}); err == nil {
+		t.Fatal("append through read-only handle succeeded")
+	}
+	recs, err := dev.ReadLog("log")
+	if err != nil {
+		t.Fatalf("log unparseable after failed append: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "good" {
+		t.Fatalf("log contents after rollback: %+v", recs)
+	}
+	// The device recovered in place: the next append reopens and works.
+	if err := dev.Append("log", Record{Epoch: 2, Payload: []byte("again")}); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	recs, _ = dev.ReadLog("log")
+	if len(recs) != 2 {
+		t.Fatalf("log has %d records, want 2", len(recs))
+	}
+}

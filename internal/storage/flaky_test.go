@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFlakyStormWindow(t *testing.T) {
+	mem := NewMem()
+	f := NewFlaky(mem)
+	f.AddStorm(1, 2) // writes 1 and 2 fail transiently
+
+	if err := f.Append("log", Record{Epoch: 1, Payload: []byte("a")}); err != nil {
+		t.Fatalf("write 0: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		err := f.Append("log", Record{Epoch: 2, Payload: []byte("b")})
+		if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("storm write %d: %v", i, err)
+		}
+	}
+	if err := f.Append("log", Record{Epoch: 2, Payload: []byte("b")}); err != nil {
+		t.Fatalf("post-storm write: %v", err)
+	}
+	if f.Writes() != 4 || f.Injected() != 2 {
+		t.Fatalf("writes=%d injected=%d", f.Writes(), f.Injected())
+	}
+	if _, ok := f.FirstInjectionAt(); !ok {
+		t.Fatal("no first-injection timestamp")
+	}
+	recs, _ := mem.ReadLog("log")
+	if len(recs) != 2 {
+		t.Fatalf("medium has %d records, want 2", len(recs))
+	}
+}
+
+func TestFlakyOutageIsFatal(t *testing.T) {
+	f := NewFlaky(NewMem())
+	f.AddOutage(0, 1)
+	err := f.WriteBlob("snap", []byte("x"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatalf("outage misclassified transient: %v", err)
+	}
+}
+
+func TestFlakyFatalOverridesTransient(t *testing.T) {
+	f := NewFlaky(NewMem())
+	f.AddStorm(0, 1)
+	f.AddOutage(0, 1) // overlapping windows: fatal wins
+	err := f.Append("log", Record{Epoch: 1, Payload: []byte("a")})
+	if errors.Is(err, ErrTransient) {
+		t.Fatalf("overlap resolved transient: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestFlakyLatencySpike(t *testing.T) {
+	f := NewFlaky(NewMem())
+	var slept []time.Duration
+	f.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	f.AddLatency(1, 1, 7*time.Millisecond)
+
+	if err := f.Truncate("log", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append("log", Record{Epoch: 1, Payload: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("slept = %v", slept)
+	}
+	if f.Injected() != 0 {
+		t.Fatalf("latency counted as injection: %d", f.Injected())
+	}
+}
+
+func TestFlakyReadsAlwaysPass(t *testing.T) {
+	mem := NewMem()
+	if err := mem.Append("log", Record{Epoch: 1, Payload: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlaky(mem)
+	f.AddStorm(0, 100)
+	recs, err := f.ReadLog("log")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if _, _, err := f.ReadBlob("missing"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Writes() != 0 {
+		t.Fatalf("reads consumed write arrivals: %d", f.Writes())
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"morphstreamr/internal/ft/crashtest"
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/obs"
+	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
 )
 
@@ -68,7 +70,7 @@ func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // measure runs one chaos cell `repeat` times and keeps the median sample
 // by MTTR (wall-clock healing time on a shared host is noisy; the median
 // is the honest central estimate), plus min/max spread.
-func measure(kind ftapi.Kind, sc crashtest.Scenario, pipelined bool, epochs, epochSize, repeat int) (Entry, error) {
+func measure(kind ftapi.Kind, sc crashtest.Scenario, pipelined bool, epochs, epochSize, repeat int, o *obs.Observer) (Entry, error) {
 	outs := make([]*crashtest.ChaosOutcome, 0, repeat)
 	for i := 0; i < repeat; i++ {
 		out, err := crashtest.Chaos(crashtest.ChaosConfig{
@@ -77,9 +79,10 @@ func measure(kind ftapi.Kind, sc crashtest.Scenario, pipelined bool, epochs, epo
 				NewGen:    func() workload.Generator { return fttest.SLGen(79) },
 				Epochs:    epochs,
 				EpochSize: epochSize,
-				Pipelined: pipelined,
+				RunShape:  types.RunShape{Pipeline: pipelined},
 			},
 			Scenario: sc,
+			Obs:      o,
 		})
 		if err != nil {
 			return Entry{}, err
@@ -125,7 +128,25 @@ func main() {
 	repeat := flag.Int("repeat", 5, "samples per cell; the median by MTTR is kept")
 	epochs := flag.Int("epochs", 10, "epochs per run")
 	epochSize := flag.Int("epochsize", 48, "events per epoch")
+	obsAddr := flag.String("obs", "", "serve live telemetry (/metrics, /trace, pprof) on this address, e.g. :9090")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the whole run to this path")
 	flag.Parse()
+
+	var observer *obs.Observer
+	if *obsAddr != "" || *tracePath != "" {
+		// Lane 0 carries the engine driver and supervisor heals, lane 1 the
+		// pipelined builder; size the rings for a full multi-cell run.
+		observer = obs.NewObserver(2, 1<<16)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s/metrics and /trace\n", srv.URL())
+	}
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
@@ -149,7 +170,7 @@ func main() {
 	for _, kind := range kinds {
 		for _, sc := range scenarios {
 			for _, pipelined := range []bool{false, true} {
-				e, err := measure(kind, sc, pipelined, *epochs, *epochSize, *repeat)
+				e, err := measure(kind, sc, pipelined, *epochs, *epochSize, *repeat, observer)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "chaosbench:", err)
 					os.Exit(1)
@@ -172,4 +193,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *out, len(rep.Entries))
+
+	if *tracePath != "" {
+		events, dropped := observer.T().Drain()
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = obs.ExportChrome(f, events, dropped)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d dropped)\n", *tracePath, len(events), dropped)
+	}
 }

@@ -14,6 +14,7 @@
 //	-workers N    worker parallelism (default 4)
 //	-quick        reduced scale for smoke runs
 //	-nossd        disable the SSD performance model
+//	-obs ADDR     serve live telemetry (/metrics, /trace, pprof) while figures run
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"time"
 
 	"morphstreamr/internal/bench"
+	"morphstreamr/internal/obs"
+	"morphstreamr/internal/types"
 )
 
 func main() {
@@ -34,18 +37,28 @@ func main() {
 	workers := flag.Int("workers", 8, "worker parallelism")
 	quick := flag.Bool("quick", false, "reduced scale for smoke runs")
 	nossd := flag.Bool("nossd", false, "disable the SSD performance model")
+	obsAddr := flag.String("obs", "", "serve live telemetry (/metrics, /trace, pprof) on this address while figures run")
 	flag.Usage = usage
 	flag.Parse()
 
 	scale := bench.Scale{
-		BatchSize:     *batch,
-		SnapshotEvery: *snapshot,
-		PostEpochs:    *post,
-		Workers:       *workers,
-		SSD:           !*nossd,
+		RunShape:   types.RunShape{Workers: *workers, SnapshotEvery: *snapshot},
+		BatchSize:  *batch,
+		PostEpochs: *post,
+		SSD:        !*nossd,
 	}
 	if *quick {
 		scale = bench.QuickScale()
+	}
+	if *obsAddr != "" {
+		scale.Obs = obs.NewObserver(2, 1<<15)
+		srv, err := obs.Serve(*obsAddr, scale.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s/metrics and /trace\n", srv.URL())
 	}
 
 	args := flag.Args()

@@ -15,6 +15,8 @@
 //	-post N            epochs processed after the checkpoint (default 4)
 //	-auto              workload-aware log commitment (MSR)
 //	-seed N            generator seed (default 1)
+//	-obs ADDR          serve live telemetry (/metrics, /trace, pprof) during the run
+//	-trace PATH        write a Chrome trace_event JSON of the run
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"morphstreamr/internal/core"
 	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/workload"
 )
@@ -38,7 +41,40 @@ func main() {
 	post := flag.Int("post", 4, "epochs after the checkpoint (the recovery volume)")
 	auto := flag.Bool("auto", false, "workload-aware log commitment (MSR)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	obsAddr := flag.String("obs", "", "serve live telemetry (/metrics, /trace, pprof) on this address")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this path")
 	flag.Parse()
+
+	var observer *obs.Observer
+	if *obsAddr != "" || *tracePath != "" {
+		observer = obs.NewObserver(2, 1<<14)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s/metrics and /trace\n", srv.URL())
+	}
+	if *tracePath != "" {
+		defer func() {
+			events, dropped := observer.T().Drain()
+			f, err := os.Create(*tracePath)
+			if err == nil {
+				err = obs.ExportChrome(f, events, dropped)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d spans)\n", *tracePath, len(events))
+		}()
+	}
 
 	kind, err := ftapi.ParseKind(*ftName)
 	if err != nil {
@@ -65,13 +101,16 @@ func main() {
 	}
 
 	sys, err := core.New(gen.App(), core.Config{
-		FT:            kind,
-		Workers:       *workers,
-		BatchSize:     *batch,
-		CommitEvery:   *commit,
-		SnapshotEvery: *snapshot,
-		AutoCommit:    *auto,
-		SSDModel:      true,
+		RunShape: core.RunShape{
+			Workers:       *workers,
+			CommitEvery:   *commit,
+			SnapshotEvery: *snapshot,
+			AutoCommit:    *auto,
+		},
+		FT:        kind,
+		BatchSize: *batch,
+		SSDModel:  true,
+		Obs:       observer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -6,6 +6,14 @@
 // regenerate it after scheduler changes with:
 //
 //	go run ./cmd/schedbench -o BENCH_scheduler.json
+//
+// Observability flags:
+//
+//	-obs ADDR       serve live telemetry (/metrics, /trace, pprof) while the grid runs
+//	-trace PATH     write a Chrome trace_event JSON of the run
+//	-baseline PATH  compare steal cells against a prior report; warn beyond 2%
+//	-quick          one workload, workers {1,4}, single sample (CI smoke)
+//	-linger         keep serving -obs after the grid completes (Ctrl-C to exit)
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"runtime"
 	"testing"
 
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/schedbench"
 )
 
@@ -44,6 +53,26 @@ type Speedup struct {
 	Bytes float64 `json:"bytes_chanref_over_steal"`
 }
 
+// BaselineCell compares one steal cell against the same cell of a prior
+// report — the observability layer's hot-path overhead record: with
+// tracing off, after/before must stay within noise of 1.0.
+type BaselineCell struct {
+	Workload string  `json:"workload"`
+	Workers  int     `json:"workers"`
+	NsBefore float64 `json:"ns_per_epoch_before"`
+	NsAfter  float64 `json:"ns_per_epoch_after"`
+	// Ratio is after/before; >1 means this run is slower than the baseline.
+	Ratio float64 `json:"ratio"`
+}
+
+// Baseline is the comparison section written when -baseline is given.
+type Baseline struct {
+	Path string `json:"path"`
+	// MaxRatio is the worst (largest) after/before ratio across cells.
+	MaxRatio float64        `json:"max_ratio"`
+	Cells    []BaselineCell `json:"cells"`
+}
+
 // Report is the file layout of BENCH_scheduler.json.
 type Report struct {
 	GoVersion   string    `json:"go_version"`
@@ -53,13 +82,16 @@ type Report struct {
 	Note        string    `json:"note"`
 	Entries     []Entry   `json:"entries"`
 	Speedups    []Speedup `json:"speedups"`
+	Baseline    *Baseline `json:"baseline,omitempty"`
 }
 
 // measure benchmarks one grid cell, keeping the fastest of repeat samples:
 // the host is shared, so the minimum is the least-perturbed estimate of
 // the scheduler's actual cost (allocation stats are deterministic and
-// identical across samples).
-func measure(wl schedbench.Workload, impl string, workers, repeat int) Entry {
+// identical across samples). With a non-nil observer each run additionally
+// emits an execute span and scheduler counters — that cost is part of what
+// the sample then measures, which is the point of benchmarking with -trace.
+func measure(wl schedbench.Workload, impl string, workers, repeat int, o *obs.Observer, stats *obs.SchedStats) Entry {
 	ep := schedbench.Prepare(wl)
 	numOps := ep.G.NumOps
 	var res testing.BenchmarkResult
@@ -68,7 +100,7 @@ func measure(wl schedbench.Workload, impl string, workers, repeat int) Entry {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := schedbench.Run(impl, ep, workers); err != nil {
+				if err := schedbench.RunObserved(impl, ep, workers, o, stats); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -92,10 +124,76 @@ func measure(wl schedbench.Workload, impl string, workers, repeat int) Entry {
 	}
 }
 
+// compareBaseline loads a prior report and ratios every current steal cell
+// against its counterpart there (cells present in only one report are
+// skipped, so grid changes do not break comparison).
+func compareBaseline(path string, entries []Entry) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior Report
+	if err := json.Unmarshal(buf, &prior); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	before := map[string]float64{}
+	for _, e := range prior.Entries {
+		if e.Impl == schedbench.ImplSteal {
+			before[fmt.Sprintf("%s/%d", e.Workload, e.Workers)] = e.NsPerEpoch
+		}
+	}
+	b := &Baseline{Path: path}
+	for _, e := range entries {
+		if e.Impl != schedbench.ImplSteal {
+			continue
+		}
+		prev, ok := before[fmt.Sprintf("%s/%d", e.Workload, e.Workers)]
+		if !ok || prev <= 0 {
+			continue
+		}
+		cell := BaselineCell{
+			Workload: e.Workload,
+			Workers:  e.Workers,
+			NsBefore: prev,
+			NsAfter:  e.NsPerEpoch,
+			Ratio:    e.NsPerEpoch / prev,
+		}
+		b.Cells = append(b.Cells, cell)
+		if cell.Ratio > b.MaxRatio {
+			b.MaxRatio = cell.Ratio
+		}
+	}
+	return b, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_scheduler.json", "output path for the JSON report")
 	repeat := flag.Int("repeat", 3, "samples per cell; the fastest is kept")
+	obsAddr := flag.String("obs", "", "serve live telemetry (/metrics, /trace, pprof) on this address, e.g. :9090")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this path")
+	baselinePath := flag.String("baseline", "", "prior report to ratio steal cells against (overhead check)")
+	quick := flag.Bool("quick", false, "one workload, workers {1,4}, single sample (CI smoke)")
+	linger := flag.Bool("linger", false, "keep serving -obs after the grid completes")
 	flag.Parse()
+
+	var observer *obs.Observer
+	var stats *obs.SchedStats
+	if *obsAddr != "" || *tracePath != "" {
+		observer = obs.NewObserver(1, 1<<15)
+		stats = &obs.SchedStats{}
+		stats.Register(observer.Registry())
+	}
+	var srv *obs.Server
+	if *obsAddr != "" {
+		var err error
+		srv, err = obs.Serve(*obsAddr, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s/metrics and /trace\n", srv.URL())
+	}
 
 	rep := Report{
 		GoVersion:   runtime.Version(),
@@ -107,34 +205,60 @@ func main() {
 			"isolate scheduling cost from graph construction. chanref is " +
 			"the seed channel-based scheduler preserved in " +
 			"internal/scheduler/chanref.go; steal is the work-stealing " +
-			"scheduler on the production path.",
+			"scheduler on the production path. The baseline section, when " +
+			"present, ratios steal cells against a prior report — the " +
+			"observability layer's tracing-off overhead record.",
+	}
+
+	workloads := schedbench.Workloads()
+	workers := schedbench.Workers()
+	if *quick {
+		workloads = workloads[:1]
+		workers = []int{1, 4}
+		*repeat = 1
 	}
 
 	byKey := map[string]Entry{}
-	for _, wl := range schedbench.Workloads() {
+	for _, wl := range workloads {
 		for _, impl := range schedbench.Impls() {
-			for _, workers := range schedbench.Workers() {
-				e := measure(wl, impl, workers, *repeat)
+			for _, w := range workers {
+				e := measure(wl, impl, w, *repeat, observer, stats)
 				rep.Entries = append(rep.Entries, e)
-				byKey[fmt.Sprintf("%s/%s/%d", wl.Name, impl, workers)] = e
+				byKey[fmt.Sprintf("%s/%s/%d", wl.Name, impl, w)] = e
 				fmt.Fprintf(os.Stderr, "%-12s %-8s w%d: %.0f ns/epoch, %.2f ns/op, %d B/op, %d allocs/op\n",
-					wl.Name, impl, workers, e.NsPerEpoch, e.NsPerOp, e.BytesPerEpoch, e.AllocsPerEpoch)
+					wl.Name, impl, w, e.NsPerEpoch, e.NsPerOp, e.BytesPerEpoch, e.AllocsPerEpoch)
 			}
 		}
 	}
-	for _, wl := range schedbench.Workloads() {
-		for _, workers := range schedbench.Workers() {
-			ref := byKey[fmt.Sprintf("%s/%s/%d", wl.Name, schedbench.ImplChanRef, workers)]
-			st := byKey[fmt.Sprintf("%s/%s/%d", wl.Name, schedbench.ImplSteal, workers)]
+	for _, wl := range workloads {
+		for _, w := range workers {
+			ref := byKey[fmt.Sprintf("%s/%s/%d", wl.Name, schedbench.ImplChanRef, w)]
+			st := byKey[fmt.Sprintf("%s/%s/%d", wl.Name, schedbench.ImplSteal, w)]
 			sp := Speedup{
 				Workload:   wl.Name,
-				Workers:    workers,
+				Workers:    w,
 				Throughput: st.OpsPerSec / ref.OpsPerSec,
 			}
 			if st.BytesPerEpoch > 0 {
 				sp.Bytes = float64(ref.BytesPerEpoch) / float64(st.BytesPerEpoch)
 			}
 			rep.Speedups = append(rep.Speedups, sp)
+		}
+	}
+
+	if *baselinePath != "" {
+		b, err := compareBaseline(*baselinePath, rep.Entries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench: baseline:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = b
+		for _, c := range b.Cells {
+			fmt.Fprintf(os.Stderr, "baseline %-12s w%d: %.0f -> %.0f ns/epoch (x%.3f)\n",
+				c.Workload, c.Workers, c.NsBefore, c.NsAfter, c.Ratio)
+		}
+		if b.MaxRatio > 1.02 {
+			fmt.Fprintf(os.Stderr, "schedbench: WARNING: worst cell is x%.3f of baseline (>1.02 budget)\n", b.MaxRatio)
 		}
 	}
 
@@ -149,4 +273,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *out, len(rep.Entries))
+
+	if *tracePath != "" {
+		events, dropped := observer.T().Drain()
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = obs.ExportChrome(f, events, dropped)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d dropped)\n", *tracePath, len(events), dropped)
+	}
+
+	if *linger && srv != nil {
+		fmt.Fprintf(os.Stderr, "lingering on http://%s (Ctrl-C to exit)\n", srv.URL())
+		select {}
+	}
 }

@@ -42,11 +42,13 @@ func main() {
 		fmt.Printf("=== %s ===\n", cfg.name)
 		gen := workload.NewGS(cfg.p)
 		sys, err := core.New(gen.App(), core.Config{
-			FT:            core.MSR,
-			Workers:       4,
-			BatchSize:     batch,
-			SnapshotEvery: 16,
-			AutoCommit:    true, // let the advisor pick the commit epoch
+			RunShape: core.RunShape{
+				Workers:       4,
+				SnapshotEvery: 16,
+				AutoCommit:    true, // let the advisor pick the commit epoch
+			},
+			FT:        core.MSR,
+			BatchSize: batch,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -31,12 +31,11 @@ func main() {
 	events := workload.Batch(gen, totalEvents)
 
 	sys, err := core.New(gen.App(), core.Config{
-		FT:            core.MSR,
-		Workers:       4,
-		BatchSize:     batch,
-		SnapshotEvery: 8,
-		AsyncCommit:   true, // commit off the critical path
-		Compression:   true, // DEFLATE the durable logs
+		RunShape:    core.RunShape{Workers: 4, SnapshotEvery: 8},
+		FT:          core.MSR,
+		BatchSize:   batch,
+		AsyncCommit: true, // commit off the critical path
+		Compression: true, // DEFLATE the durable logs
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -22,10 +22,9 @@ func main() {
 	// 2. A system: the engine wired to MorphStreamR (MSR) fault tolerance.
 	//    Epochs snapshot every 8 batches; logs group-commit every batch.
 	sys, err := core.New(gen.App(), core.Config{
-		FT:            core.MSR,
-		Workers:       4,
-		BatchSize:     2048,
-		SnapshotEvery: 8,
+		RunShape:  core.RunShape{Workers: 4, SnapshotEvery: 8},
+		FT:        core.MSR,
+		BatchSize: 2048,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -45,7 +45,8 @@ func main() {
 	}
 
 	sys, err := core.New(app, core.Config{
-		FT: core.MSR, Workers: 4, BatchSize: batch, SnapshotEvery: 8, CommitEvery: 2,
+		RunShape: core.RunShape{Workers: 4, CommitEvery: 2, SnapshotEvery: 8},
+		FT:       core.MSR, BatchSize: batch,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,7 +51,8 @@ func main() {
 func run(kind ftapi.Kind, params workload.TPParams) (*engine.RecoveryReport, int64, int, int) {
 	gen := workload.NewTP(params)
 	sys, err := core.New(gen.App(), core.Config{
-		FT: kind, Workers: 4, BatchSize: batch, SnapshotEvery: 8,
+		RunShape: core.RunShape{Workers: 4, SnapshotEvery: 8},
+		FT:       kind, BatchSize: batch,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/ft/msr"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
@@ -33,18 +34,24 @@ import (
 // Scale sizes an experiment run. The defaults match the harness binary;
 // the root bench_test.go shrinks them so `go test -bench` stays fast.
 type Scale struct {
+	// RunShape carries the engine knobs — Workers (runtime and recovery
+	// parallelism), SnapshotEvery (the checkpoint interval; the crash
+	// happens PostEpochs after the checkpoint), CommitEvery, AutoCommit,
+	// and Pipeline — under the tree-wide defaulting rules. Experiments that
+	// vary one knob copy the Scale and overwrite just that field.
+	types.RunShape
 	// BatchSize is the punctuation interval in events.
 	BatchSize int
-	// SnapshotEvery is the checkpoint interval in epochs; the crash
-	// happens PostEpochs after the checkpoint.
-	SnapshotEvery int
 	// PostEpochs is the number of epochs between checkpoint and crash —
 	// the volume recovery must replay.
 	PostEpochs int
-	// Workers is the execution parallelism for runtime and recovery.
-	Workers int
 	// SSD applies the paper's storage performance envelope.
 	SSD bool
+	// Obs, when non-nil, wires the observability layer through every run
+	// the scale shapes: epoch and recovery spans plus engine counters land
+	// in its registry and tracer (served live by obs.Serve). Virtually
+	// timed measurements are unaffected; wall-clock ones pay the span cost.
+	Obs *obs.Observer
 }
 
 // DefaultScale returns the harness binary's configuration. Eight workers
@@ -53,13 +60,19 @@ type Scale struct {
 // MorphStreamR at very low core counts, with the separation appearing as
 // cores grow.
 func DefaultScale() Scale {
-	return Scale{BatchSize: 4096, SnapshotEvery: 8, PostEpochs: 4, Workers: 8, SSD: true}
+	return Scale{
+		RunShape:  types.RunShape{Workers: 8, SnapshotEvery: 8},
+		BatchSize: 4096, PostEpochs: 4, SSD: true,
+	}
 }
 
 // QuickScale returns a reduced configuration for Go benchmarks and smoke
 // tests.
 func QuickScale() Scale {
-	return Scale{BatchSize: 1024, SnapshotEvery: 4, PostEpochs: 2, Workers: 4, SSD: false}
+	return Scale{
+		RunShape:  types.RunShape{Workers: 4, SnapshotEvery: 4},
+		BatchSize: 1024, PostEpochs: 2, SSD: false,
+	}
 }
 
 // Run is the outcome of one scenario: runtime measurements from the
@@ -106,17 +119,10 @@ type Scenario struct {
 	Gen   func() workload.Generator
 	Kind  ftapi.Kind
 	Scale Scale
-	// CommitEvery overrides the log commitment interval (default 1).
-	CommitEvery int
-	// AutoCommit lets MSR choose CommitEvery from the first epoch.
-	AutoCommit bool
 	// MSR overrides MorphStreamR's options (nil = all optimizations on).
 	MSR *msr.Options
 	// AsyncCommit moves durable commits off the critical path (extension).
 	AsyncCommit bool
-	// Pipeline overlaps adjacent epochs' stream and transaction processing
-	// phases (extension; see engine.Config.Pipeline).
-	Pipeline bool
 	// Compression compresses durable payloads (extension).
 	Compression bool
 	// Repeat runs the scenario several times and reports the run with the
@@ -149,17 +155,14 @@ func Execute(s Scenario) (Run, error) {
 
 func executeOnce(s Scenario) (Run, error) {
 	cfg := core.Config{
-		FT:            s.Kind,
-		Workers:       s.Scale.Workers,
-		BatchSize:     s.Scale.BatchSize,
-		CommitEvery:   s.CommitEvery,
-		SnapshotEvery: s.Scale.SnapshotEvery,
-		AutoCommit:    s.AutoCommit,
-		AsyncCommit:   s.AsyncCommit,
-		Pipeline:      s.Pipeline,
-		Compression:   s.Compression,
-		MSR:           s.MSR,
-		SSDModel:      s.Scale.SSD,
+		RunShape:    s.Scale.RunShape,
+		FT:          s.Kind,
+		BatchSize:   s.Scale.BatchSize,
+		AsyncCommit: s.AsyncCommit,
+		Compression: s.Compression,
+		MSR:         s.MSR,
+		SSDModel:    s.Scale.SSD,
+		Obs:         s.Scale.Obs,
 	}
 	gen := s.Gen()
 	sys, err := core.New(gen.App(), cfg)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
 )
 
@@ -15,7 +16,10 @@ import (
 // shapeScale is small enough for the test suite yet large enough that the
 // structural effects dominate noise.
 func shapeScale() Scale {
-	return Scale{BatchSize: 2048, SnapshotEvery: 4, PostEpochs: 2, Workers: 8, SSD: false}
+	return Scale{
+		RunShape:  types.RunShape{Workers: 8, SnapshotEvery: 4},
+		BatchSize: 2048, PostEpochs: 2, SSD: false,
+	}
 }
 
 func runKind(t *testing.T, kind ftapi.Kind, mk func(Scale, int64) workload.Generator) Run {
@@ -149,9 +153,10 @@ func TestAdvisorQuadrants(t *testing.T) {
 		p := workload.DefaultGSParams()
 		p.Theta, p.MultiPartitionRatio, p.Reads, p.AbortRatio = theta, mp, reads, 0
 		p.Partitions = scale.Workers
+		scale.AutoCommit = true
 		run, err := Execute(Scenario{
 			Gen:  func() workload.Generator { return workload.NewGS(p) },
-			Kind: ftapi.MSR, Scale: scale, AutoCommit: true,
+			Kind: ftapi.MSR, Scale: scale,
 		})
 		if err != nil {
 			t.Fatal(err)

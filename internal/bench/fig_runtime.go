@@ -74,9 +74,11 @@ func Fig9(scale Scale, epochs []int) (*Fig9Result, error) {
 			}
 			p := fig9Class(class)
 			p.Partitions = scale.Workers
+			sc := scale
+			sc.CommitEvery = ce
 			run, err := Execute(Scenario{
 				Gen:  func() workload.Generator { return workload.NewGS(p) },
-				Kind: ftapi.MSR, Scale: scale, CommitEvery: ce, Repeat: 3,
+				Kind: ftapi.MSR, Scale: sc, Repeat: 3,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig9 %s/ce%d: %w", class, ce, err)
@@ -87,9 +89,11 @@ func Fig9(scale Scale, epochs []int) (*Fig9Result, error) {
 		// What would workload-aware commitment have chosen?
 		p := fig9Class(class)
 		p.Partitions = scale.Workers
+		auto := scale
+		auto.AutoCommit = true
 		run, err := Execute(Scenario{
 			Gen:  func() workload.Generator { return workload.NewGS(p) },
-			Kind: ftapi.MSR, Scale: scale, AutoCommit: true,
+			Kind: ftapi.MSR, Scale: auto,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig9 %s/auto: %w", class, err)
@@ -253,10 +257,12 @@ type Fig12cResult struct {
 // Fig12c runs the experiment.
 func Fig12c(scale Scale) (*Fig12cResult, error) {
 	res := &Fig12cResult{Peak: make(map[ftapi.Kind]int64), Log: make(map[ftapi.Kind]int64)}
+	// Longer commit groups expose buffering; keep the default grouping but
+	// skip recovery cost by measuring the runtime phase only.
+	sc := scale
+	sc.CommitEvery = 2
 	for _, kind := range recoveryKinds() {
-		// Longer commit groups expose buffering; keep the default grouping
-		// but skip recovery cost by measuring the runtime phase only.
-		run, err := Execute(Scenario{Gen: func() workload.Generator { return SLFor(scale, 1) }, Kind: kind, Scale: scale, CommitEvery: 2})
+		run, err := Execute(Scenario{Gen: func() workload.Generator { return SLFor(sc, 1) }, Kind: kind, Scale: sc})
 		if err != nil {
 			return nil, fmt.Errorf("fig12c %v: %w", kind, err)
 		}

@@ -6,7 +6,10 @@
 // Quick start:
 //
 //	gen := workload.NewSL(workload.DefaultSLParams())
-//	sys, _ := core.New(gen.App(), core.Config{FT: ftapi.MSR, Workers: 4, BatchSize: 4096})
+//	sys, _ := core.New(gen.App(), core.Config{
+//		RunShape: core.RunShape{Workers: 4},
+//		FT:       core.MSR, BatchSize: 4096,
+//	})
 //	for i := 0; i < 12; i++ {
 //		sys.ProcessBatch(workload.Batch(gen, 4096))
 //	}
@@ -26,35 +29,36 @@ import (
 	"morphstreamr/internal/ft/msr"
 	"morphstreamr/internal/ft/wal"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/types"
 )
 
+// RunShape is the shared run-configuration surface (Workers, CommitEvery,
+// SnapshotEvery, AutoCommit, Pipeline) with the tree's one zero-value and
+// validation rule; see types.RunShape. Re-exported so example code only
+// imports core.
+type RunShape = types.RunShape
+
 // Config selects the system composition.
 type Config struct {
+	// RunShape carries the run knobs: Workers (zero means 1), CommitEvery
+	// (zero means 1; must divide SnapshotEvery), SnapshotEvery (zero means
+	// 8), AutoCommit (workload-aware log commitment, MSR only), and
+	// Pipeline (overlap epoch N+1's preprocessing and graph construction
+	// with epoch N's execution when batches are submitted together via
+	// ProcessBatches; durable writes and output release stay in epoch
+	// order, so observable behaviour is unchanged).
+	RunShape
 	// FT is the fault-tolerance scheme (NAT, CKPT, WAL, DL, LV, MSR).
 	FT ftapi.Kind
-	// Workers is the execution parallelism (default 1).
-	Workers int
 	// BatchSize is the punctuation interval in events; informational for
 	// callers that size their own batches (default 4096).
 	BatchSize int
-	// CommitEvery is the log commitment epoch; must divide SnapshotEvery
-	// (default 1).
-	CommitEvery int
-	// SnapshotEvery is the checkpoint interval in epochs (default 8).
-	SnapshotEvery int
-	// AutoCommit enables workload-aware log commitment (MSR only).
-	AutoCommit bool
 	// AsyncCommit moves durable group-commit writes off the critical path
 	// (Section VII's Lineage Stash-style direction); outputs still release
 	// only after their commit record lands, preserving exactly-once.
 	AsyncCommit bool
-	// Pipeline overlaps epoch N+1's preprocessing and graph construction
-	// with epoch N's execution when batches are submitted together via
-	// ProcessBatches; durable writes and output release stay in epoch
-	// order, so observable behaviour is unchanged.
-	Pipeline bool
 	// MSR configures MorphStreamR's logging and recovery optimizations;
 	// ignored by other schemes. Zero value means msr.Default().
 	MSR *msr.Options
@@ -67,20 +71,18 @@ type Config struct {
 	// Compression DEFLATE-compresses every durable payload (Section VII's
 	// log-compression direction): smaller logs and snapshots for extra CPU.
 	Compression bool
+	// Obs, when non-nil, wires the observability layer through the engine:
+	// epoch/recovery spans, throughput counters, latency histograms, and
+	// byte accounting, all served live by obs.Serve.
+	Obs *obs.Observer
 }
 
-func (c *Config) normalize() {
-	if c.Workers <= 0 {
-		c.Workers = 1
+func (c *Config) normalize() error {
+	if err := c.RunShape.Normalize(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 4096
-	}
-	if c.CommitEvery <= 0 {
-		c.CommitEvery = 1
-	}
-	if c.SnapshotEvery <= 0 {
-		c.SnapshotEvery = 8
 	}
 	if c.MSR == nil {
 		d := msr.Default()
@@ -89,6 +91,7 @@ func (c *Config) normalize() {
 	if c.Device == nil {
 		c.Device = storage.NewMem()
 	}
+	return nil
 }
 
 // NewMechanism constructs a fault-tolerance mechanism of the given kind
@@ -135,31 +138,32 @@ type System struct {
 
 // New assembles a system with fresh state.
 func New(app types.App, cfg Config) (*System, error) {
-	cfg.normalize()
-	dev := cfg.Device
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	// Wrap the device through the canonical stack so the legal order —
+	// compression below the SSD throttle — is enforced in one place.
+	st := storage.NewStack(cfg.Device)
 	if cfg.Compression {
-		if _, already := dev.(*storage.Compressed); !already {
-			dev = storage.NewCompressed(dev)
-		}
+		st.WithCompression()
 	}
 	if cfg.SSDModel {
-		if _, already := dev.(*storage.Throttled); !already {
-			dev = storage.DefaultSSD(dev)
-		}
+		st.WithSSD()
+	}
+	dev, err := st.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	bytes := metrics.NewBytes()
 	mech := NewMechanism(cfg.FT, dev, bytes, *cfg.MSR)
 	eng, err := engine.New(engine.Config{
-		App:           app,
-		Device:        dev,
-		Mechanism:     mech,
-		Workers:       cfg.Workers,
-		CommitEvery:   cfg.CommitEvery,
-		SnapshotEvery: cfg.SnapshotEvery,
-		AutoCommit:    cfg.AutoCommit,
-		AsyncCommit:   cfg.AsyncCommit,
-		Pipeline:      cfg.Pipeline,
-		Bytes:         bytes,
+		RunShape:    cfg.RunShape,
+		App:         app,
+		Device:      dev,
+		Mechanism:   mech,
+		AsyncCommit: cfg.AsyncCommit,
+		Bytes:       bytes,
+		Obs:         cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -196,16 +200,18 @@ func (s *System) Crash() {
 func (s *System) Recover() (*System, *engine.RecoveryReport, error) {
 	bytes := metrics.NewBytes()
 	mech := NewMechanism(s.Cfg.FT, s.Cfg.Device, bytes, *s.Cfg.MSR)
+	shape := s.Cfg.RunShape
+	// Recovery never re-runs the commit-interval advisor: the advisor
+	// tunes on a live first epoch, which recovery does not have.
+	shape.AutoCommit = false
 	eng, report, err := engine.Recover(engine.Config{
-		App:           s.App,
-		Device:        s.Cfg.Device,
-		Mechanism:     mech,
-		Workers:       s.Cfg.Workers,
-		CommitEvery:   s.Cfg.CommitEvery,
-		SnapshotEvery: s.Cfg.SnapshotEvery,
-		AsyncCommit:   s.Cfg.AsyncCommit,
-		Pipeline:      s.Cfg.Pipeline,
-		Bytes:         bytes,
+		RunShape:    shape,
+		App:         s.App,
+		Device:      s.Cfg.Device,
+		Mechanism:   mech,
+		AsyncCommit: s.Cfg.AsyncCommit,
+		Bytes:       bytes,
+		Obs:         s.Cfg.Obs,
 	})
 	if err != nil {
 		return nil, nil, err

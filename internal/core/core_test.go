@@ -103,7 +103,8 @@ func TestFileDeviceEndToEnd(t *testing.T) {
 	o, wantOuts := oracleRun(gen.App(), epochs)
 
 	sys, err := New(gen.App(), Config{
-		FT: ftapi.MSR, Workers: 2, CommitEvery: 1, SnapshotEvery: 3, Device: dev,
+		RunShape: RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 3},
+		FT:       ftapi.MSR, Device: dev,
 	})
 	if err != nil {
 		t.Fatal(err)

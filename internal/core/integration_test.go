@@ -24,11 +24,9 @@ const (
 
 func itConfig(kind ftapi.Kind) Config {
 	return Config{
-		FT:            kind,
-		Workers:       4,
-		BatchSize:     itBatch,
-		CommitEvery:   2,
-		SnapshotEvery: 4,
+		RunShape:  RunShape{Workers: 4, CommitEvery: 2, SnapshotEvery: 4},
+		FT:        kind,
+		BatchSize: itBatch,
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"morphstreamr/internal/codec"
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/partition"
 	"morphstreamr/internal/scheduler"
 	"morphstreamr/internal/storage"
@@ -49,6 +50,19 @@ type Advisor interface {
 
 // Config assembles one engine instance.
 type Config struct {
+	// RunShape is the shared run-configuration surface: Workers,
+	// CommitEvery, SnapshotEvery, AutoCommit, and Pipeline, with the one
+	// zero-value/validation rule every configuration surface in the tree
+	// uses (see types.RunShape). Pipeline overlaps stream processing with
+	// transaction processing across epochs (the TStream-style
+	// compute/construct overlap): when a run of epochs is submitted
+	// together via ProcessEpochs, epoch N+1's preprocessing and structural
+	// graph construction happen on a builder goroutine while epoch N
+	// executes; every durable write and marker stays on the submitting
+	// goroutine in epoch order, so the observable history — including the
+	// exact durable write sequence — is identical to sequential
+	// processing.
+	types.RunShape
 	// App is the transactional stream application to run.
 	App types.App
 	// Device is the durable storage surviving crashes.
@@ -56,17 +70,6 @@ type Config struct {
 	// Mechanism is the fault-tolerance scheme; it must have been created
 	// against the same Device and Bytes.
 	Mechanism ftapi.Mechanism
-	// Workers is the execution parallelism (default GOMAXPROCS is NOT
-	// assumed; zero means 1).
-	Workers int
-	// CommitEvery is the log commitment epoch (Section VI-B) in epochs;
-	// zero means 1. Must divide SnapshotEvery.
-	CommitEvery int
-	// SnapshotEvery is the checkpoint interval in epochs; zero means 8.
-	SnapshotEvery int
-	// AutoCommit lets an Advisor mechanism pick CommitEvery from the first
-	// epoch's profile (workload-aware log commitment).
-	AutoCommit bool
 	// AsyncCommit moves the durable group-commit write off the critical
 	// path (the Lineage Stash-style direction of Section VII): the commit
 	// is prepared synchronously, written on a background goroutine, and
@@ -75,18 +78,12 @@ type Config struct {
 	// Requires a mechanism implementing ftapi.AsyncCommitter; others fall
 	// back to synchronous commits.
 	AsyncCommit bool
-	// Pipeline overlaps stream processing with transaction processing
-	// across epochs (the TStream-style compute/construct overlap): when a
-	// run of epochs is submitted together via ProcessEpochs, epoch N+1's
-	// preprocessing and structural graph construction happen on a builder
-	// goroutine while epoch N executes. Epoch-start dependency values are
-	// captured at the barrier between epochs, and every durable write and
-	// marker (commit, snapshot, output release) stays on the submitting
-	// goroutine in epoch order — the observable history, including the
-	// exact durable write sequence, is identical to sequential processing.
-	Pipeline bool
 	// Bytes receives artifact-size accounting; nil allocates a fresh one.
 	Bytes *metrics.Bytes
+	// Obs, when non-nil, receives epoch/recovery phase spans, throughput
+	// counters, and latency histograms. Nil disables observability at the
+	// cost of a pointer check per instrument call.
+	Obs *obs.Observer
 	// OnEpoch, when non-nil, is called after each successfully processed
 	// epoch with its number. The supervisor's watchdog uses it as the
 	// liveness signal for stall detection.
@@ -107,18 +104,8 @@ func (c *Config) normalize() error {
 	if c.App == nil || c.Device == nil || c.Mechanism == nil {
 		return errors.New("engine: App, Device, and Mechanism are required")
 	}
-	if c.Workers <= 0 {
-		c.Workers = 1
-	}
-	if c.CommitEvery <= 0 {
-		c.CommitEvery = 1
-	}
-	if c.SnapshotEvery <= 0 {
-		c.SnapshotEvery = 8
-	}
-	if c.SnapshotEvery%c.CommitEvery != 0 {
-		return fmt.Errorf("engine: SnapshotEvery (%d) must be a multiple of CommitEvery (%d)",
-			c.SnapshotEvery, c.CommitEvery)
+	if err := c.RunShape.Normalize(); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	if c.Bytes == nil {
 		c.Bytes = metrics.NewBytes()
@@ -161,6 +148,16 @@ type Engine struct {
 	// to it once its epoch is sealed (mechanisms do not retain graphs),
 	// so steady-state processing reuses two graphs' worth of arenas.
 	builder *tpg.Builder
+
+	// sched receives the scheduler's steal/park/stall counters when
+	// observability is on (nil otherwise; the scheduler tolerates nil).
+	sched *obs.SchedStats
+	// commDepth mirrors the mechanism's buffered-epoch count into a gauge.
+	// It is sampled on the engine goroutine at seal time — GroupCommitter's
+	// Buffered is not synchronised, so a pull-gauge read from the telemetry
+	// endpoint would race the commit path.
+	commDepth *obs.Gauge
+	buffered  interface{ Buffered() int }
 }
 
 // asyncCommit tracks one background group-commit write.
@@ -181,6 +178,17 @@ func New(cfg Config) (*Engine, error) {
 		builder:     tpg.NewBuilder(),
 	}
 	e.ranges = partition.NewRanges(cfg.App.Tables(), cfg.Workers)
+	if reg := cfg.Obs.Registry(); reg != nil {
+		e.sched = &obs.SchedStats{}
+		e.sched.Register(reg)
+		reg.AttachBytes("bytes", cfg.Bytes)
+		// Committer queue depth: every mechanism embeds a GroupCommitter,
+		// but check the interface so bespoke mechanisms remain legal.
+		if b, ok := cfg.Mechanism.(interface{ Buffered() int }); ok {
+			e.buffered = b
+			e.commDepth = reg.Gauge("committer.depth")
+		}
+	}
 	return e, nil
 }
 
@@ -251,10 +259,22 @@ func (e *Engine) ProcessEpoch(events []types.Event) error {
 		return err
 	}
 	e.totalWall += time.Since(start)
+	e.observeEpoch(start, len(events))
 	if e.cfg.OnEpoch != nil {
 		e.cfg.OnEpoch(e.epoch)
 	}
 	return nil
+}
+
+// observeEpoch accounts one completed epoch with the observer.
+func (e *Engine) observeEpoch(start time.Time, events int) {
+	reg := e.cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine.epochs").Inc()
+	reg.Counter("engine.events").Add(int64(events))
+	reg.Histogram("epoch.seconds").ObserveSince(start)
 }
 
 // processEpochAt runs the full epoch pipeline. persistInput is false when
@@ -272,8 +292,13 @@ func (e *Engine) processEpochAt(ep uint64, events []types.Event, persistInput bo
 		// (they are only valid once the previous epoch has fully executed,
 		// which also lets the pipelined path build structure early).
 		proc := time.Now()
-		g := e.builder.Build(e.preprocess(events))
+		sp := e.cfg.Obs.Begin(0, obs.CatEpoch, "preprocess", ep)
+		txns := e.preprocess(events)
+		sp.End()
+		sp = e.cfg.Obs.Begin(0, obs.CatEpoch, "construct", ep)
+		g := e.builder.Build(txns)
 		g.CaptureBases(e.st.Get)
+		sp.End()
 		return e.finishEpoch(ep, events, g, proc)
 	}
 	return e.reprocessEpoch(ep, events, breakdown)
@@ -364,11 +389,15 @@ func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc
 	}
 
 	// Transaction processing phase: real parallel exploration of the graph.
-	if _, err := scheduler.Run(g, e.st, scheduler.Options{
+	sp := e.cfg.Obs.Begin(0, obs.CatEpoch, "execute", ep)
+	_, err := scheduler.Run(g, e.st, scheduler.Options{
 		Workers:  e.cfg.Workers,
 		Assign:   func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
 		FireHook: e.cfg.FireHook,
-	}); err != nil {
+		Stats:    e.sched,
+	})
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("engine: epoch %d: %w", ep, err)
 	}
 
@@ -406,40 +435,17 @@ func (e *Engine) sealAndMark(ep uint64, events []types.Event, g *tpg.Graph) erro
 	// no graph references (the ftapi contract), so the graph's memory can
 	// be recycled for a later epoch.
 	e.builder.Release(g)
+	if e.commDepth != nil {
+		e.commDepth.Set(int64(e.buffered.Buffered()))
+	}
 
 	// Commit marker: group commit, then release the covered outputs. With
 	// AsyncCommit the durable write happens on a background goroutine and
 	// the outputs release when it completes (checked at the next marker or
 	// drained at snapshots); without it, both happen here.
 	if ep%uint64(e.commitEvery) == 0 {
-		ac, _ := e.cfg.Mechanism.(ftapi.AsyncCommitter)
-		if e.cfg.AsyncCommit && ac != nil {
-			// The previous in-flight write must finish first: group
-			// commits are ordered, and the device is one channel.
-			if err := e.drainInflight(); err != nil {
-				return fmt.Errorf("engine: epoch %d: %w", ep, err)
-			}
-			t0 = time.Now()
-			write, ok := ac.PrepareCommit(ep)
-			e.runtime.IO += time.Since(t0)
-			if ok {
-				fl := &asyncCommit{epoch: ep, done: make(chan error, 1)}
-				e.inflight = fl
-				go func() { fl.done <- write() }()
-			} else if err := e.commitVisible(ep); err != nil {
-				return fmt.Errorf("engine: epoch %d: %w", ep, err)
-			}
-		} else {
-			t0 = time.Now()
-			if err := e.cfg.Mechanism.Commit(ep); err != nil {
-				return fmt.Errorf("engine: epoch %d: %w", ep, err)
-			}
-			e.runtime.IO += time.Since(t0)
-			t0 = time.Now()
-			if err := e.commitVisible(ep); err != nil {
-				return fmt.Errorf("engine: epoch %d: %w", ep, err)
-			}
-			e.runtime.Sync += time.Since(t0)
+		if err := e.commitMarker(ep); err != nil {
+			return fmt.Errorf("engine: epoch %d: %w", ep, err)
 		}
 	}
 
@@ -453,6 +459,48 @@ func (e *Engine) sealAndMark(ep uint64, events []types.Event, g *tpg.Graph) erro
 			return fmt.Errorf("engine: epoch %d: %w", ep, err)
 		}
 	}
+	return nil
+}
+
+// commitMarker performs one commit-marker firing (see sealAndMark).
+func (e *Engine) commitMarker(ep uint64) error {
+	sp := e.cfg.Obs.Begin(0, obs.CatEpoch, "commit", ep)
+	defer sp.End()
+	if reg := e.cfg.Obs.Registry(); reg != nil {
+		t := time.Now()
+		defer func() {
+			reg.Counter("engine.commits").Inc()
+			reg.Histogram("commit.seconds").ObserveSince(t)
+		}()
+	}
+	ac, _ := e.cfg.Mechanism.(ftapi.AsyncCommitter)
+	if e.cfg.AsyncCommit && ac != nil {
+		// The previous in-flight write must finish first: group
+		// commits are ordered, and the device is one channel.
+		if err := e.drainInflight(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		write, ok := ac.PrepareCommit(ep)
+		e.runtime.IO += time.Since(t0)
+		if ok {
+			fl := &asyncCommit{epoch: ep, done: make(chan error, 1)}
+			e.inflight = fl
+			go func() { fl.done <- write() }()
+			return nil
+		}
+		return e.commitVisible(ep)
+	}
+	t0 := time.Now()
+	if err := e.cfg.Mechanism.Commit(ep); err != nil {
+		return err
+	}
+	e.runtime.IO += time.Since(t0)
+	t0 = time.Now()
+	if err := e.commitVisible(ep); err != nil {
+		return err
+	}
+	e.runtime.Sync += time.Since(t0)
 	return nil
 }
 
@@ -521,6 +569,15 @@ func (e *Engine) release(upTo uint64) {
 // snapshot persists a transaction-consistent snapshot and garbage-collects
 // everything it covers (Figure 10 steps 4-6).
 func (e *Engine) snapshot(ep uint64) error {
+	sp := e.cfg.Obs.Begin(0, obs.CatEpoch, "snapshot", ep)
+	defer sp.End()
+	if reg := e.cfg.Obs.Registry(); reg != nil {
+		t := time.Now()
+		defer func() {
+			reg.Counter("engine.snapshots").Inc()
+			reg.Histogram("snapshot.seconds").ObserveSince(t)
+		}()
+	}
 	t0 := time.Now()
 	payload := encodeSnapshotBlob(ep, e.st.Snapshot())
 	if err := e.cfg.Device.WriteBlob(storage.BlobSnapshot, payload); err != nil {

@@ -38,7 +38,8 @@ func newEngine(t *testing.T, kind ftapi.Kind, gen workload.Generator, dev storag
 	}
 	e, err := New(Config{
 		App: gen.App(), Device: dev, Mechanism: mech,
-		Workers: 2, CommitEvery: commitEvery, SnapshotEvery: snapEvery, Bytes: bytes,
+		RunShape: types.RunShape{Workers: 2, CommitEvery: commitEvery, SnapshotEvery: snapEvery},
+		Bytes:    bytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +54,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 	_, err := New(Config{
 		App: gen.App(), Device: storage.NewMem(), Mechanism: checkpoint.New(),
-		CommitEvery: 3, SnapshotEvery: 8,
+		RunShape: types.RunShape{CommitEvery: 3, SnapshotEvery: 8},
 	})
 	if err == nil || !strings.Contains(err.Error(), "multiple") {
 		t.Errorf("misaligned markers accepted: %v", err)
@@ -148,7 +149,8 @@ func TestAutoCommitConsultsAdvisor(t *testing.T) {
 	bytes := metrics.NewBytes()
 	e, err := New(Config{
 		App: gen.App(), Device: dev, Mechanism: msr.New(dev, bytes, msr.Default()),
-		Workers: 2, CommitEvery: 1, SnapshotEvery: 8, AutoCommit: true, Bytes: bytes,
+		RunShape: types.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 8, AutoCommit: true},
+		Bytes:    bytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +176,8 @@ func TestNativeRecoveryImpossible(t *testing.T) {
 	gen := slGen(6)
 	dev := storage.NewMem()
 	_, _, err := Recover(Config{
-		App: gen.App(), Device: dev, Mechanism: nativeStub{}, Workers: 1,
+		App: gen.App(), Device: dev, Mechanism: nativeStub{},
+		RunShape: types.RunShape{Workers: 1},
 	})
 	if err == nil {
 		t.Error("native recovery must fail")
@@ -213,7 +216,8 @@ func TestRecoveryReportShape(t *testing.T) {
 	bytes := metrics.NewBytes()
 	cfg := Config{
 		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
-		Workers: 2, CommitEvery: 1, SnapshotEvery: 4, Bytes: bytes,
+		RunShape: types.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 4},
+		Bytes:    bytes,
 	}
 	e, err := New(cfg)
 	if err != nil {
@@ -265,7 +269,8 @@ func TestFailedEpochMarksCrashed(t *testing.T) {
 	bytes := metrics.NewBytes()
 	e, err := New(Config{
 		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
-		Workers: 2, CommitEvery: 1, SnapshotEvery: 2, Bytes: bytes,
+		RunShape: types.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 2},
+		Bytes:    bytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +294,8 @@ func TestRecoverTornInputTail(t *testing.T) {
 	bytes := metrics.NewBytes()
 	cfg := Config{
 		App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
-		Workers: 2, CommitEvery: 1, SnapshotEvery: 8, Bytes: bytes,
+		RunShape: types.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 8},
+		Bytes:    bytes,
 	}
 	e, err := New(cfg)
 	if err != nil {
@@ -346,7 +352,8 @@ func TestWriteFailuresSurface(t *testing.T) {
 		bytes := metrics.NewBytes()
 		e, err := New(Config{
 			App: gen.App(), Device: dev, Mechanism: wal.New(dev, bytes),
-			Workers: 2, CommitEvery: 1, SnapshotEvery: 2, Bytes: bytes,
+			RunShape: types.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 2},
+			Bytes:    bytes,
 		})
 		if err != nil {
 			t.Fatal(err)

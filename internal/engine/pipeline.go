@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/tpg"
 	"morphstreamr/internal/types"
 )
@@ -50,10 +51,19 @@ func (e *Engine) ProcessEpochs(batches [][]types.Event) error {
 	// with epoch N, so at most two graphs are live at once.
 	built := make(chan builtEpoch)
 	stop := make(chan struct{})
+	// The builder emits its spans on lane 1 — the caller's goroutine owns
+	// lane 0 — so a trace shows the compute/construct overlap directly.
+	base := e.epoch
 	go func() {
 		defer close(built)
 		for i := range batches {
-			g := e.builder.Build(e.preprocess(batches[i]))
+			ep := base + uint64(i) + 1
+			sp := e.cfg.Obs.Begin(1, obs.CatEpoch, "preprocess", ep)
+			txns := e.preprocess(batches[i])
+			sp.End()
+			sp = e.cfg.Obs.Begin(1, obs.CatEpoch, "construct", ep)
+			g := e.builder.Build(txns)
+			sp.End()
 			select {
 			case built <- builtEpoch{idx: i, g: g}:
 			case <-stop:
@@ -78,6 +88,7 @@ func (e *Engine) ProcessEpochs(batches [][]types.Event) error {
 			return err
 		}
 		e.totalWall += time.Since(start)
+		e.observeEpoch(start, len(batches[b.idx]))
 		if e.cfg.OnEpoch != nil {
 			e.cfg.OnEpoch(e.epoch)
 		}

@@ -9,6 +9,7 @@ import (
 	"morphstreamr/internal/codec"
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/vtime"
 )
@@ -85,6 +86,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	// decode charge the calibrated virtual cost model so recovery times
 	// stay deterministic (see package vtime).
 	costs := vtime.Calibrate()
+	logRead := e.cfg.Obs.Begin(0, obs.CatRecovery, "log-read", 0)
 	readStop := metrics.SerialTimer(&report.Breakdown.Reload, e.cfg.Workers)
 	blob, ok, err := e.cfg.Device.ReadBlob(storage.BlobSnapshot)
 	if err != nil {
@@ -110,7 +112,9 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 		}
 	}
 	readStop()
+	logRead.End()
 
+	rebuild := e.cfg.Obs.Begin(0, obs.CatRecovery, "rebuild", 0)
 	var snapEpoch uint64
 	if ok {
 		snapEpoch, err = decodeSnapshotBlob(blob, e.st)
@@ -146,8 +150,10 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	}
 	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Epoch < inputs[j].Epoch })
 	report.Breakdown.Reload += time.Duration(nEvents) * costs.Record
+	rebuild.End()
 
 	// Mechanism-specific replay of committed epochs (Figure 7 steps 3-7).
+	replay := e.cfg.Obs.Begin(0, obs.CatRecovery, "replay", 0)
 	if commitLimit < snapEpoch {
 		commitLimit = snapEpoch
 	}
@@ -197,6 +203,13 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 		report.CommitIO += e.runtime.IO - ioBefore
 		e.epoch = ee.Epoch
 		report.EventsReplayed += len(ee.Events)
+	}
+
+	replay.End()
+	if reg := e.cfg.Obs.Registry(); reg != nil {
+		reg.Counter("recovery.count").Inc()
+		reg.Counter("recovery.events_replayed").Add(int64(report.EventsReplayed))
+		reg.Histogram("recovery.seconds").ObserveSince(start)
 	}
 
 	report.Wall = time.Since(start)

@@ -10,6 +10,7 @@ import (
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/ft/msr"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/supervisor"
 	"morphstreamr/internal/tpg"
@@ -65,16 +66,23 @@ type ChaosConfig struct {
 	// StallTimeout passes through to the supervisor (default 2s; chaos
 	// scenarios never stall, so this only bounds harness hangs).
 	StallTimeout time.Duration
+	// Obs, when non-nil, passes through to the supervisor: the chaos run's
+	// epochs, heals, and state transitions land in its registry and tracer,
+	// so a live /trace capture shows the incident end to end.
+	Obs *obs.Observer
 }
 
-func (c *ChaosConfig) normalizeChaos() {
-	c.Config.normalize()
+func (c *ChaosConfig) normalizeChaos() error {
+	if err := c.Config.normalize(); err != nil {
+		return err
+	}
 	if c.FaultAt <= 0 {
 		c.FaultAt = 5
 	}
 	if c.StormLen <= 0 {
 		c.StormLen = 3
 	}
+	return nil
 }
 
 // ChaosOutcome reports what one chaos run observed. Chaos verifies the
@@ -83,7 +91,7 @@ func (c *ChaosConfig) normalizeChaos() {
 type ChaosOutcome struct {
 	Scenario   Scenario
 	Kind       ftapi.Kind
-	Pipelined  bool
+	Pipeline   bool
 	Recoveries int
 	// Detection is fault occurrence (first injection, or the panic) to
 	// supervisor detection; zero when nothing escalated.
@@ -109,11 +117,14 @@ type ChaosOutcome struct {
 // recovery count, final state equal to the oracle, and exactly-once
 // outputs across every incarnation. Any divergence is the returned error.
 func Chaos(cc ChaosConfig) (*ChaosOutcome, error) {
-	cc.normalizeChaos()
+	if err := cc.normalizeChaos(); err != nil {
+		return nil, err
+	}
 	cfg := &cc.Config
 	ref := buildOracle(cfg)
 
-	flaky := storage.NewFlaky(storage.NewMem())
+	st := storage.NewStack(storage.NewMem()).WithFlaky()
+	flaky := st.Flaky
 	var fireHook func(*tpg.OpNode)
 	var panicAt atomic.Int64 // wall-clock ns of the injected panic
 	retry := storage.RetryPolicy{
@@ -147,19 +158,17 @@ func Chaos(cc ChaosConfig) (*ChaosOutcome, error) {
 
 	gen := cfg.NewGen()
 	sup, err := supervisor.New(supervisor.Config{
-		App:    gen.App(),
-		Device: flaky,
+		RunShape: cfg.RunShape,
+		App:      gen.App(),
+		Device:   st.MustBuild(),
 		Mechanism: func(dev storage.Device, bytes *metrics.Bytes) ftapi.Mechanism {
 			return core.NewMechanism(cfg.Kind, dev, bytes, msr.Default())
 		},
-		Source:        supervisor.BatchSource(ref.batches),
-		Workers:       cfg.Workers,
-		CommitEvery:   cfg.CommitEvery,
-		SnapshotEvery: cfg.SnapshotEvery,
-		Pipeline:      cfg.Pipelined,
-		Retry:         retry,
-		StallTimeout:  cc.StallTimeout,
-		FireHook:      fireHook,
+		Source:       supervisor.BatchSource(ref.batches),
+		Retry:        retry,
+		StallTimeout: cc.StallTimeout,
+		FireHook:     fireHook,
+		Obs:          cc.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -171,7 +180,7 @@ func Chaos(cc ChaosConfig) (*ChaosOutcome, error) {
 	out := &ChaosOutcome{
 		Scenario:     cc.Scenario,
 		Kind:         cfg.Kind,
-		Pipelined:    cfg.Pipelined,
+		Pipeline:     cfg.Pipeline,
 		Recoveries:   sup.Recoveries(),
 		RetryStats:   sup.RetryStats(),
 		Incidents:    sup.Health().Incidents(),
@@ -251,7 +260,7 @@ func Chaos(cc ChaosConfig) (*ChaosOutcome, error) {
 // report for comparison against the supervised one.
 func offlineReport(cfg *Config, ref *oracleRef, k int) (*engine.RecoveryReport, error) {
 	inner := storage.NewMem()
-	dev := storage.NewFaultyMode(inner, k, storage.FailStop, "")
+	dev := storage.NewStack(inner).WithFaulty(k, storage.FailStop, "").MustBuild()
 	gen := cfg.NewGen()
 	e, err := newEngine(cfg, dev, gen)
 	if err != nil {
@@ -263,13 +272,11 @@ func offlineReport(cfg *Config, ref *oracleRef, k int) (*engine.RecoveryReport, 
 	e.Crash()
 	bytes := metrics.NewBytes()
 	_, report, err := engine.Recover(engine.Config{
-		App:           gen.App(),
-		Device:        inner,
-		Mechanism:     core.NewMechanism(cfg.Kind, inner, bytes, msr.Default()),
-		Workers:       cfg.Workers,
-		CommitEvery:   cfg.CommitEvery,
-		SnapshotEvery: cfg.SnapshotEvery,
-		Bytes:         bytes,
+		RunShape:  recoverShape(cfg),
+		App:       gen.App(),
+		Device:    inner,
+		Mechanism: core.NewMechanism(cfg.Kind, inner, bytes, msr.Default()),
+		Bytes:     bytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("recover: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
 )
 
@@ -26,9 +27,9 @@ func TestChaosMatrix(t *testing.T) {
 					t.Parallel()
 					out, err := Chaos(ChaosConfig{
 						Config: Config{
-							Kind:      kind,
-							NewGen:    func() workload.Generator { return fttest.SLGen(61) },
-							Pipelined: pipelined,
+							Kind:     kind,
+							NewGen:   func() workload.Generator { return fttest.SLGen(61) },
+							RunShape: types.RunShape{Pipeline: pipelined},
 						},
 						Scenario: sc,
 					})

@@ -51,11 +51,15 @@ type Config struct {
 	// EpochSize events each.
 	Epochs    int
 	EpochSize int
-	// CommitEvery and SnapshotEvery are the engine's marker intervals.
-	CommitEvery   int
-	SnapshotEvery int
-	// Workers is the execution parallelism.
-	Workers int
+	// RunShape carries the engine knobs (Workers, CommitEvery,
+	// SnapshotEvery, Pipeline — submitting batches as one ProcessEpochs run
+	// so epoch N+1 builds while N executes; the durable write sequence must
+	// be identical to the sequential schedule, so the same sweep invariants
+	// apply verbatim). When every numeric knob is left zero the sweep
+	// substitutes DefaultSweepShape, a compact shape that exercises both
+	// marker kinds several times per run; partial settings fall through to
+	// the tree-wide RunShape defaults.
+	types.RunShape
 	// Mode is what the dying write leaves on the medium.
 	Mode storage.FaultMode
 	// Target, when non-empty, restricts the sweep to writes touching that
@@ -64,29 +68,34 @@ type Config struct {
 	// Continue additionally processes one post-recovery epoch and checks
 	// the state again, proving the recovered engine is live, not a husk.
 	Continue bool
-	// Pipelined drives the engine with epoch pipelining enabled (batches
-	// submitted as one run via ProcessEpochs, epoch N+1 building while N
-	// executes). The durable write sequence must be identical to the
-	// sequential schedule, so the same sweep invariants apply verbatim.
-	Pipelined bool
 }
 
-func (c *Config) normalize() {
+// DefaultSweepShape is the run shape the sweep uses when the caller left
+// Workers, CommitEvery, and SnapshotEvery all unset: two workers, commit
+// markers every 2 epochs, snapshots every 4 — small enough that the
+// exhaustive per-write replay stays fast, dense enough that every marker
+// kind fires several times per 6-epoch run.
+func DefaultSweepShape() types.RunShape {
+	return types.RunShape{Workers: 2, CommitEvery: 2, SnapshotEvery: 4}
+}
+
+func (c *Config) normalize() error {
 	if c.Epochs <= 0 {
 		c.Epochs = 6
 	}
 	if c.EpochSize <= 0 {
 		c.EpochSize = 24
 	}
-	if c.CommitEvery <= 0 {
-		c.CommitEvery = 2
+	if c.Workers == 0 && c.CommitEvery == 0 && c.SnapshotEvery == 0 {
+		shape := DefaultSweepShape()
+		shape.AutoCommit = c.AutoCommit
+		shape.Pipeline = c.Pipeline
+		c.RunShape = shape
 	}
-	if c.SnapshotEvery <= 0 {
-		c.SnapshotEvery = 4
+	if err := c.RunShape.Normalize(); err != nil {
+		return fmt.Errorf("crashtest: %w", err)
 	}
-	if c.Workers <= 0 {
-		c.Workers = 2
-	}
+	return nil
 }
 
 // Failure records one crash point whose recovery diverged.
@@ -225,20 +234,27 @@ func (r *oracleRef) checkOutputs(last uint64, delivered []types.Output, pending 
 func newEngine(cfg *Config, dev storage.Device, gen workload.Generator) (*engine.Engine, error) {
 	bytes := metrics.NewBytes()
 	return engine.New(engine.Config{
-		App:           gen.App(),
-		Device:        dev,
-		Mechanism:     core.NewMechanism(cfg.Kind, dev, bytes, msr.Default()),
-		Workers:       cfg.Workers,
-		CommitEvery:   cfg.CommitEvery,
-		SnapshotEvery: cfg.SnapshotEvery,
-		Pipeline:      cfg.Pipelined,
-		Bytes:         bytes,
+		RunShape:  cfg.RunShape,
+		App:       gen.App(),
+		Device:    dev,
+		Mechanism: core.NewMechanism(cfg.Kind, dev, bytes, msr.Default()),
+		Bytes:     bytes,
 	})
+}
+
+// recoverShape is the crashed run's shape with the live-run-only knobs
+// cleared: recovery neither pipelines (it replays one tail sequentially)
+// nor re-runs the commit-interval advisor.
+func recoverShape(cfg *Config) types.RunShape {
+	shape := cfg.RunShape
+	shape.Pipeline = false
+	shape.AutoCommit = false
+	return shape
 }
 
 // processAll drives the reference batches through the engine as one
 // ProcessEpochs run — pipelined when the engine was built with
-// Config.Pipelined — whose first failing epoch surfaces as the error.
+// Config.Pipeline — whose first failing epoch surfaces as the error.
 func processAll(e *engine.Engine, batches [][]types.Event) error {
 	return e.ProcessEpochs(batches)
 }
@@ -248,15 +264,18 @@ func processAll(e *engine.Engine, batches [][]types.Event) error {
 // run doubles as a sanity check: it must complete and already match the
 // oracle, or the sweep's premise (faults cause any divergence) is wrong.
 func Enumerate(cfg Config) ([]storage.WriteSite, error) {
-	cfg.normalize()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
 	ref := buildOracle(&cfg)
 	return enumerate(&cfg, ref)
 }
 
 func enumerate(cfg *Config, ref *oracleRef) ([]storage.WriteSite, error) {
-	trace := storage.NewTrace(storage.NewMem())
+	st := storage.NewStack(storage.NewMem()).WithTrace()
+	trace := st.Trace
 	gen := cfg.NewGen()
-	e, err := newEngine(cfg, trace, gen)
+	e, err := newEngine(cfg, st.MustBuild(), gen)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +305,9 @@ func enumerate(cfg *Config, ref *oracleRef) ([]storage.WriteSite, error) {
 // recovery against the oracle. It returns an error only when the harness
 // itself cannot run; divergences are reported in Result.Failures.
 func Sweep(cfg Config) (*Result, error) {
-	cfg.normalize()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
 	ref := buildOracle(&cfg)
 	sites, err := enumerate(&cfg, ref)
 	if err != nil {
@@ -308,7 +329,7 @@ func Sweep(cfg Config) (*Result, error) {
 // the k-th (target-matching) write.
 func runOne(cfg *Config, ref *oracleRef, k int) error {
 	inner := storage.NewMem()
-	dev := storage.NewFaultyMode(inner, k, cfg.Mode, cfg.Target)
+	dev := storage.NewStack(inner).WithFaulty(k, cfg.Mode, cfg.Target).MustBuild()
 	gen := cfg.NewGen()
 	e, err := newEngine(cfg, dev, gen)
 	if err != nil {
@@ -326,13 +347,11 @@ func runOne(cfg *Config, ref *oracleRef, k int) error {
 	// controller, same platters" restart.
 	bytes := metrics.NewBytes()
 	e2, report, err := engine.Recover(engine.Config{
-		App:           gen.App(),
-		Device:        inner,
-		Mechanism:     core.NewMechanism(cfg.Kind, inner, bytes, msr.Default()),
-		Workers:       cfg.Workers,
-		CommitEvery:   cfg.CommitEvery,
-		SnapshotEvery: cfg.SnapshotEvery,
-		Bytes:         bytes,
+		RunShape:  recoverShape(cfg),
+		App:       gen.App(),
+		Device:    inner,
+		Mechanism: core.NewMechanism(cfg.Kind, inner, bytes, msr.Default()),
+		Bytes:     bytes,
 	})
 	if err != nil {
 		return fmt.Errorf("recover: %w", err)
@@ -364,7 +383,9 @@ func runOne(cfg *Config, ref *oracleRef, k int) error {
 // engines — the cross-mechanism agreement check: on equivalent histories,
 // every mechanism must recover the identical store.
 func BoundaryStores(cfg Config, kinds []ftapi.Kind) (map[ftapi.Kind]*engine.Engine, *oracleRef, error) {
-	cfg.normalize()
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
 	ref := buildOracle(&cfg)
 	out := make(map[ftapi.Kind]*engine.Engine, len(kinds))
 	for _, kind := range kinds {
@@ -382,13 +403,11 @@ func BoundaryStores(cfg Config, kinds []ftapi.Kind) (map[ftapi.Kind]*engine.Engi
 		e.Crash()
 		bytes := metrics.NewBytes()
 		e2, _, err := engine.Recover(engine.Config{
-			App:           gen.App(),
-			Device:        dev,
-			Mechanism:     core.NewMechanism(kind, dev, bytes, msr.Default()),
-			Workers:       kcfg.Workers,
-			CommitEvery:   kcfg.CommitEvery,
-			SnapshotEvery: kcfg.SnapshotEvery,
-			Bytes:         bytes,
+			RunShape:  recoverShape(&kcfg),
+			App:       gen.App(),
+			Device:    dev,
+			Mechanism: core.NewMechanism(kind, dev, bytes, msr.Default()),
+			Bytes:     bytes,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("%v recover: %w", kind, err)

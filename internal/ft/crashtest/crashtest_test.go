@@ -6,6 +6,7 @@ import (
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/ft/fttest"
 	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
 	"morphstreamr/internal/workload"
 )
 
@@ -186,11 +187,11 @@ func TestSweepPipelined(t *testing.T) {
 		t.Run(c.kind.String()+"/"+c.mode.String(), func(t *testing.T) {
 			t.Parallel()
 			sweep(t, Config{
-				Kind:      c.kind,
-				NewGen:    func() workload.Generator { return fttest.SLGen(41) },
-				Mode:      c.mode,
-				Continue:  true,
-				Pipelined: true,
+				Kind:     c.kind,
+				NewGen:   func() workload.Generator { return fttest.SLGen(41) },
+				Mode:     c.mode,
+				Continue: true,
+				RunShape: types.RunShape{Pipeline: true},
 			})
 		})
 	}
@@ -210,7 +211,7 @@ func TestPipelinedWriteSequence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		cfg.Pipelined = true
+		cfg.Pipeline = true
 		pipSites, err := Enumerate(cfg)
 		if err != nil {
 			t.Fatalf("%v pipelined: %v", kind, err)

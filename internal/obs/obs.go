@@ -1,0 +1,50 @@
+// Package obs is the observability layer: a structured span tracer for
+// epoch and recovery phases, a metrics registry (counters, gauges,
+// sliding-window histograms, attached byte/health/scheduler providers),
+// and a live telemetry HTTP endpoint exposing /metrics, /trace, and
+// net/http/pprof.
+//
+// The package is built around the nil-object pattern: a nil *Observer,
+// *Tracer, or *Registry is the disabled instrument, and every method is
+// safe (and near-free) to call on it. Instrumented code therefore calls
+// unconditionally — there is no "if enabled" branching in the engine,
+// scheduler, or supervisor hot paths, and with observability off the cost
+// is a nil check.
+package obs
+
+// Observer bundles the two halves of the layer so components thread one
+// pointer. A nil *Observer disables both.
+type Observer struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// NewObserver creates an observer with a fresh registry and a tracer of
+// the given shape (see NewTracer).
+func NewObserver(lanes, spansPerLane int) *Observer {
+	return &Observer{
+		Reg:    NewRegistry(),
+		Tracer: NewTracer(lanes, spansPerLane),
+	}
+}
+
+// Registry returns the observer's registry, nil when disabled.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// T returns the observer's tracer, nil when disabled.
+func (o *Observer) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Begin opens a span on the observer's tracer; inert when disabled.
+func (o *Observer) Begin(lane int, cat, name string, epoch uint64) Span {
+	return o.T().Begin(lane, cat, name, epoch)
+}

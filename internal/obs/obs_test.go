@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"morphstreamr/internal/metrics"
+)
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	// Every instrument on the disabled observer must be callable.
+	sp := o.Begin(3, CatEpoch, "execute", 7)
+	sp.End()
+	o.Registry().Counter("epochs").Inc()
+	o.Registry().Gauge("depth").Set(5)
+	o.Registry().Histogram("lat").Observe(0.1)
+	o.Registry().GaugeFunc("fn", func() int64 { return 1 })
+	o.Registry().Attach("p", ProviderFunc(func() map[string]any { return nil }))
+	if ev, dropped := o.T().Drain(); len(ev) != 0 || dropped != 0 {
+		t.Fatalf("nil tracer drained %d events, %d dropped", len(ev), dropped)
+	}
+	snap := o.Registry().Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot non-empty: %+v", snap)
+	}
+}
+
+func TestTracerRecordsAndDrains(t *testing.T) {
+	tr := NewTracer(2, 16)
+	sp := tr.Begin(0, CatEpoch, "execute", 42)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Begin(1, CatRecovery, "replay", 0).End()
+
+	events, dropped := tr.Drain()
+	if dropped != 0 {
+		t.Fatalf("dropped %d spans from an underfull ring", dropped)
+	}
+	if len(events) != 2 {
+		t.Fatalf("drained %d events, want 2", len(events))
+	}
+	// Drain orders by start time: the execute span began first.
+	if events[0].Name != "execute" || events[0].Cat != CatEpoch || events[0].Epoch != 42 {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[0].Dur < time.Millisecond {
+		t.Fatalf("execute span duration %v, want ≥1ms", events[0].Dur)
+	}
+	if events[1].Name != "replay" || events[1].Lane != 1 {
+		t.Fatalf("second event = %+v", events[1])
+	}
+	// Drain resets the rings.
+	if events, _ := tr.Drain(); len(events) != 0 {
+		t.Fatalf("second drain returned %d events", len(events))
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Begin(0, CatEpoch, fmt.Sprintf("e%d", i), uint64(i)).End()
+	}
+	events, dropped := tr.Drain()
+	if len(events) != 4 {
+		t.Fatalf("ring of 4 drained %d events", len(events))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// The survivors are the newest four, in order.
+	for i, ev := range events {
+		if want := fmt.Sprintf("e%d", i+6); ev.Name != want {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want)
+		}
+	}
+}
+
+func TestExportChromeIsLoadableJSON(t *testing.T) {
+	tr := NewTracer(2, 16)
+	tr.Begin(0, CatEpoch, "commit", 3).End()
+	tr.Begin(1, CatRecovery, "rebuild", 0).End()
+	events, dropped := tr.Drain()
+
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, events, dropped); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph %q, want complete event X", ev.Name, ev.Ph)
+		}
+	}
+	if doc.TraceEvents[0].Args["epoch"] != float64(3) {
+		t.Fatalf("commit span lost its epoch tag: %+v", doc.TraceEvents[0])
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.epochs").Add(5)
+	r.Counter("engine.epochs").Inc() // same instrument by name
+	r.Gauge("committer.depth").Set(3)
+	r.GaugeFunc("pull.depth", func() int64 { return 9 })
+	h := r.Histogram("epoch.seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["engine.epochs"] != 6 {
+		t.Fatalf("counter = %d, want 6", snap.Counters["engine.epochs"])
+	}
+	if snap.Gauges["committer.depth"] != 3 || snap.Gauges["pull.depth"] != 9 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	st := snap.Histograms["epoch.seconds"]
+	if st.Count != 100 || st.Min != 1 || st.Max != 100 {
+		t.Fatalf("hist stats = %+v", st)
+	}
+	if st.Mean != 50.5 {
+		t.Fatalf("mean = %g, want 50.5", st.Mean)
+	}
+	if st.P50 < 45 || st.P50 > 55 {
+		t.Fatalf("p50 = %g, want ≈50", st.P50)
+	}
+	if st.P99 < 95 || st.P99 > 100 {
+		t.Fatalf("p99 = %g, want ≈99", st.P99)
+	}
+}
+
+func TestHistogramWindowSlides(t *testing.T) {
+	h := &Histogram{}
+	// Fill the whole window with 1s, then half again with 100s: the
+	// lifetime min/max span both phases, while quantiles see the window.
+	for i := 0; i < histWindow; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < histWindow; i++ {
+		h.Observe(100)
+	}
+	st := h.Stats()
+	if st.Count != 2*histWindow || st.Min != 1 || st.Max != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != 100 || st.P99 != 100 {
+		t.Fatalf("window quantiles should only see recent samples: %+v", st)
+	}
+}
+
+func TestRegistryProviders(t *testing.T) {
+	r := NewRegistry()
+
+	b := metrics.NewBytes()
+	b.Written("wal", 1000)
+	b.Written("snapshot", 500)
+	b.Alloc("views", 64)
+	r.AttachBytes("bytes", b)
+
+	hlth := metrics.NewHealth()
+	hlth.Record(metrics.Incident{Cause: "stall", Healed: true, MTTR: 2 * time.Second, RecoveredEpoch: 17})
+	r.AttachHealth("health", hlth)
+
+	var ss SchedStats
+	ss.Steals.Add(7)
+	ss.Parks.Add(2)
+	ss.Register(r)
+
+	snap := r.Snapshot()
+	if got := snap.Providers["bytes"]["written_wal"]; got != int64(1000) {
+		t.Fatalf("bytes.written_wal = %v", got)
+	}
+	if got := snap.Providers["bytes"]["total_written"]; got != int64(1500) {
+		t.Fatalf("bytes.total_written = %v", got)
+	}
+	if got := snap.Providers["health"]["healed"]; got != 1 {
+		t.Fatalf("health.healed = %v", got)
+	}
+	if got := snap.Providers["health"]["last_cause"]; got != "stall" {
+		t.Fatalf("health.last_cause = %v", got)
+	}
+	if got := snap.Providers["scheduler"]["steals"]; got != int64(7) {
+		t.Fatalf("scheduler.steals = %v", got)
+	}
+
+	// The whole snapshot must be JSON-marshalable for /metrics.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.epochs").Add(12)
+	r.Gauge("committer.depth").Set(2)
+	r.Histogram("epoch.seconds").Observe(0.25)
+	var ss SchedStats
+	ss.Steals.Add(3)
+	ss.Register(r)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"engine_epochs 12\n",
+		"committer_depth 2\n",
+		"epoch_seconds_count 1\n",
+		"epoch_seconds{quantile=\"0.5\"} 0.25\n",
+		"scheduler_steals 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, text)
+		}
+	}
+	// Every line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed prom line %q", line)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	o := NewObserver(4, 64)
+	o.Reg.Counter("engine.epochs").Add(9)
+	o.Begin(0, CatEpoch, "execute", 1).End()
+
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["engine.epochs"] != 9 {
+		t.Fatalf("/metrics counters = %+v", snap.Counters)
+	}
+
+	if prom := string(get("/metrics?format=prom")); !strings.Contains(prom, "engine_epochs 9") {
+		t.Fatalf("prom format missing counter:\n%s", prom)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/trace"), &trace); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 1 {
+		t.Fatalf("/trace has %d events, want 1", len(trace.TraceEvents))
+	}
+	// /trace drains: a second fetch is empty.
+	if err := json.Unmarshal(get("/trace"), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.TraceEvents) != 0 {
+		t.Fatalf("second /trace drain returned %d events", len(trace.TraceEvents))
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+// TestConcurrentSpansWhileDraining is the -race stress: eight workers emit
+// spans and bump counters continuously while /trace and /metrics are
+// fetched over HTTP, mimicking a live incident being watched.
+func TestConcurrentSpansWhileDraining(t *testing.T) {
+	o := NewObserver(8, 128)
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			h := o.Reg.Histogram("epoch.seconds")
+			c := o.Reg.Counter("engine.epochs")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := o.Begin(lane, CatEpoch, "execute", uint64(i))
+				c.Inc()
+				h.Observe(float64(i%7) * 0.001)
+				sp.End()
+			}
+		}(w)
+	}
+
+	var total int
+	for fetch := 0; fetch < 20; fetch++ {
+		resp, err := http.Get(srv.URL() + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var trace struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(body, &trace); err != nil {
+			t.Fatalf("trace drain %d not JSON: %v", fetch, err)
+		}
+		total += len(trace.TraceEvents)
+
+		mresp, err := http.Get(srv.URL() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbody, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		var snap Snapshot
+		if err := json.Unmarshal(mbody, &snap); err != nil {
+			t.Fatalf("metrics fetch %d not JSON: %v", fetch, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if total == 0 {
+		t.Fatal("no spans observed across 20 live drains")
+	}
+	if got := o.Reg.Counter("engine.epochs").Value(); got == 0 {
+		t.Fatal("no epochs counted during concurrent load")
+	}
+}

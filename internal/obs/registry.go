@@ -1,0 +1,485 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"morphstreamr/internal/metrics"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable; registry-issued counters are shared by pointer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (queue depth, live bytes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histWindow is the sliding-window size of a Histogram: quantiles are
+// computed over the most recent histWindow observations.
+const histWindow = 1024
+
+// Histogram records duration-like observations in a sliding window and
+// reports count/min/max/mean over the whole run plus p50/p99 over the
+// window. Observation is mutex-guarded but cheap (one slot write).
+type Histogram struct {
+	mu     sync.Mutex
+	window [histWindow]float64
+	n      int // valid entries in window, ≤ histWindow
+	next   int // write cursor
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one sample. Units are the caller's choice; the engine
+// records seconds.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.window[h.next] = v
+	h.next = (h.next + 1) % histWindow
+	if h.n < histWindow {
+		h.n++
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistStats is a histogram snapshot: lifetime count/min/max/mean plus
+// windowed p50/p99.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats computes the snapshot.
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	h.mu.Lock()
+	st := HistStats{Count: h.count, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		st.Mean = h.sum / float64(h.count)
+	}
+	samples := make([]float64, h.n)
+	copy(samples, h.window[:h.n])
+	h.mu.Unlock()
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		st.P50 = quantile(samples, 0.50)
+		st.P99 = quantile(samples, 0.99)
+	}
+	return st
+}
+
+// quantile reads the q-quantile from an ascending sample slice using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Provider contributes a named subtree to the registry snapshot; Bytes and
+// Health attach through adapters implementing it.
+type Provider interface {
+	// Collect returns the provider's current values as a JSON-marshalable
+	// map of leaf metrics (numbers or strings).
+	Collect() map[string]any
+}
+
+// ProviderFunc adapts a closure to Provider.
+type ProviderFunc func() map[string]any
+
+// Collect implements Provider.
+func (f ProviderFunc) Collect() map[string]any { return f() }
+
+// Registry is the process-wide metrics registry: named counters, gauges,
+// and histograms created on demand, plus attached providers (byte
+// accounting, incident log, scheduler stats). A nil *Registry is the
+// disabled registry — every accessor returns a nil instrument whose
+// methods are no-ops, so instrumented code never branches on enablement.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	gaugeFns  map[string]func() int64
+	providers map[string]Provider
+	startedAt time.Time
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		gaugeFns:  make(map[string]func() int64),
+		providers: make(map[string]Provider),
+		startedAt: time.Now(),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge sampled at snapshot time (e.g.
+// committer queue depth read from the mechanism). Nil-safe.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns (creating if needed) the named histogram. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Attach registers a provider under a name; its Collect map appears as a
+// subtree of the snapshot. Nil-safe.
+func (r *Registry) Attach(name string, p Provider) {
+	if r == nil || p == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers[name] = p
+}
+
+// AttachBytes publishes a metrics.Bytes tracker under the given name:
+// per-category written bytes plus total/live/peak.
+func (r *Registry) AttachBytes(name string, b *metrics.Bytes) {
+	if b == nil {
+		return
+	}
+	r.Attach(name, ProviderFunc(func() map[string]any {
+		out := map[string]any{
+			"total_written": b.TotalWritten(),
+			"live":          b.Live(),
+			"peak_live":     b.PeakLive(),
+		}
+		for _, cat := range b.Categories() {
+			out["written_"+cat] = b.WrittenBy(cat)
+		}
+		return out
+	}))
+}
+
+// AttachHealth publishes a metrics.Health incident log under the given
+// name: incident/healed counts, mean MTTR, and the most recent incident.
+func (r *Registry) AttachHealth(name string, h *metrics.Health) {
+	if h == nil {
+		return
+	}
+	r.Attach(name, ProviderFunc(func() map[string]any {
+		incs := h.Incidents()
+		out := map[string]any{
+			"incidents":         len(incs),
+			"healed":            h.Healed(),
+			"mean_mttr_seconds": h.MeanMTTR().Seconds(),
+		}
+		if len(incs) > 0 {
+			last := incs[len(incs)-1]
+			out["last_cause"] = last.Cause
+			out["last_mttr_seconds"] = last.MTTR.Seconds()
+			out["last_healed"] = last.Healed
+			out["last_recovered_epoch"] = last.RecoveredEpoch
+		}
+		return out
+	}))
+}
+
+// Snapshot is a point-in-time view of every registered metric, shaped for
+// JSON.
+type Snapshot struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Counters      map[string]int64          `json:"counters"`
+	Gauges        map[string]int64          `json:"gauges"`
+	Histograms    map[string]HistStats      `json:"histograms"`
+	Providers     map[string]map[string]any `json:"providers"`
+}
+
+// Snapshot collects current values. Nil-safe (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistStats{},
+		Providers:  map[string]map[string]any{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	providers := make(map[string]Provider, len(r.providers))
+	for k, v := range r.providers {
+		providers[k] = v
+	}
+	snap.UptimeSeconds = time.Since(r.startedAt).Seconds()
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, fn := range gaugeFns {
+		snap.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Stats()
+	}
+	for k, p := range providers {
+		snap.Providers[k] = p.Collect()
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (untyped samples; histogram quantiles as {quantile="..."} series).
+func (r *Registry) WriteProm(w io.Writer) error {
+	snap := r.Snapshot()
+	var names []string
+	for k := range snap.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(k), snap.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range snap.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(k), snap.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range snap.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		st := snap.Histograms[k]
+		base := promName(k)
+		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_mean %g\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.99\"} %g\n",
+			base, st.Count, base, st.Mean, base, st.P50, base, st.P99); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range snap.Providers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		sub := snap.Providers[k]
+		var keys []string
+		for kk := range sub {
+			keys = append(keys, kk)
+		}
+		sort.Strings(keys)
+		for _, kk := range keys {
+			switch v := sub[kk].(type) {
+			case int:
+				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+			case int64:
+				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+			case uint64:
+				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+			case float64:
+				fmt.Fprintf(w, "%s_%s %g\n", promName(k), promName(kk), v)
+				// strings and bools are JSON-only; Prometheus samples are numeric
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "uptime_seconds %g\n", snap.UptimeSeconds)
+	return err
+}
+
+// promName maps a registry name ("engine.epochs", "sched/steals") to a
+// legal Prometheus metric name.
+func promName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9' && i > 0, c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// SchedStats is the scheduler's contention-counter block: pure atomics so
+// workers touch it wait-free on the hot path. A nil *SchedStats is
+// disabled. Register it on a registry via Register.
+type SchedStats struct {
+	Steals     atomic.Int64 // tasks taken from another worker's deque
+	StealFails atomic.Int64 // sweep passes that found nothing to steal
+	Parks      atomic.Int64 // times a worker parked awaiting work
+	Wakes      atomic.Int64 // times a parked worker was woken
+	Stalls     atomic.Int64 // stall-detector trips
+	Panics     atomic.Int64 // isolated task panics
+}
+
+// Register attaches the stats block to a registry under the "scheduler"
+// provider name.
+func (s *SchedStats) Register(r *Registry) {
+	if s == nil {
+		return
+	}
+	r.Attach("scheduler", ProviderFunc(func() map[string]any {
+		return map[string]any{
+			"steals":      s.Steals.Load(),
+			"steal_fails": s.StealFails.Load(),
+			"parks":       s.Parks.Load(),
+			"wakes":       s.Wakes.Load(),
+			"stalls":      s.Stalls.Load(),
+			"panics":      s.Panics.Load(),
+		}
+	}))
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a live telemetry endpoint bound to an observer.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:0" for an
+// ephemeral port). Routes:
+//
+//	/metrics        registry snapshot as JSON; ?format=prom for the
+//	                Prometheus text exposition format
+//	/trace          drain the tracer rings as Chrome trace_event JSON
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The handler holds only the observer pointer, so metrics published after
+// Serve starts are visible. /trace is destructive (it drains the rings);
+// concurrent span emission during a drain is safe.
+func Serve(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := o.Registry()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WriteProm(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events, dropped := o.T().Drain()
+		w.Header().Set("Content-Type", "application/json")
+		_ = ExportChrome(w, events, dropped)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the server's base URL (http://host:port).
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops the server, waiting briefly for in-flight handlers.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

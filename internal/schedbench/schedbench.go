@@ -16,6 +16,7 @@ package schedbench
 import (
 	"fmt"
 
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/scheduler"
 	"morphstreamr/internal/store"
 	"morphstreamr/internal/tpg"
@@ -92,8 +93,19 @@ func Prepare(w Workload) *Epoch {
 // Run resets the epoch's execution state and runs it once under the given
 // implementation.
 func Run(impl string, ep *Epoch, workers int) error {
+	return RunObserved(impl, ep, workers, nil, nil)
+}
+
+// RunObserved is Run with the observability layer wired in: scheduler
+// steal/park/stall counters accumulate into stats and one execute span per
+// run is emitted through o. Both are nil-safe — nil o and stats reproduce
+// Run exactly, which is what the hot-path overhead budget is measured
+// against.
+func RunObserved(impl string, ep *Epoch, workers int, o *obs.Observer, stats *obs.SchedStats) error {
 	ep.G.ResetExec()
-	opt := scheduler.Options{Workers: workers}
+	sp := o.Begin(0, obs.CatEpoch, "execute", 0)
+	defer sp.End()
+	opt := scheduler.Options{Workers: workers, Stats: stats}
 	switch impl {
 	case ImplSteal:
 		_, err := scheduler.Run(ep.G, ep.St, opt)

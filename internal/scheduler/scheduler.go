@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/store"
 	"morphstreamr/internal/tpg"
 	"morphstreamr/internal/types"
@@ -41,7 +42,10 @@ var ErrOpPanic = errors.New("scheduler: operation panicked")
 
 // Options configures a parallel run.
 type Options struct {
-	// Workers is the degree of parallelism; 0 means GOMAXPROCS.
+	// Workers is the degree of parallelism; zero means 1, the same
+	// zero-value rule as types.RunShape (the scheduler historically
+	// defaulted to GOMAXPROCS here, a divergence the unified run-shape
+	// removed: parallelism is always an explicit decision).
 	Workers int
 	// Assign maps a chain to its owning worker in [0, Workers). Nil uses
 	// a hash of the chain's key, the engine's default partitioning. The
@@ -56,15 +60,16 @@ type Options struct {
 	// wedging a worker at a chosen operation — and for the supervisor's
 	// cancellation hooks; nil costs nothing on the hot path.
 	FireHook func(*tpg.OpNode)
+	// Stats, when non-nil, receives steal/park/stall/panic counters
+	// (atomic increments off the fast path: only on steals, parking, and
+	// termination events). Nil costs a pointer check.
+	Stats *obs.SchedStats
 }
 
 // Run executes every node of the graph with the configured worker pool and
 // returns the per-worker clocks (all zero unless Timing is set).
 func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, error) {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := types.NormalizeWorkers(opt.Workers)
 	clocks := make([]metrics.WorkerClock, workers)
 	if g.NumOps == 0 {
 		return clocks, nil
@@ -87,6 +92,7 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 		deques: make([]wsDeque, workers),
 		timing: opt.Timing,
 		hook:   opt.FireHook,
+		stats:  opt.Stats,
 	}
 	run.pending.Store(int64(g.NumOps))
 	run.idleCond = sync.NewCond(&run.idleMu)
@@ -137,6 +143,7 @@ type parallelRun struct {
 	deques []wsDeque
 	timing bool
 	hook   func(*tpg.OpNode)
+	stats  *obs.SchedStats
 
 	// panicked holds the first *opPanic recovered from a worker.
 	panicked atomic.Value
@@ -271,12 +278,18 @@ func (r *parallelRun) stealSweep(w int) *tpg.OpNode {
 		for {
 			n, retry := r.deques[v].steal()
 			if n != nil {
+				if st := r.stats; st != nil {
+					st.Steals.Add(1)
+				}
 				return n
 			}
 			if !retry {
 				break
 			}
 		}
+	}
+	if st := r.stats; st != nil {
+		st.StealFails.Add(1)
 	}
 	return nil
 }
@@ -286,9 +299,15 @@ func (r *parallelRun) stealSweep(w int) *tpg.OpNode {
 // holds work, and operations remain unretired, no progress is possible —
 // a dependency cycle — so it terminates the pool instead of deadlocking.
 func (r *parallelRun) park() {
+	if st := r.stats; st != nil {
+		st.Parks.Add(1)
+	}
 	r.idleMu.Lock()
 	p := r.parked.Add(1)
 	if int(p) == len(r.deques) && !r.anyWork() && !r.done.Load() && r.pending.Load() > 0 {
+		if st := r.stats; st != nil {
+			st.Stalls.Add(1)
+		}
 		r.done.Store(true)
 		r.idleCond.Broadcast()
 		r.parked.Add(-1)
@@ -319,6 +338,9 @@ func (r *parallelRun) wake(n int) {
 	if r.parked.Load() == 0 {
 		return
 	}
+	if st := r.stats; st != nil {
+		st.Wakes.Add(1)
+	}
 	r.idleMu.Lock()
 	if n == 1 {
 		r.idleCond.Signal()
@@ -344,6 +366,9 @@ type opPanic struct {
 // recordPanic stores the first panic; later ones (peers tripping over the
 // same poisoned state) are dropped — the first is the cause.
 func (r *parallelRun) recordPanic(pv any, stack []byte) {
+	if st := r.stats; st != nil {
+		st.Panics.Add(1)
+	}
 	r.panicked.CompareAndSwap(nil, &opPanic{value: pv, stack: stack})
 }
 

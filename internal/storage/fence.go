@@ -54,12 +54,21 @@ func (f *Fence) Advance() uint64 {
 // View returns a Device bound to the given generation: writes succeed only
 // while that generation is live; reads always pass through.
 func (f *Fence) View(gen uint64) Device {
-	return &fencedView{f: f, gen: gen}
+	return &fencedView{f: f, gen: gen, inner: f.inner}
+}
+
+// ViewOf is View over an arbitrary underlay: the generation check (and the
+// drain guarantee of Advance) comes from f, but operations forward to dev.
+// storage.Stack uses it so the fence layer can sit above wrappers that are
+// per-incarnation while the fence itself persists across incarnations.
+func (f *Fence) ViewOf(dev Device, gen uint64) Device {
+	return &fencedView{f: f, gen: gen, inner: dev}
 }
 
 type fencedView struct {
-	f   *Fence
-	gen uint64
+	f     *Fence
+	gen   uint64
+	inner Device
 }
 
 // guard runs one write with the fence check held, so the write cannot
@@ -75,24 +84,24 @@ func (v *fencedView) guard(op string, fn func() error) error {
 
 // Append implements Device.
 func (v *fencedView) Append(log string, rec Record) error {
-	return v.guard("append["+log+"]", func() error { return v.f.inner.Append(log, rec) })
+	return v.guard("append["+log+"]", func() error { return v.inner.Append(log, rec) })
 }
 
 // WriteBlob implements Device.
 func (v *fencedView) WriteBlob(name string, payload []byte) error {
-	return v.guard("blob["+name+"]", func() error { return v.f.inner.WriteBlob(name, payload) })
+	return v.guard("blob["+name+"]", func() error { return v.inner.WriteBlob(name, payload) })
 }
 
 // Truncate implements Device.
 func (v *fencedView) Truncate(log string, upTo uint64) error {
-	return v.guard("truncate["+log+"]", func() error { return v.f.inner.Truncate(log, upTo) })
+	return v.guard("truncate["+log+"]", func() error { return v.inner.Truncate(log, upTo) })
 }
 
 // ReadLog implements Device.
-func (v *fencedView) ReadLog(log string) ([]Record, error) { return v.f.inner.ReadLog(log) }
+func (v *fencedView) ReadLog(log string) ([]Record, error) { return v.inner.ReadLog(log) }
 
 // ReadBlob implements Device.
-func (v *fencedView) ReadBlob(name string) ([]byte, bool, error) { return v.f.inner.ReadBlob(name) }
+func (v *fencedView) ReadBlob(name string) ([]byte, bool, error) { return v.inner.ReadBlob(name) }
 
 // BytesWritten implements Device.
-func (v *fencedView) BytesWritten() map[string]int64 { return v.f.inner.BytesWritten() }
+func (v *fencedView) BytesWritten() map[string]int64 { return v.inner.BytesWritten() }

@@ -18,7 +18,8 @@ func newSys(t *testing.T, kind ftapi.Kind) (*core.System, workload.Generator) {
 	p.Rows = 512
 	gen := workload.NewSL(p)
 	sys, err := core.New(gen.App(), core.Config{
-		FT: kind, Workers: 2, BatchSize: 100, CommitEvery: 1, SnapshotEvery: 4,
+		RunShape: core.RunShape{Workers: 2, CommitEvery: 1, SnapshotEvery: 4},
+		FT:       kind, BatchSize: 100,
 	})
 	if err != nil {
 		t.Fatal(err)

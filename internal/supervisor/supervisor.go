@@ -41,6 +41,7 @@ import (
 	"morphstreamr/internal/engine"
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
 	"morphstreamr/internal/scheduler"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/tpg"
@@ -124,13 +125,12 @@ type Config struct {
 	// Source feeds input batches; required.
 	Source Source
 
-	// Workers, CommitEvery, SnapshotEvery, AsyncCommit, and Pipeline are
-	// the engine knobs, passed through to every incarnation.
-	Workers       int
-	CommitEvery   int
-	SnapshotEvery int
-	AsyncCommit   bool
-	Pipeline      bool
+	// RunShape carries the engine knobs (Workers, CommitEvery,
+	// SnapshotEvery, AutoCommit, Pipeline), passed through to every
+	// incarnation; see types.RunShape for the zero-value rule.
+	types.RunShape
+	// AsyncCommit passes through to every incarnation (see engine.Config).
+	AsyncCommit bool
 
 	// Retry tunes each incarnation's transient-fault absorption.
 	Retry storage.RetryPolicy
@@ -154,11 +154,19 @@ type Config struct {
 	FireHook func(*tpg.OpNode)
 	// Health receives incident records; nil allocates a fresh log.
 	Health *metrics.Health
+	// Obs, when non-nil, observes the supervised run: the incident log and
+	// state transitions are published to its registry, a "reseat" recovery
+	// span brackets every heal, and each incarnation's engine emits its
+	// epoch/recovery telemetry through it.
+	Obs *obs.Observer
 }
 
 func (c *Config) normalize() error {
 	if c.App == nil || c.Device == nil || c.Mechanism == nil || c.Source == nil {
 		return errors.New("supervisor: App, Device, Mechanism, and Source are required")
+	}
+	if err := c.RunShape.Normalize(); err != nil {
+		return fmt.Errorf("supervisor: %w", err)
 	}
 	if c.StallTimeout <= 0 {
 		c.StallTimeout = 2 * time.Second
@@ -212,13 +220,20 @@ func New(cfg Config) (*Supervisor, error) {
 	if k := cfg.Mechanism(storage.NewMem(), metrics.NewBytes()).Kind(); k == ftapi.NAT {
 		return nil, errors.New("supervisor: native execution persists nothing; self-healing requires a recoverable mechanism")
 	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		reg.AttachHealth("health", cfg.Health)
+	}
 	return &Supervisor{cfg: cfg, fence: storage.NewFence(cfg.Device)}, nil
 }
 
 // State returns the current health gauge.
 func (s *Supervisor) State() State { return State(s.state.Load()) }
 
-func (s *Supervisor) setState(st State) { s.state.Store(int32(st)) }
+func (s *Supervisor) setState(st State) {
+	if prev := State(s.state.Swap(int32(st))); prev != st {
+		s.observeTransition(st)
+	}
+}
 
 // Outputs returns a snapshot of every output released downstream so far,
 // across all incarnations, in release order.
@@ -357,13 +372,25 @@ func (s *Supervisor) stack() (storage.Device, *storage.Retrying) {
 	userRetry := pol.OnRetry
 	pol.OnRetry = func(op string, attempt int, err error) {
 		// A storm is being absorbed: dip to Degraded until an epoch lands.
-		s.state.CompareAndSwap(int32(Running), int32(Degraded))
+		if s.state.CompareAndSwap(int32(Running), int32(Degraded)) {
+			s.observeTransition(Degraded)
+		}
 		if userRetry != nil {
 			userRetry(op, attempt, err)
 		}
 	}
-	retry := storage.NewRetrying(s.fence.View(s.fence.Generation()), pol)
-	return retry, retry
+	st := storage.NewStack(s.cfg.Device).WithFence(s.fence).WithRetry(pol)
+	return st.MustBuild(), st.Retrying
+}
+
+// observeTransition accounts a state change that bypassed setState (the
+// lock-free Degraded dips on the retry and epoch paths).
+func (s *Supervisor) observeTransition(st State) {
+	if reg := s.cfg.Obs.Registry(); reg != nil {
+		reg.Gauge("supervisor.state").Set(int64(st))
+		reg.Counter("supervisor.transitions").Inc()
+		reg.Counter("supervisor.to_" + st.String()).Inc()
+	}
 }
 
 // engineConfig assembles one incarnation's engine configuration. The
@@ -373,21 +400,21 @@ func (s *Supervisor) engineConfig(dev storage.Device, bytes *metrics.Bytes) engi
 	gen := s.fence.Generation()
 	cell := s.cellFor(gen)
 	return engine.Config{
-		App:           s.cfg.App,
-		Device:        dev,
-		Mechanism:     s.cfg.Mechanism(dev, bytes),
-		Workers:       s.cfg.Workers,
-		CommitEvery:   s.cfg.CommitEvery,
-		SnapshotEvery: s.cfg.SnapshotEvery,
-		AsyncCommit:   s.cfg.AsyncCommit,
-		Pipeline:      s.cfg.Pipeline,
-		Bytes:         bytes,
+		RunShape:    s.cfg.RunShape,
+		App:         s.cfg.App,
+		Device:      dev,
+		Mechanism:   s.cfg.Mechanism(dev, bytes),
+		AsyncCommit: s.cfg.AsyncCommit,
+		Bytes:       bytes,
+		Obs:         s.cfg.Obs,
 		OnEpoch: func(epoch uint64) {
 			cell.epochs.Store(epoch)
 			cell.touch.Store(time.Now().UnixNano())
 			// Storm absorbed (if any): a completed epoch means the device
 			// is accepting writes again.
-			s.state.CompareAndSwap(int32(Degraded), int32(Running))
+			if s.state.CompareAndSwap(int32(Degraded), int32(Running)) {
+				s.observeTransition(Running)
+			}
 		},
 		Sink: func(outs []types.Output) {
 			s.mu.Lock()
@@ -507,6 +534,11 @@ func (s *Supervisor) drive(eng *engine.Engine, next uint64) error {
 // resumes (LastEpoch + 1).
 func (s *Supervisor) heal(fail failure) (*engine.Engine, *engine.RecoveryReport, error) {
 	s.setState(Recovering)
+	// The reseat span brackets the whole heal — fence, recovery (whose
+	// log-read/rebuild/replay spans nest inside on the same lane), and
+	// re-seating the stream at the recovered punctuation.
+	sp := s.cfg.Obs.Begin(0, obs.CatRecovery, "reseat", 0)
+	defer sp.End()
 
 	// Fence first: after Advance returns, no in-flight zombie write
 	// remains and none can land later, so the device content is stable

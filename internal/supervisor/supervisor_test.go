@@ -25,6 +25,16 @@ const (
 	tSnapshot  = 4
 )
 
+// tShape is the run shape every test run uses.
+var tShape = types.RunShape{Workers: tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot}
+
+// pipeShape is tShape with epoch pipelining on.
+func pipeShape() types.RunShape {
+	s := tShape
+	s.Pipeline = true
+	return s
+}
+
 // fixedBatches pre-generates the whole stream so the Source is rewindable.
 func fixedBatches(seed int64) (types.App, [][]types.Event) {
 	p := workload.DefaultSLParams()
@@ -45,10 +55,8 @@ func referenceRun(t *testing.T, app types.App, batches [][]types.Event, kind fta
 	dev := storage.NewMem()
 	eng, err := engine.New(engine.Config{
 		App: app, Device: dev,
-		Mechanism:     core.NewMechanism(kind, dev, metrics.NewBytes(), msr.Default()),
-		Workers:       tWorkers,
-		CommitEvery:   tCommit,
-		SnapshotEvery: tSnapshot,
+		Mechanism: core.NewMechanism(kind, dev, metrics.NewBytes(), msr.Default()),
+		RunShape:  tShape,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +123,7 @@ func TestCleanRunStops(t *testing.T) {
 		App: app, Device: storage.NewMem(),
 		Mechanism: mechFactory(ftapi.WAL),
 		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+		RunShape:  tShape,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +153,7 @@ func TestTransientStormAbsorbed(t *testing.T) {
 		App: app, Device: flaky,
 		Mechanism: mechFactory(ftapi.WAL),
 		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+		RunShape:  tShape,
 		Retry: storage.RetryPolicy{
 			MaxAttempts: 6,
 			BaseBackoff: 100 * time.Microsecond,
@@ -189,7 +197,7 @@ func TestFatalFaultHealsOnce(t *testing.T) {
 				App: app, Device: flaky,
 				Mechanism: mechFactory(kind),
 				Source:    BatchSource(batches),
-				Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+				RunShape:  tShape,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -225,7 +233,7 @@ func TestPanicHeals(t *testing.T) {
 		App: app, Device: storage.NewMem(),
 		Mechanism: mechFactory(ftapi.DL),
 		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+		RunShape:  tShape,
 		FireHook: func(n *tpg.OpNode) {
 			// One-shot: panic mid-stream, well past the first commit.
 			if fired.Add(1) == 3*tEpochSize && armed.CompareAndSwap(true, false) {
@@ -266,9 +274,9 @@ func TestStallWatchdog(t *testing.T) {
 	started := time.Now()
 	sup, err := New(Config{
 		App: app, Device: storage.NewMem(),
-		Mechanism: mechFactory(ftapi.WAL),
-		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+		Mechanism:    mechFactory(ftapi.WAL),
+		Source:       BatchSource(batches),
+		RunShape:     tShape,
 		StallTimeout: stallTimeout,
 		FireHook: func(n *tpg.OpNode) {
 			if fired.Add(1) == 3*tEpochSize && armed.CompareAndSwap(true, false) {
@@ -309,9 +317,9 @@ func TestRecoveryBudget(t *testing.T) {
 	app, batches := fixedBatches(6)
 	sup, err := New(Config{
 		App: app, Device: storage.NewMem(),
-		Mechanism: mechFactory(ftapi.WAL),
-		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
+		Mechanism:     mechFactory(ftapi.WAL),
+		Source:        BatchSource(batches),
+		RunShape:      tShape,
 		MaxRecoveries: 2,
 		FireHook:      func(n *tpg.OpNode) { panic("chaos: persistent fault") },
 	})
@@ -356,8 +364,7 @@ func TestPipelinedSupervision(t *testing.T) {
 		App: app, Device: flaky,
 		Mechanism: mechFactory(ftapi.MSR),
 		Source:    BatchSource(batches),
-		Workers:   tWorkers, CommitEvery: tCommit, SnapshotEvery: tSnapshot,
-		Pipeline:  true,
+		RunShape:  pipeShape(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,71 @@
+package types
+
+import "fmt"
+
+// RunShape is the one definition of the engine-facing run knobs shared by
+// every configuration surface in the tree: core.Config, engine.Config,
+// supervisor.Config, crashtest.Config (and its chaos variant), and
+// bench.Scale all embed it instead of re-declaring Workers/CommitEvery/
+// SnapshotEvery with their own drifted zero-value defaults.
+//
+// Zero-value rule (the single defaulting path, applied by Normalize):
+//
+//   - Workers      0 → 1. One rule everywhere: the scheduler historically
+//     treated zero as GOMAXPROCS while the engine documented "zero means
+//     1"; both now route through Normalize and zero means one worker.
+//     Parallelism is always an explicit decision.
+//   - CommitEvery  0 → 1 (commit every epoch).
+//   - SnapshotEvery 0 → 8.
+//
+// Validation (the single validation path): CommitEvery must divide
+// SnapshotEvery, so every snapshot marker lands on a commit boundary and
+// garbage collection never outruns an uncommitted group.
+type RunShape struct {
+	// Workers is the execution parallelism. Zero means 1.
+	Workers int
+	// CommitEvery is the log commitment interval in epochs (the paper's
+	// commit marker cadence). Zero means 1. Must divide SnapshotEvery.
+	CommitEvery int
+	// SnapshotEvery is the checkpoint interval in epochs. Zero means 8.
+	SnapshotEvery int
+	// AutoCommit lets an advisor mechanism (MSR) pick CommitEvery from the
+	// first epoch's profile instead of the configured value.
+	AutoCommit bool
+	// Pipeline overlaps epoch N+1's stream-processing phase with epoch N's
+	// transaction processing when batches are submitted as one run.
+	Pipeline bool
+}
+
+// Normalize applies the zero-value defaults in place and validates the
+// marker relationship. It is idempotent; every configuration surface calls
+// it exactly once on its embedded shape.
+func (s *RunShape) Normalize() error {
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	if s.CommitEvery <= 0 {
+		s.CommitEvery = 1
+	}
+	if s.SnapshotEvery <= 0 {
+		s.SnapshotEvery = 8
+	}
+	if s.SnapshotEvery%s.CommitEvery != 0 {
+		return fmt.Errorf("types: SnapshotEvery (%d) must be a multiple of CommitEvery (%d)",
+			s.SnapshotEvery, s.CommitEvery)
+	}
+	return nil
+}
+
+// IsZero reports whether no knob has been set, letting harnesses with an
+// explicit preset shape (the crash-point sweep's compact run) distinguish
+// "caller chose nothing" from "caller chose the defaults".
+func (s RunShape) IsZero() bool { return s == RunShape{} }
+
+// NormalizeWorkers is the worker-count half of the zero-value rule for
+// callers that only deal in parallelism (scheduler.Options). Zero or
+// negative means 1, the same rule Normalize applies.
+func NormalizeWorkers(w int) int {
+	s := RunShape{Workers: w, CommitEvery: 1, SnapshotEvery: 1}
+	_ = s.Normalize() // cannot fail: 1 divides 1
+	return s.Workers
+}

@@ -1,0 +1,274 @@
+// Command benchtrend folds the per-run benchmark reports
+// (BENCH_scheduler.json, BENCH_chaos.json, BENCH_recovery.json) into one
+// commit-keyed trend file, BENCH_trend.json. Each invocation appends (or,
+// for a re-run on the same commit, replaces) a point carrying a compact
+// summary of every report that exists; the full reports stay the source of
+// truth, the trend file is what CI charts and regression checks read.
+//
+//	go run ./cmd/benchtrend -sha $(git rev-parse --short HEAD)
+//
+// Missing input reports are skipped with a warning, so the tool works in
+// partial checkouts and on CI jobs that only regenerate one report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one commit's folded benchmark summary.
+type Point struct {
+	SHA      string `json:"sha"`
+	UnixTime int64  `json:"unix_time"`
+	// GoVersion is taken from the first report that records one.
+	GoVersion string `json:"go_version,omitempty"`
+	// Sources maps report name ("scheduler", "chaos", "recovery") to its
+	// summary block. Reports absent at fold time are absent here.
+	Sources map[string]map[string]any `json:"sources"`
+}
+
+// Trend is the BENCH_trend.json layout.
+type Trend struct {
+	Note   string  `json:"note"`
+	Points []Point `json:"points"`
+}
+
+const trendNote = "One point per commit: compact summaries folded from the full benchmark " +
+	"reports by cmd/benchtrend. Re-running on the same commit replaces its point. " +
+	"Points are ordered oldest-first by fold time; the full BENCH_*.json reports " +
+	"remain the source of truth for any number here."
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_trend.json", "trend file to update")
+		sha       = flag.String("sha", "", "commit id for this point (default: GITHUB_SHA, then git rev-parse)")
+		schedPath = flag.String("scheduler", "BENCH_scheduler.json", "scheduler report (skipped if missing)")
+		chaosPath = flag.String("chaos", "BENCH_chaos.json", "chaos report (skipped if missing)")
+		recPath   = flag.String("recovery", "BENCH_recovery.json", "recovery report (skipped if missing)")
+	)
+	flag.Parse()
+
+	id := commitID(*sha)
+	pt := Point{SHA: id, UnixTime: time.Now().Unix(), Sources: map[string]map[string]any{}}
+
+	fold := func(name, path string, summarize func(map[string]any) map[string]any) {
+		doc, err := readReport(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "benchtrend: %s: %s not found, skipping\n", name, path)
+				return
+			}
+			fatalf("%s: %v", path, err)
+		}
+		if pt.GoVersion == "" {
+			if v, ok := doc["go_version"].(string); ok {
+				pt.GoVersion = v
+			}
+		}
+		pt.Sources[name] = summarize(doc)
+	}
+	fold("scheduler", *schedPath, summarizeScheduler)
+	fold("chaos", *chaosPath, summarizeChaos)
+	fold("recovery", *recPath, summarizeRecovery)
+
+	if len(pt.Sources) == 0 {
+		fatalf("no benchmark reports found; nothing to fold")
+	}
+
+	trend := Trend{Note: trendNote}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &trend); err != nil {
+			fatalf("%s exists but is not a trend file: %v", *out, err)
+		}
+		trend.Note = trendNote
+	} else if !os.IsNotExist(err) {
+		fatalf("%s: %v", *out, err)
+	}
+
+	replaced := false
+	for i := range trend.Points {
+		if trend.Points[i].SHA == id {
+			trend.Points[i] = pt
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		trend.Points = append(trend.Points, pt)
+	}
+
+	raw, err := json.MarshalIndent(&trend, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+	verb := "appended to"
+	if replaced {
+		verb = "replaced in"
+	}
+	fmt.Fprintf(os.Stderr, "benchtrend: point %s (%d sources) %s %s (%d points)\n",
+		id, len(pt.Sources), verb, *out, len(trend.Points))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// commitID resolves the point key: explicit flag, then the CI-provided
+// GITHUB_SHA, then the working tree's HEAD.
+func commitID(flagSHA string) string {
+	if flagSHA != "" {
+		return flagSHA
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	fatalf("cannot determine commit: pass -sha, set GITHUB_SHA, or run inside a git checkout")
+	return ""
+}
+
+func readReport(path string) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return doc, nil
+}
+
+// entries returns a report's entry list under the given key ("entries",
+// "cells") as generic maps.
+func entries(doc map[string]any, key string) []map[string]any {
+	list, _ := doc[key].([]any)
+	out := make([]map[string]any, 0, len(list))
+	for _, e := range list {
+		if m, ok := e.(map[string]any); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func num(m map[string]any, key string) (float64, bool) {
+	v, ok := m[key].(float64)
+	return v, ok
+}
+
+func str(m map[string]any, key string) string {
+	s, _ := m[key].(string)
+	return s
+}
+
+// summarizeScheduler keeps the headline throughput per implementation:
+// the best ops/sec over all (workload, workers) cells, plus the cell count.
+func summarizeScheduler(doc map[string]any) map[string]any {
+	cells := entries(doc, "entries")
+	best := map[string]float64{}
+	for _, c := range cells {
+		impl := str(c, "impl")
+		if ops, ok := num(c, "ops_per_sec"); ok && ops > best[impl] {
+			best[impl] = ops
+		}
+	}
+	out := map[string]any{"entries": len(cells)}
+	impls := make([]string, 0, len(best))
+	for impl := range best {
+		impls = append(impls, impl)
+	}
+	sort.Strings(impls)
+	for _, impl := range impls {
+		out["max_ops_per_sec_"+impl] = best[impl]
+	}
+	return out
+}
+
+// summarizeChaos keeps the healing headline: recovery counts, the mean
+// MTTR over cells that actually recovered, and whether every cell's
+// recovered state matched the oracle.
+func summarizeChaos(doc map[string]any) map[string]any {
+	cells := entries(doc, "entries")
+	var recoveries, mttrCells float64
+	var mttrSum float64
+	allMatch := true
+	for _, c := range cells {
+		r, _ := num(c, "recoveries")
+		recoveries += r
+		if mttr, ok := num(c, "mttr_us"); ok && mttr > 0 {
+			mttrSum += mttr
+			mttrCells++
+		}
+		if match, ok := c["offline_match"].(bool); ok && !match {
+			allMatch = false
+		}
+	}
+	out := map[string]any{
+		"entries":       len(cells),
+		"recoveries":    recoveries,
+		"offline_match": allMatch,
+	}
+	if mttrCells > 0 {
+		out["mean_mttr_us"] = mttrSum / mttrCells
+	}
+	return out
+}
+
+// summarizeRecovery keeps, per mechanism at the report's main worker
+// count, the virtual timeline, stall share, and cp ratio — the numbers a
+// trend chart plots — plus the check verdicts and the profiling-off
+// overhead measurement.
+func summarizeRecovery(doc map[string]any) map[string]any {
+	out := map[string]any{}
+	mainW := 0.0
+	if checks, ok := doc["checks"].(map[string]any); ok {
+		mainW, _ = num(checks, "main_workers")
+		for _, k := range []string{"decomposition_exact", "wal_single_lane", "msr_lowest_stall", "cp_bound", "overhead_ok"} {
+			if v, ok := checks[k].(bool); ok {
+				out[k] = v
+			}
+		}
+		if pct, ok := num(checks, "profiling_overhead_pct"); ok {
+			out["profiling_overhead_pct"] = pct
+		}
+	}
+	cells := entries(doc, "cells")
+	out["cells"] = len(cells)
+	for _, c := range cells {
+		w, _ := num(c, "workers")
+		if w != mainW {
+			continue
+		}
+		kind := strings.ToLower(str(c, "kind"))
+		if kind == "" {
+			continue
+		}
+		if v, ok := num(c, "timeline_us"); ok {
+			out[kind+"_timeline_us"] = v
+		}
+		if v, ok := num(c, "stall_share"); ok {
+			out[kind+"_stall_share"] = v
+		}
+		if v, ok := num(c, "cp_ratio"); ok {
+			out[kind+"_cp_ratio"] = v
+		}
+	}
+	return out
+}

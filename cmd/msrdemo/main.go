@@ -17,6 +17,9 @@
 //	-seed N            generator seed (default 1)
 //	-obs ADDR          serve live telemetry (/metrics, /trace, pprof) during the run
 //	-trace PATH        write a Chrome trace_event JSON of the run
+//	-profile           profile the recovery replay (per-worker virtual timelines;
+//	                   with -obs the full profile is served at /recovery)
+//	-linger            keep serving -obs after the demo completes (Ctrl-C to exit)
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
+	"morphstreamr/internal/vtime"
 	"morphstreamr/internal/workload"
 )
 
@@ -43,20 +47,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	obsAddr := flag.String("obs", "", "serve live telemetry (/metrics, /trace, pprof) on this address")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this path")
+	profile := flag.Bool("profile", false, "profile the recovery replay (served at /recovery with -obs)")
+	linger := flag.Bool("linger", false, "keep serving -obs after the demo completes")
 	flag.Parse()
 
 	var observer *obs.Observer
+	var srv *obs.Server
 	if *obsAddr != "" || *tracePath != "" {
 		observer = obs.NewObserver(2, 1<<14)
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, observer)
+		var err error
+		srv, err = obs.Serve(*obsAddr, observer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry at http://%s/metrics and /trace\n", srv.URL())
+	}
+	if *linger && *obsAddr != "" {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "lingering on http://%s (Ctrl-C to exit)\n", srv.URL())
+			select {}
+		}()
 	}
 	if *tracePath != "" {
 		defer func() {
@@ -100,6 +114,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	var prof *vtime.Profiler
+	if *profile {
+		prof = vtime.NewProfiler(*workers)
+	}
 	sys, err := core.New(gen.App(), core.Config{
 		RunShape: core.RunShape{
 			Workers:       *workers,
@@ -107,10 +125,11 @@ func main() {
 			SnapshotEvery: *snapshot,
 			AutoCommit:    *auto,
 		},
-		FT:        kind,
-		BatchSize: *batch,
-		SSDModel:  true,
-		Obs:       observer,
+		FT:               kind,
+		BatchSize:        *batch,
+		SSDModel:         true,
+		Obs:              observer,
+		RecoveryProfiler: prof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -164,6 +183,14 @@ func main() {
 	bd := report.Breakdown.PerWorker(report.Workers)
 	for _, c := range bd.Components() {
 		fmt.Printf("    %-10s %v\n", c.Name, c.D)
+	}
+	if p := report.Profile; p != nil {
+		fmt.Printf("  profile (virtual): timeline %v, critical path %v, cp-ratio %.3f, stall %.1f%%, drain %.1f%%, %d phases\n",
+			p.Timeline.Round(0), p.CritPath.Round(0), p.CPRatio,
+			100*p.StallShare(), 100*p.DrainShare(), len(p.Phases))
+		if *obsAddr != "" {
+			fmt.Fprintf(os.Stderr, "full recovery profile at http://%s/recovery\n", *obsAddr)
+		}
 	}
 	fmt.Printf("\nresumed at epoch %d; the engine is live again\n", recovered.Engine.Epoch())
 }

@@ -1,0 +1,432 @@
+// Command recoverytrace profiles the recovery replay of every
+// fault-tolerance mechanism: it drives the standard snapshot-then-crash
+// protocol with a vtime.Profiler attached, then records per-virtual-worker
+// timelines, stall attribution, and the critical-path analysis side by
+// side for CKPT, WAL, DL, LV, and MSR across worker counts.
+//
+// The committed report pins the cost model with -fixed (host-independent
+// virtual times); regenerate it after recovery-path changes with:
+//
+//	go run ./cmd/recoverytrace -o BENCH_recovery.json -tracedir traces
+//
+// The report's checks block records the profiler's structural invariants
+// (exact per-lane decomposition, WAL's single active redo lane, MSR's
+// lowest stall share, makespan >= the list-scheduling lower bound) and the
+// measured profiling overhead; any violated invariant exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"morphstreamr/internal/bench"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/vtime"
+	"morphstreamr/internal/workload"
+)
+
+// seed fixes the workload stream so every mechanism replays the same
+// transactions and cells are comparable across runs.
+const seed = 79
+
+// PhaseCell summarises one recovery phase of a cell's profile.
+type PhaseCell struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"`
+	MakespanUs   float64 `json:"makespan_us"`
+	CritPathUs   float64 `json:"critical_path_us"`
+	LowerBoundUs float64 `json:"lower_bound_us"`
+	ActiveLanes  int     `json:"active_lanes"`
+}
+
+// StallCell is one aggregated (edge, blocker) stall cause.
+type StallCell struct {
+	Edge    string  `json:"edge"`
+	Blocker string  `json:"blocker,omitempty"`
+	TotalUs float64 `json:"total_us"`
+	Count   int64   `json:"count"`
+}
+
+// Cell is one measured (mechanism, workers) grid point.
+type Cell struct {
+	Kind           string `json:"kind"`
+	Workers        int    `json:"workers"`
+	EventsReplayed int    `json:"events_replayed"`
+	// TimelineUs is the virtual recovery length (sum of phase makespans);
+	// CritPathUs/LowerBoundUs the summed per-phase bounds; CPRatio is
+	// timeline over lower bound (1.0 = optimal schedule under the model).
+	TimelineUs   float64 `json:"timeline_us"`
+	CritPathUs   float64 `json:"critical_path_us"`
+	LowerBoundUs float64 `json:"lower_bound_us"`
+	CPRatio      float64 `json:"cp_ratio"`
+	// StallShare is dependency-attributed stall time (TD/LD/PD, logged
+	// deps, LSN vectors, serial phases) over total lane-time; DrainShare
+	// is end-of-phase load imbalance. The aggregate decomposition follows
+	// (summed across lanes, so exec+explore+abort+phase+stall ==
+	// workers * timeline).
+	StallShare float64 `json:"stall_share"`
+	DrainShare float64 `json:"drain_share"`
+	ExecUs     float64 `json:"exec_us"`
+	ExploreUs  float64 `json:"explore_us"`
+	AbortUs    float64 `json:"abort_us"`
+	PhaseUs    float64 `json:"phase_us"`
+	StallUs    float64 `json:"stall_us"`
+	Spans      int     `json:"spans"`
+	// BreakdownShares is the Figure 11 six-way recovery breakdown,
+	// normalised (see metrics.RecoveryBreakdown.Shares).
+	BreakdownShares map[string]float64 `json:"breakdown_shares"`
+	Phases          []PhaseCell        `json:"phases"`
+	TopStalls       []StallCell        `json:"top_stalls"`
+}
+
+// ProfilerCost records what turning the profiler ON costs one mechanism:
+// minimum recovery wall over the repeats with the profiler off and on.
+// This is the price of profiling, not an invariant — the guarded 2%
+// budget applies to the profiling-OFF path (see Checks).
+type ProfilerCost struct {
+	Kind     string  `json:"kind"`
+	OffUs    float64 `json:"recovery_wall_off_us"`
+	OnUs     float64 `json:"recovery_wall_on_us"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// Checks is the invariant block the CI smoke job and the acceptance
+// criteria read.
+type Checks struct {
+	MainWorkers int `json:"main_workers"`
+	// DecompositionExact: every lane's exec+explore+abort+phase+stall
+	// equals the cell's timeline exactly, for every cell.
+	DecompositionExact bool `json:"decomposition_exact"`
+	// WalSingleLane: WAL's redo phase shows exactly one active lane at
+	// every worker count.
+	WalSingleLane bool `json:"wal_single_lane"`
+	// MsrLowestStall: at the main worker count, MSR's stall share is
+	// strictly the lowest of the five mechanisms.
+	MsrLowestStall bool `json:"msr_lowest_stall"`
+	// CPBound: timeline >= lower bound for every cell, and phase makespan
+	// >= phase lower bound for every phase of every cell.
+	CPBound bool `json:"cp_bound"`
+	// ProfilingOverheadPct is the profiling-off overhead on the replay
+	// hot path: the shipped simulator (nil profiler) timed against a
+	// frozen pre-instrumentation replica on identical graphs (minimum of
+	// the repeats each). OverheadOK asserts the 2% budget.
+	ProfilingOverheadPct float64 `json:"profiling_overhead_pct"`
+	OverheadOK           bool    `json:"overhead_ok"`
+	OverheadBaselineUs   float64 `json:"overhead_baseline_us"`
+	OverheadOffUs        float64 `json:"overhead_off_us"`
+	OverheadSimEvents    int     `json:"overhead_sim_events"`
+	// ProfilerOnCost is informational: the recovery-wall price of turning
+	// the profiler ON, per mechanism.
+	ProfilerOnCost []ProfilerCost `json:"profiler_on_cost"`
+}
+
+// Report is the file layout of BENCH_recovery.json.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Quick      bool    `json:"quick"`
+	FixedCosts bool    `json:"fixed_costs"`
+	Workers    int     `json:"workers"`
+	BatchSize  int     `json:"batch_size"`
+	PostEpochs int     `json:"post_epochs"`
+	Note       string  `json:"note"`
+	Cells      []Cell  `json:"cells"`
+	Checks     Checks  `json:"checks"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// scenario builds one profiled run of the crash-recover protocol.
+func scenario(kind ftapi.Kind, sc bench.Scale, w int, prof *vtime.Profiler) bench.Scenario {
+	sc.Workers = w
+	return bench.Scenario{
+		Gen:   func() workload.Generator { return fttest.SLGen(seed) },
+		Kind:  kind,
+		Scale: sc,
+		Prof:  prof,
+	}
+}
+
+// measure runs one grid cell and converts its profile.
+func measure(kind ftapi.Kind, sc bench.Scale, w int) (Cell, *vtime.Profiler, *vtime.Profile, error) {
+	prof := vtime.NewProfiler(w)
+	run, err := bench.Execute(scenario(kind, sc, w, prof))
+	if err != nil {
+		return Cell{}, nil, nil, fmt.Errorf("%v W=%d: %w", kind, w, err)
+	}
+	p := run.Recovery.Profile
+	if p == nil {
+		return Cell{}, nil, nil, fmt.Errorf("%v W=%d: no profile recorded", kind, w)
+	}
+	c := Cell{
+		Kind:            kind.String(),
+		Workers:         w,
+		EventsReplayed:  run.Recovery.EventsReplayed,
+		TimelineUs:      us(p.Timeline),
+		CritPathUs:      us(p.CritPath),
+		LowerBoundUs:    us(p.LowerBound),
+		CPRatio:         p.CPRatio,
+		StallShare:      p.StallShare(),
+		DrainShare:      p.DrainShare(),
+		Spans:           p.Spans,
+		BreakdownShares: run.Recovery.Breakdown.Shares(),
+	}
+	for _, l := range p.Lanes {
+		c.ExecUs += us(l.Exec)
+		c.ExploreUs += us(l.Explore)
+		c.AbortUs += us(l.Abort)
+		c.PhaseUs += us(l.PhaseWork)
+		c.StallUs += us(l.Stall)
+	}
+	for _, ph := range p.Phases {
+		c.Phases = append(c.Phases, PhaseCell{
+			Name: ph.Name, Kind: ph.Kind,
+			MakespanUs: us(ph.Makespan), CritPathUs: us(ph.CritPath),
+			LowerBoundUs: us(ph.LowerBound), ActiveLanes: ph.ActiveLanes,
+		})
+	}
+	for i, s := range p.TopStalls {
+		if i == 3 {
+			break
+		}
+		c.TopStalls = append(c.TopStalls, StallCell{
+			Edge: s.Edge, Blocker: s.Blocker, TotalUs: us(s.Total), Count: s.Count,
+		})
+	}
+	return c, prof, p, nil
+}
+
+// minWall runs the cell repeat times and returns the minimum recovery
+// wall — the least-perturbed estimate on a shared host.
+func minWall(kind ftapi.Kind, sc bench.Scale, w, repeat int, profiled bool) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < repeat; i++ {
+		var prof *vtime.Profiler
+		if profiled {
+			prof = vtime.NewProfiler(w)
+		}
+		run, err := bench.Execute(scenario(kind, sc, w, prof))
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || run.Recovery.Wall < best {
+			best = run.Recovery.Wall
+		}
+	}
+	return best, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recoverytrace:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_recovery.json", "output path for the JSON report")
+	quick := flag.Bool("quick", false, "reduced scale for smoke runs")
+	fixed := flag.Bool("fixed", true, "pin the cost model to vtime.FixedCosts (host-independent virtual times)")
+	tracedir := flag.String("tracedir", "", "write per-mechanism Chrome traces (recovery_trace_<kind>.json) to this directory")
+	repeat := flag.Int("repeat", 5, "samples per overhead measurement; the minimum wall is kept")
+	strict := flag.Bool("strict", false, "treat an over-budget profiling overhead as fatal (structural invariants always are)")
+	flag.Parse()
+
+	if *fixed {
+		vtime.SetCalibration(vtime.FixedCosts())
+	}
+	scale := bench.DefaultScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+	mainW := scale.Workers
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+		FixedCosts: *fixed,
+		Workers:    mainW,
+		BatchSize:  scale.BatchSize,
+		PostEpochs: scale.PostEpochs,
+		Note: "Each cell profiles one crash-recovery replay (vtime.Profiler): " +
+			"timeline_us is the virtual recovery length, critical_path_us the " +
+			"longest dependency path under the cost model, lower_bound_us the " +
+			"list-scheduling bound max(critical path, work/W), cp_ratio " +
+			"timeline/lower bound. stall_share is dependency-attributed stall " +
+			"time (TD/LD/PD, logged deps, LSN vectors, serial phases) over " +
+			"total lane-time, itemised per edge in top_stalls; drain_share is " +
+			"end-of-phase load imbalance. checks records the structural " +
+			"invariants (exact lane decomposition, WAL's single-lane redo, " +
+			"MSR's lowest stall share at the main worker count, makespan >= " +
+			"lower bound) and the profiling-off overhead: the shipped nil-" +
+			"profiler simulator timed against a frozen pre-instrumentation " +
+			"replica on identical graphs.",
+	}
+
+	kinds := []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+	sweep := []int{1, 4, 8}
+	if !contains(sweep, mainW) {
+		sweep = append(sweep, mainW)
+		sort.Ints(sweep)
+	}
+
+	ck := Checks{
+		MainWorkers:        mainW,
+		DecompositionExact: true,
+		WalSingleLane:      true,
+		CPBound:            true,
+		OverheadOK:         true,
+	}
+	var failures []string
+	stallAtMain := map[string]float64{}
+
+	for _, kind := range kinds {
+		for _, w := range sweep {
+			cell, prof, p, err := measure(kind, scale, w)
+			if err != nil {
+				fail(err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "%-5s W=%d: timeline %9.0f µs, cp-ratio %.3f, stall %5.1f%%, %d spans\n",
+				cell.Kind, w, cell.TimelineUs, cell.CPRatio, 100*cell.StallShare, cell.Spans)
+
+			if err := p.Consistent(); err != nil {
+				ck.DecompositionExact = false
+				failures = append(failures, fmt.Sprintf("%v W=%d: %v", kind, w, err))
+			}
+			if kind == ftapi.WAL {
+				redo := p.Phase("redo")
+				if redo == nil || redo.ActiveLanes != 1 {
+					ck.WalSingleLane = false
+					failures = append(failures, fmt.Sprintf("WAL W=%d: redo phase not single-lane", w))
+				}
+			}
+			if p.Timeline < p.LowerBound {
+				ck.CPBound = false
+				failures = append(failures, fmt.Sprintf("%v W=%d: timeline %v < lower bound %v", kind, w, p.Timeline, p.LowerBound))
+			}
+			for _, ph := range p.Phases {
+				if ph.Makespan < ph.LowerBound {
+					ck.CPBound = false
+					failures = append(failures, fmt.Sprintf("%v W=%d phase %s: makespan %v < lower bound %v",
+						kind, w, ph.Name, ph.Makespan, ph.LowerBound))
+				}
+			}
+			if w == mainW {
+				stallAtMain[cell.Kind] = cell.StallShare
+				if *tracedir != "" {
+					if err := os.MkdirAll(*tracedir, 0o755); err != nil {
+						fail(err)
+					}
+					path := filepath.Join(*tracedir, "recovery_trace_"+cell.Kind+".json")
+					f, err := os.Create(path)
+					if err == nil {
+						err = prof.WriteChrome(f)
+						if cerr := f.Close(); err == nil {
+							err = cerr
+						}
+					}
+					if err != nil {
+						fail(fmt.Errorf("trace %s: %w", path, err))
+					}
+					fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+				}
+			}
+		}
+	}
+
+	// MSR's restructuring exists to minimise stalls; at the main worker
+	// count its stall share must be strictly the lowest. (At W=1 every
+	// mechanism is stall-free, so the comparison is only meaningful with
+	// real parallelism.)
+	ck.MsrLowestStall = true
+	for kind, share := range stallAtMain {
+		if kind != ftapi.MSR.String() && share <= stallAtMain[ftapi.MSR.String()] {
+			ck.MsrLowestStall = false
+			failures = append(failures, fmt.Sprintf("W=%d: %s stall share %.4f <= MSR %.4f",
+				mainW, kind, share, stallAtMain[ftapi.MSR.String()]))
+		}
+	}
+
+	// Profiling-off overhead: the shipped simulator with a nil profiler
+	// against the frozen pre-instrumentation replica, on identical graphs.
+	// A full-size graph even under -quick: the A/B is cheap and a larger
+	// simulation drowns the timer and scheduler noise.
+	simEvents := 4096
+	ck.OverheadSimEvents = simEvents
+	simRepeat := *repeat
+	if simRepeat < 25 {
+		simRepeat = 25
+	}
+	baselineT, offT, err := measureOffOverhead(simEvents, mainW, simRepeat, vtime.Calibrate())
+	if err != nil {
+		fail(err)
+	}
+	ck.OverheadBaselineUs = us(baselineT)
+	ck.OverheadOffUs = us(offT)
+	ck.ProfilingOverheadPct = 100 * (float64(offT) - float64(baselineT)) / float64(baselineT)
+	fmt.Fprintf(os.Stderr, "profiling-off overhead: baseline %7.0f µs, shipped %7.0f µs (%+.2f%%)\n",
+		us(baselineT), us(offT), ck.ProfilingOverheadPct)
+	if ck.ProfilingOverheadPct > 2.0 {
+		ck.OverheadOK = false
+		msg := fmt.Sprintf("profiling-off overhead %.2f%% exceeds the 2%% budget", ck.ProfilingOverheadPct)
+		if *strict {
+			failures = append(failures, msg)
+		} else {
+			fmt.Fprintln(os.Stderr, "recoverytrace: warning:", msg)
+		}
+	}
+
+	// Informational: what profiling costs when it is ON.
+	for _, kind := range kinds {
+		off, err := minWall(kind, scale, mainW, *repeat, false)
+		if err != nil {
+			fail(err)
+		}
+		on, err := minWall(kind, scale, mainW, *repeat, true)
+		if err != nil {
+			fail(err)
+		}
+		delta := 100 * (float64(on) - float64(off)) / float64(off)
+		ck.ProfilerOnCost = append(ck.ProfilerOnCost, ProfilerCost{
+			Kind: kind.String(), OffUs: us(off), OnUs: us(on), DeltaPct: delta,
+		})
+		fmt.Fprintf(os.Stderr, "%-5s profiler-on cost: off %7.0f µs, on %7.0f µs (%+.2f%%)\n",
+			kind, us(off), us(on), delta)
+	}
+	rep.Checks = ck
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *out, len(rep.Cells))
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "recoverytrace: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

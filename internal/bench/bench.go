@@ -28,6 +28,7 @@ import (
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/types"
+	"morphstreamr/internal/vtime"
 	"morphstreamr/internal/workload"
 )
 
@@ -130,6 +131,11 @@ type Scenario struct {
 	// Recovery measurements are virtually timed and already stable.
 	// Zero means one run.
 	Repeat int
+	// Prof, when non-nil, profiles the recovery replay: per-virtual-worker
+	// timelines, stall attribution, and critical-path bounds land in
+	// Run.Recovery.Profile. Use with Repeat <= 1 — a profiler accumulates
+	// phases across every recovery it observes.
+	Prof *vtime.Profiler
 }
 
 // Execute runs the scenario: process SnapshotEvery+PostEpochs epochs,
@@ -155,14 +161,15 @@ func Execute(s Scenario) (Run, error) {
 
 func executeOnce(s Scenario) (Run, error) {
 	cfg := core.Config{
-		RunShape:    s.Scale.RunShape,
-		FT:          s.Kind,
-		BatchSize:   s.Scale.BatchSize,
-		AsyncCommit: s.AsyncCommit,
-		Compression: s.Compression,
-		MSR:         s.MSR,
-		SSDModel:    s.Scale.SSD,
-		Obs:         s.Scale.Obs,
+		RunShape:         s.Scale.RunShape,
+		FT:               s.Kind,
+		BatchSize:        s.Scale.BatchSize,
+		AsyncCommit:      s.AsyncCommit,
+		Compression:      s.Compression,
+		MSR:              s.MSR,
+		SSDModel:         s.Scale.SSD,
+		Obs:              s.Scale.Obs,
+		RecoveryProfiler: s.Prof,
 	}
 	gen := s.Gen()
 	sys, err := core.New(gen.App(), cfg)

@@ -32,6 +32,7 @@ import (
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/storage"
 	"morphstreamr/internal/types"
+	"morphstreamr/internal/vtime"
 )
 
 // RunShape is the shared run-configuration surface (Workers, CommitEvery,
@@ -75,6 +76,11 @@ type Config struct {
 	// epoch/recovery spans, throughput counters, latency histograms, and
 	// byte accounting, all served live by obs.Serve.
 	Obs *obs.Observer
+	// RecoveryProfiler, when non-nil, records the next recovery's
+	// per-virtual-worker timeline, stall attribution, and critical-path
+	// bounds (see vtime.Profiler); the report lands in
+	// engine.RecoveryReport.Profile and, with Obs set, behind /recovery.
+	RecoveryProfiler *vtime.Profiler
 }
 
 func (c *Config) normalize() error {
@@ -205,13 +211,14 @@ func (s *System) Recover() (*System, *engine.RecoveryReport, error) {
 	// tunes on a live first epoch, which recovery does not have.
 	shape.AutoCommit = false
 	eng, report, err := engine.Recover(engine.Config{
-		RunShape:    shape,
-		App:         s.App,
-		Device:      s.Cfg.Device,
-		Mechanism:   mech,
-		AsyncCommit: s.Cfg.AsyncCommit,
-		Bytes:       bytes,
-		Obs:         s.Cfg.Obs,
+		RunShape:         shape,
+		App:              s.App,
+		Device:           s.Cfg.Device,
+		Mechanism:        mech,
+		AsyncCommit:      s.Cfg.AsyncCommit,
+		Bytes:            bytes,
+		Obs:              s.Cfg.Obs,
+		RecoveryProfiler: s.Cfg.RecoveryProfiler,
 	})
 	if err != nil {
 		return nil, nil, err

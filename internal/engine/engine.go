@@ -84,6 +84,11 @@ type Config struct {
 	// counters, and latency histograms. Nil disables observability at the
 	// cost of a pointer check per instrument call.
 	Obs *obs.Observer
+	// RecoveryProfiler, when non-nil, records the recovery replay's
+	// per-virtual-worker span timeline, stall attribution, and
+	// critical-path bounds (see vtime.Profiler). Nil disables profiling
+	// at the cost of a pointer check per replayed unit.
+	RecoveryProfiler *vtime.Profiler
 	// OnEpoch, when non-nil, is called after each successfully processed
 	// epoch with its number. The supervisor's watchdog uses it as the
 	// liveness signal for stall detection.
@@ -343,17 +348,22 @@ func (e *Engine) reprocessEpoch(ep uint64, events []types.Event, breakdown *metr
 	// stream-processing executors; charge aggregate thread-time.
 	costs := vtime.Calibrate()
 	breakdown.Construct += costs.GraphCost(len(events), g.NumOps)
+	prof := e.cfg.RecoveryProfiler
+	prof.SpreadPhase("construct", costs.GraphCost(len(events), g.NumOps))
 
 	for _, ch := range g.ChainList {
 		ch.Owner = e.ranges.Of(ch.Key)
 	}
-	result := vtime.SimulateGraph(g, e.st, e.cfg.Workers, costs)
+	prof.BeginPhase("reprocess")
+	result := vtime.SimulateGraphProf(g, e.st, e.cfg.Workers, costs, prof)
+	prof.EndPhase(result.Makespan)
 	result.Charge(breakdown, false)
 	// Full reprocessing replays the entire stream-processing dataflow —
 	// operator queues, postprocessing, output regeneration — which
 	// log-based redo paths bypass; charge it as parallelizable
 	// thread-time.
 	breakdown.Execute += time.Duration(len(events)) * (costs.Pipeline + costs.Postprocess)
+	prof.SpreadPhase("pipeline", time.Duration(len(events))*(costs.Pipeline+costs.Postprocess))
 
 	// Postprocessing: outputs are buffered until their release marker.
 	outs := make([]types.Output, 0, len(txns))

@@ -37,6 +37,10 @@ type RecoveryReport struct {
 	SnapshotEpoch  uint64
 	CommittedEpoch uint64
 	LastEpoch      uint64
+	// Profile is the recovery profiler's report (per-worker virtual-time
+	// decomposition, phase table, critical-path bounds, stall
+	// attribution); nil unless Config.RecoveryProfiler was set.
+	Profile *vtime.Profile
 }
 
 // SimWall is the simulated wall-clock recovery time under the configured
@@ -115,6 +119,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	logRead.End()
 
 	rebuild := e.cfg.Obs.Begin(0, obs.CatRecovery, "rebuild", 0)
+	prof := e.cfg.RecoveryProfiler
 	var snapEpoch uint64
 	if ok {
 		snapEpoch, err = decodeSnapshotBlob(blob, e.st)
@@ -123,6 +128,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 		}
 		metrics.ChargeSerial(&report.Breakdown.Reload,
 			time.Duration(e.st.NumRecords())*costs.Compare, e.cfg.Workers)
+		prof.SerialPhase("snapshot-restore", time.Duration(e.st.NumRecords())*costs.Compare)
 	}
 
 	// Reload input events after the snapshot (Figure 7 step 4). A decode
@@ -150,6 +156,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	}
 	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Epoch < inputs[j].Epoch })
 	report.Breakdown.Reload += time.Duration(nEvents) * costs.Record
+	prof.SpreadPhase("input-decode", time.Duration(nEvents)*costs.Record)
 	rebuild.End()
 
 	// Mechanism-specific replay of committed epochs (Figure 7 steps 3-7).
@@ -166,6 +173,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 		Inputs:        inputs,
 		CommitLimit:   commitLimit,
 		Breakdown:     &report.Breakdown,
+		Prof:          prof,
 	}
 	committed, err := e.cfg.Mechanism.Recover(rc)
 	if err != nil {
@@ -206,10 +214,23 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	}
 
 	replay.End()
+	if prof != nil {
+		p := prof.Profile()
+		report.Profile = &p
+	}
 	if reg := e.cfg.Obs.Registry(); reg != nil {
 		reg.Counter("recovery.count").Inc()
 		reg.Counter("recovery.events_replayed").Add(int64(report.EventsReplayed))
 		reg.Histogram("recovery.seconds").ObserveSince(start)
+		if p := report.Profile; p != nil {
+			reg.Gauge("recovery.vtimeline_us").Set(p.Timeline.Microseconds())
+			reg.Gauge("recovery.critical_path_us").Set(p.CritPath.Microseconds())
+			reg.Histogram("recovery.cp_ratio").Observe(p.CPRatio)
+			reg.Histogram("recovery.stall_share").Observe(p.StallShare())
+		}
+	}
+	if p := report.Profile; p != nil && e.cfg.Obs != nil {
+		e.cfg.Obs.SetView("recovery", func() any { return p })
 	}
 
 	report.Wall = time.Since(start)

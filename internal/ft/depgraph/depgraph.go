@@ -14,6 +14,7 @@ package depgraph
 import (
 	"fmt"
 	"slices"
+	"strconv"
 	"time"
 
 	"morphstreamr/internal/codec"
@@ -118,6 +119,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// Decoding the fine-grained dependency records is part of reload;
 	// group segments decode independently.
 	rc.Breakdown.Reload += time.Duration(len(recs)) * costs.Record
+	rc.Prof.SpreadPhase("decode", time.Duration(len(recs))*costs.Record)
 
 	// Rebuild the dependency graph: index transactions, then translate
 	// incoming-edge ID lists into adjacency and indegree counts. Edges to
@@ -150,6 +152,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	construct := time.Duration(len(recs))*(costs.Preprocess+2*costs.Record) +
 		time.Duration(edges)*costs.Edge
 	metrics.ChargeSerial(&rc.Breakdown.Construct, construct, rc.Workers)
+	rc.Prof.SerialPhase("rebuild", construct)
 
 	if len(nodes) == 0 {
 		return committed, nil
@@ -170,13 +173,17 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 		vg.Indegree[i] = nodes[i].indegree
 		indegree[i] = nodes[i].indegree
 	}
-	result := vtime.SimulateTxnGraph(vg, rc.Workers, func(i int32) (time.Duration, time.Duration, bool) {
+	rc.Prof.BeginPhase("replay")
+	result := vtime.SimulateTxnGraphProf(vg, rc.Workers, func(i int32) (time.Duration, time.Duration, bool) {
 		aborted := ftapi.ExecuteTxnOnStore(rc.Store, &nodes[i].txn)
 		// Each incoming edge was resolved by a cross-thread
 		// notification during the graph replay.
 		explore := costs.Explore + time.Duration(indegree[i])*costs.Sync
 		return costs.TxnCost(&nodes[i].txn), explore, aborted
+	}, rc.Prof, func(i int32) string {
+		return "t" + strconv.FormatUint(nodes[i].txn.ID, 10)
 	})
+	rc.Prof.EndPhase(result.Makespan)
 	result.Charge(rc.Breakdown, false)
 	return committed, nil
 }

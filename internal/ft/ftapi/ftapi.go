@@ -25,6 +25,7 @@ import (
 	"morphstreamr/internal/store"
 	"morphstreamr/internal/tpg"
 	"morphstreamr/internal/types"
+	"morphstreamr/internal/vtime"
 )
 
 // Kind enumerates the implemented fault-tolerance schemes, matching the
@@ -126,6 +127,11 @@ type RecoveryContext struct {
 	CommitLimit uint64
 	// Breakdown accumulates the recovery-time decomposition of Figure 11.
 	Breakdown *metrics.RecoveryBreakdown
+	// Prof, when non-nil, receives the per-worker virtual-time span events
+	// of the replay (phase structure, op execution, stall attribution,
+	// critical-path bounds). A nil profiler is fully disabled — mechanisms
+	// call it unconditionally.
+	Prof *vtime.Profiler
 }
 
 // InputsThrough returns the prefix of rc.Inputs with Epoch <= hi.

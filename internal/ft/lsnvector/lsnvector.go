@@ -14,6 +14,7 @@ package lsnvector
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"morphstreamr/internal/codec"
@@ -136,6 +137,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// Decoding a worker-count-sized vector per record is part of reload;
 	// group segments decode independently.
 	rc.Breakdown.Reload += time.Duration(len(recs)) * (costs.Record + time.Duration(rc.Workers)*costs.Compare)
+	rc.Prof.SpreadPhase("decode", time.Duration(len(recs))*(costs.Record+time.Duration(rc.Workers)*costs.Compare))
 	if len(recs) == 0 {
 		return committed, nil
 	}
@@ -178,6 +180,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 		}
 	}
 	rc.Breakdown.Construct += time.Duration(len(recs)) * (costs.Preprocess + costs.Record)
+	rc.Prof.SpreadPhase("bucket", time.Duration(len(recs))*(costs.Preprocess+costs.Record))
 
 	// Virtual replay: each logging worker drains its bucket in LSN order;
 	// a record starts once the recovered-LSN vector dominates its
@@ -196,6 +199,20 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 		finishes[w] = make([]time.Duration, len(perWorker[w]))
 	}
 	pos := make([]int, buckets) // next unexecuted record per bucket
+	// Critical-path bookkeeping (profiler only): LV's replay schedule is
+	// fully determined by its log — records are pinned to their logging
+	// worker and ordered by LSN — so a record's earliest finish chains
+	// through both its own lane's predecessor and its vector dependencies,
+	// and the explore charge (a pure function of the record's vector) is
+	// part of the path.
+	var efFin [][]time.Duration
+	if rc.Prof != nil {
+		efFin = make([][]time.Duration, buckets)
+		for w := range efFin {
+			efFin[w] = make([]time.Duration, len(perWorker[w]))
+		}
+		rc.Prof.BeginPhase("replay")
+	}
 	for _, rec := range recs {
 		w := int(rec.Worker)
 		rr := &perWorker[w][pos[w]]
@@ -206,6 +223,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 		// dependency — the vector-checking overhead the paper singles
 		// out for LV.
 		explore := costs.Explore + time.Duration(len(rr.rec.Vector))*costs.Lookup
+		blockV, blockLSN := -1, uint64(0) // binding cross-worker dependency
 		for v := 0; v < len(rr.rec.Vector) && v < buckets; v++ {
 			lsn := rr.rec.Vector[v]
 			if v == w || lsn == 0 {
@@ -214,12 +232,40 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 			explore += costs.Sync
 			if fin := finishes[v][lsn-1]; fin > start {
 				start = fin
+				blockV, blockLSN = v, lsn
 			}
 		}
 		aborted := ftapi.ExecuteTxnOnStore(rc.Store, &rr.txn)
-		fin := clocks[w].Advance(start, explore, costs.TxnCost(&rr.txn), aborted)
+		cost := costs.TxnCost(&rr.txn)
+		fin := clocks[w].Advance(start, explore, cost, aborted)
 		finishes[w][rr.rec.LSN-1] = fin
+		if rc.Prof != nil {
+			var ef time.Duration
+			if idx := int(rr.rec.LSN) - 2; idx >= 0 && idx < len(efFin[w]) {
+				ef = efFin[w][idx] // own-lane LSN-order predecessor
+			}
+			edge, blocker := vtime.EdgeNone, ""
+			if blockV >= 0 {
+				edge = vtime.EdgeVec
+				blocker = "t" + strconv.FormatUint(perWorker[blockV][blockLSN-1].rec.Event.Seq, 10)
+			}
+			for v := 0; v < len(rr.rec.Vector) && v < buckets; v++ {
+				lsn := rr.rec.Vector[v]
+				if v == w || lsn == 0 {
+					continue
+				}
+				if e := efFin[v][lsn-1]; e > ef {
+					ef = e
+				}
+			}
+			ef += explore + cost
+			efFin[w][rr.rec.LSN-1] = ef
+			rc.Prof.Op(w, "t"+strconv.FormatUint(rr.rec.Event.Seq, 10),
+				start, explore, cost, aborted, edge, blocker, ef)
+		}
 	}
-	vtime.Finish(clocks).Charge(rc.Breakdown, true)
+	result := vtime.Finish(clocks)
+	rc.Prof.EndPhase(result.Makespan)
+	result.Charge(rc.Breakdown, true)
 	return committed, nil
 }

@@ -71,6 +71,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// Decoding the (selectively small) view entries is part of reload;
 	// group segments decode independently, so the work parallelizes.
 	rc.Breakdown.Reload += time.Duration(entries) * costs.Record
+	rc.Prof.SpreadPhase("view-decode", time.Duration(entries)*costs.Record)
 
 	inputs := rc.InputsThrough(committed)
 	for _, cg := range merged {
@@ -120,6 +121,7 @@ func (m *Mech) replayEpoch(rc *ftapi.RecoveryContext, ee ftapi.EpochEvents, view
 		}
 	}
 	rc.Breakdown.Construct += time.Duration(len(views.Aborted)+len(views.Parametric)+len(views.Groups)) * costs.Record
+	rc.Prof.SpreadPhase("index", time.Duration(len(views.Aborted)+len(views.Parametric)+len(views.Groups))*costs.Record)
 
 	// Abort pushdown (Figure 7 step 5): discard doomed input events before
 	// preprocessing, eliminating their whole pipeline cost.
@@ -135,6 +137,7 @@ func (m *Mech) replayEpoch(rc *ftapi.RecoveryContext, ee ftapi.EpochEvents, view
 		events = kept
 		// One AbortView probe per input event.
 		rc.Breakdown.Abort += time.Duration(len(ee.Events)) * costs.Lookup
+		rc.Prof.SpreadPhase("abort-scan", time.Duration(len(ee.Events))*costs.Lookup)
 	}
 
 	// Preprocess and build the replay graph.
@@ -145,6 +148,7 @@ func (m *Mech) replayEpoch(rc *ftapi.RecoveryContext, ee ftapi.EpochEvents, view
 	}
 	g := tpg.Build(txns, rc.Store.Get)
 	rc.Breakdown.Construct += costs.GraphCost(len(events), g.NumOps)
+	rc.Prof.SpreadPhase("build", costs.GraphCost(len(events), g.NumOps))
 
 	// Operation restructuring (Figure 7 step 6): inject recorded
 	// intermediate results to sever parametric edges, and — when abort
@@ -192,13 +196,17 @@ func (m *Mech) replayEpoch(rc *ftapi.RecoveryContext, ee ftapi.EpochEvents, view
 	assignChains(g, groups, rc.Workers, m.opts.OptTaskAssign)
 	rc.Breakdown.Construct += time.Duration(severed)*costs.Lookup +
 		time.Duration(len(g.ChainList))*costs.Compare
+	rc.Prof.SpreadPhase("restructure", time.Duration(severed)*costs.Lookup+
+		time.Duration(len(g.ChainList))*costs.Compare)
 
 	// Parallel replay, simulated in virtual time (see package vtime):
 	// restructured chains carry no cross-worker edges, so workers run
 	// stall-free; whatever dependencies survive (intra-group shadow
 	// resolution, or everything under the Simple configuration) show up
 	// as stalls.
-	result := vtime.SimulateGraph(g, rc.Store, rc.Workers, costs)
+	rc.Prof.BeginPhase("replay")
+	result := vtime.SimulateGraphProf(g, rc.Store, rc.Workers, costs, rc.Prof)
+	rc.Prof.EndPhase(result.Makespan)
 	result.Charge(rc.Breakdown, false)
 	return nil
 }

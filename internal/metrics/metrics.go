@@ -122,6 +122,23 @@ func (r RecoveryBreakdown) PerWorker(workers int) RecoveryBreakdown {
 	}
 }
 
+// Shares returns each component's fraction of the total as ordered
+// (name, fraction) pairs — the normalised form of the paper's stacked
+// bars, and the shape BENCH_recovery.json records per mechanism. A zero
+// breakdown yields all-zero shares.
+func (r RecoveryBreakdown) Shares() map[string]float64 {
+	out := make(map[string]float64, 6)
+	total := float64(r.Total())
+	for _, c := range r.Components() {
+		if total > 0 {
+			out[c.Name] = float64(c.D) / total
+		} else {
+			out[c.Name] = 0
+		}
+	}
+	return out
+}
+
 // Component is one named slice of a breakdown.
 type Component struct {
 	Name string

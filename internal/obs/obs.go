@@ -12,11 +12,16 @@
 // is a nil check.
 package obs
 
+import "sync"
+
 // Observer bundles the two halves of the layer so components thread one
 // pointer. A nil *Observer disables both.
 type Observer struct {
 	Reg    *Registry
 	Tracer *Tracer
+
+	viewMu sync.Mutex
+	views  map[string]func() any
 }
 
 // NewObserver creates an observer with a fresh registry and a tracer of
@@ -47,4 +52,40 @@ func (o *Observer) T() *Tracer {
 // Begin opens a span on the observer's tracer; inert when disabled.
 func (o *Observer) Begin(lane int, cat, name string, epoch uint64) Span {
 	return o.T().Begin(lane, cat, name, epoch)
+}
+
+// SetView registers (or replaces) a named pull-style view: fn is invoked
+// at serve time and its result rendered as JSON. Views let subsystems
+// publish structured reports (the recovery profile behind /recovery)
+// without obs importing them — the dependency points the other way.
+// Nil-safe; a nil fn removes the view.
+func (o *Observer) SetView(name string, fn func() any) {
+	if o == nil {
+		return
+	}
+	o.viewMu.Lock()
+	defer o.viewMu.Unlock()
+	if fn == nil {
+		delete(o.views, name)
+		return
+	}
+	if o.views == nil {
+		o.views = make(map[string]func() any)
+	}
+	o.views[name] = fn
+}
+
+// View returns the named view's current value. ok is false when the view
+// is unset (or the observer disabled).
+func (o *Observer) View(name string) (any, bool) {
+	if o == nil {
+		return nil, false
+	}
+	o.viewMu.Lock()
+	fn := o.views[name]
+	o.viewMu.Unlock()
+	if fn == nil {
+		return nil, false
+	}
+	return fn(), true
 }

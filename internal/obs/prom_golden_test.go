@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exact exposition text: name sanitization
+// (dots/slashes to underscores, leading digit prefixed, empty name kept as
+// a bare underscore, colons legal), histogram quantile lines, and the
+// collision handling when sanitization or derived series collapse distinct
+// registry names onto one Prometheus series.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("").Add(5)
+	r.Counter("9lives").Inc()
+	r.Counter("a.b").Add(2)
+	r.Counter("engine.epochs").Add(12)
+	r.Counter("ns:qualified").Add(3)
+	// "lat_count" collides with the histogram "lat"'s derived _count series.
+	r.Counter("lat_count").Add(7)
+	// "a/b" sanitizes to the same series as the counter "a.b".
+	r.Gauge("a/b").Set(1)
+
+	r.Histogram("epoch.seconds").Observe(0.25)
+	h := r.Histogram("lat")
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+
+	// Uptime is wall-clock dependent; check its shape and compare the rest
+	// against the golden text exactly.
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "uptime_seconds ") {
+		t.Fatalf("last line = %q, want uptime_seconds", last)
+	}
+	got := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+
+	const golden = `_ 5
+_9lives 1
+a_b 2
+engine_epochs 12
+lat_count 7
+ns:qualified 3
+a_b_2 1
+epoch_seconds_count 1
+epoch_seconds_mean 0.25
+epoch_seconds{quantile="0.5"} 0.25
+epoch_seconds{quantile="0.99"} 0.25
+lat_2_count 2
+lat_2_mean 1
+lat_2{quantile="0.5"} 1.5
+lat_2{quantile="0.99"} 1.5
+`
+	if got != golden {
+		t.Errorf("prom exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", "_"},
+		{"engine.epochs", "engine_epochs"},
+		{"sched/steals", "sched_steals"},
+		{"9lives", "_9lives"},
+		{"ns:metric", "ns:metric"},
+		{"ok_name", "ok_name"},
+		{"sp ace-dash", "sp_ace_dash"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSeriesDedupFamily: claiming a base must reserve its whole derived
+// family, and a later claimant whose family overlaps any reserved series
+// must be suffixed as a unit.
+func TestSeriesDedupFamily(t *testing.T) {
+	d := seriesDedup{}
+	if got := d.claim("x", "_count", "_mean"); got != "x" {
+		t.Fatalf("first claim = %q", got)
+	}
+	// Plain series colliding with a derived one from the first family.
+	if got := d.claim("x_count"); got != "x_count_2" {
+		t.Errorf("x_count claim = %q, want x_count_2", got)
+	}
+	// Whole-family collision: base free but a derived series taken.
+	if got := d.claim("x", "_count"); got != "x_2" {
+		t.Errorf("second x family claim = %q, want x_2", got)
+	}
+	if got := d.claim("x"); got != "x_3" {
+		t.Errorf("third x claim = %q, want x_3", got)
+	}
+}

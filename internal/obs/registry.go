@@ -371,17 +371,50 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// seriesDedup keeps the exposition free of duplicate series. Sanitisation
+// is lossy — "a.b" and "a/b" both map to "a_b" — and a histogram's derived
+// series ("x_count") can collide with an unrelated counter of that exact
+// name; Prometheus rejects an exposition containing the same series twice,
+// so later claimants take a numeric suffix on their base name.
+type seriesDedup map[string]struct{}
+
+// claim reserves base plus every base+suffix series, suffixing base with
+// _2, _3, ... until the whole family is free, and returns the final base.
+func (d seriesDedup) claim(base string, derived ...string) string {
+	free := func(b string) bool {
+		if _, taken := d[b]; taken {
+			return false
+		}
+		for _, suf := range derived {
+			if _, taken := d[b+suf]; taken {
+				return false
+			}
+		}
+		return true
+	}
+	name := base
+	for i := 2; !free(name); i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	d[name] = struct{}{}
+	for _, suf := range derived {
+		d[name+suf] = struct{}{}
+	}
+	return name
+}
+
 // WriteProm writes the snapshot in the Prometheus text exposition format
 // (untyped samples; histogram quantiles as {quantile="..."} series).
 func (r *Registry) WriteProm(w io.Writer) error {
 	snap := r.Snapshot()
+	seen := seriesDedup{}
 	var names []string
 	for k := range snap.Counters {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", promName(k), snap.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", seen.claim(promName(k)), snap.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -391,7 +424,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", promName(k), snap.Gauges[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", seen.claim(promName(k)), snap.Gauges[k]); err != nil {
 			return err
 		}
 	}
@@ -402,7 +435,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		st := snap.Histograms[k]
-		base := promName(k)
+		base := seen.claim(promName(k), "_count", "_mean")
 		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_mean %g\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.99\"} %g\n",
 			base, st.Count, base, st.Mean, base, st.P50, base, st.P99); err != nil {
 			return err
@@ -423,32 +456,40 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		for _, kk := range keys {
 			switch v := sub[kk].(type) {
 			case int:
-				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+				fmt.Fprintf(w, "%s %d\n", seen.claim(promName(k)+"_"+promName(kk)), v)
 			case int64:
-				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+				fmt.Fprintf(w, "%s %d\n", seen.claim(promName(k)+"_"+promName(kk)), v)
 			case uint64:
-				fmt.Fprintf(w, "%s_%s %d\n", promName(k), promName(kk), v)
+				fmt.Fprintf(w, "%s %d\n", seen.claim(promName(k)+"_"+promName(kk)), v)
 			case float64:
-				fmt.Fprintf(w, "%s_%s %g\n", promName(k), promName(kk), v)
+				fmt.Fprintf(w, "%s %g\n", seen.claim(promName(k)+"_"+promName(kk)), v)
 				// strings and bools are JSON-only; Prometheus samples are numeric
 			}
 		}
 	}
-	_, err := fmt.Fprintf(w, "uptime_seconds %g\n", snap.UptimeSeconds)
+	_, err := fmt.Fprintf(w, "%s %g\n", seen.claim("uptime_seconds"), snap.UptimeSeconds)
 	return err
 }
 
 // promName maps a registry name ("engine.epochs", "sched/steals") to a
-// legal Prometheus metric name.
+// legal Prometheus metric name: illegal characters become underscores, a
+// leading digit gets an underscore prefix (rather than being destroyed),
+// and the empty name becomes a bare underscore.
 func promName(name string) string {
-	out := make([]byte, len(name))
+	if name == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(name)+1)
+	if c := name[0]; c >= '0' && c <= '9' {
+		out = append(out, '_')
+	}
 	for i := 0; i < len(name); i++ {
 		c := name[i]
 		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9' && i > 0, c == '_':
-			out[i] = c
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
 		default:
-			out[i] = '_'
+			out = append(out, '_')
 		}
 	}
 	return string(out)

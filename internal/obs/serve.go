@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -21,6 +22,9 @@ type Server struct {
 //	/metrics        registry snapshot as JSON; ?format=prom for the
 //	                Prometheus text exposition format
 //	/trace          drain the tracer rings as Chrome trace_event JSON
+//	/recovery       the most recent recovery profile (per-worker
+//	                virtual-time decomposition, critical path, top
+//	                stalls), published via SetView("recovery", ...)
 //	/debug/pprof/*  the standard runtime profiles
 //
 // The handler holds only the observer pointer, so metrics published after
@@ -46,6 +50,17 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		events, dropped := o.T().Drain()
 		w.Header().Set("Content-Type", "application/json")
 		_ = ExportChrome(w, events, dropped)
+	})
+	mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := o.View("recovery")
+		if !ok {
+			http.Error(w, "no recovery profile recorded yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

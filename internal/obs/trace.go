@@ -30,6 +30,9 @@ type SpanEvent struct {
 	// Start is the offset from the tracer's epoch; Dur the span length.
 	Start time.Duration
 	Dur   time.Duration
+	// Args carries extra key/values into the Chrome trace's args pane
+	// (stall attribution, critical-path marks). Usually nil.
+	Args map[string]any
 }
 
 // laneRing is one lane's fixed-capacity span buffer. Each lane has a
@@ -208,8 +211,14 @@ func ExportChrome(w io.Writer, events []SpanEvent, dropped uint64) error {
 			Pid:  1,
 			Tid:  ev.Lane,
 		}
-		if ev.Epoch != 0 {
-			ce.Args = map[string]any{"epoch": ev.Epoch}
+		if ev.Epoch != 0 || len(ev.Args) > 0 {
+			ce.Args = make(map[string]any, len(ev.Args)+1)
+			if ev.Epoch != 0 {
+				ce.Args["epoch"] = ev.Epoch
+			}
+			for k, v := range ev.Args {
+				ce.Args[k] = v
+			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}

@@ -26,6 +26,7 @@ package tpg
 
 import (
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"morphstreamr/internal/types"
@@ -85,6 +86,12 @@ func (n *OpNode) Executed() bool { return n.executed.Load() }
 // MarkExecuted records that the node has run. It returns false if the node
 // was already marked, which schedulers treat as a double-execution bug.
 func (n *OpNode) MarkExecuted() bool { return n.executed.CompareAndSwap(false, true) }
+
+// Ref returns a compact stable label for the node — "t<txn>.<idx>" — used
+// by the recovery profiler to name timeline spans and stall blockers.
+func (n *OpNode) Ref() string {
+	return "t" + strconv.FormatUint(n.Op.TxnID, 10) + "." + strconv.Itoa(int(n.Op.Idx))
+}
 
 // TxnNode groups the operation nodes of one state transaction.
 type TxnNode struct {

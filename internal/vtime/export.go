@@ -1,0 +1,42 @@
+package vtime
+
+import (
+	"io"
+
+	"morphstreamr/internal/obs"
+)
+
+// ChromeSpans converts profiler spans to obs span events: one trace lane
+// per virtual worker, the virtual clock mapped onto the trace's time axis
+// (obs.ExportChrome renders nanoseconds as trace microseconds), and stall
+// attribution carried in the args pane. The category distinguishes span
+// kinds so trace viewers can colour by category.
+func ChromeSpans(spans []ProfSpan) []obs.SpanEvent {
+	out := make([]obs.SpanEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := obs.SpanEvent{
+			Name:  s.Label,
+			Cat:   "vtime-" + s.Kind.String(),
+			Lane:  s.Worker,
+			Start: s.Start,
+			Dur:   s.Dur,
+		}
+		if s.Kind == SpanStall {
+			ev.Args = map[string]any{"edge": s.Edge.String()}
+			if s.Blocker != "" {
+				ev.Args["blocker"] = s.Blocker
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteChrome writes the profiler's recorded timeline as a Chrome
+// trace_event JSON document (loadable in chrome://tracing / Perfetto):
+// tid = virtual worker, ts/dur = virtual microseconds. Safe on a nil
+// profiler (writes an empty trace).
+func (p *Profiler) WriteChrome(w io.Writer) error {
+	spans, dropped := p.Spans()
+	return obs.ExportChrome(w, ChromeSpans(spans), dropped)
+}

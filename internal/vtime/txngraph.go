@@ -2,6 +2,7 @@ package vtime
 
 import (
 	"container/heap"
+	"strconv"
 	"time"
 )
 
@@ -25,12 +26,33 @@ type TxnGraph struct {
 // dependency-logging recovery being limited to the workload's inherent
 // parallelism.
 func SimulateTxnGraph(g *TxnGraph, workers int, exec func(i int32) (cost, explore time.Duration, abort bool)) Result {
+	return SimulateTxnGraphProf(g, workers, exec, nil, nil)
+}
+
+// SimulateTxnGraphProf is SimulateTxnGraph with an attached profiler.
+// label names node i for the timeline (nil falls back to "t<i>"). Unlike
+// the operation-level simulator, a transaction node's explore charge here
+// is schedule-independent (DL prices its logged indegree, LV its vector
+// probes), so the critical-path recurrence includes it in full.
+func SimulateTxnGraphProf(g *TxnGraph, workers int, exec func(i int32) (cost, explore time.Duration, abort bool), prof *Profiler, label func(i int32) string) Result {
 	clocks := make([]Clock, workers)
 	n := len(g.Indegree)
 	if n == 0 {
 		return Finish(clocks)
 	}
 	readyAt := make([]time.Duration, n)
+	var efReady []time.Duration // max producer ef per node
+	var blockedBy []int32       // binding producer per node (-1 = none)
+	if prof != nil {
+		efReady = make([]time.Duration, n)
+		blockedBy = make([]int32, n)
+		for i := range blockedBy {
+			blockedBy[i] = -1
+		}
+		if label == nil {
+			label = func(i int32) string { return "t" + strconv.Itoa(int(i)) }
+		}
+	}
 	var ready txnHeap
 	for i := 0; i < n; i++ {
 		if g.Indegree[i] == 0 {
@@ -57,9 +79,24 @@ func SimulateTxnGraph(g *TxnGraph, workers int, exec func(i int32) (cost, explor
 		cost, explore, aborted := exec(item.idx)
 		fin := clocks[best].Advance(start, explore, cost, aborted)
 		done++
+		var efFin time.Duration
+		if prof != nil {
+			efFin = efReady[item.idx] + explore + cost
+			edge, blocker := EdgeNone, ""
+			if b := blockedBy[item.idx]; b >= 0 {
+				edge, blocker = EdgeTxn, label(b)
+			}
+			prof.Op(best, label(item.idx), start, explore, cost, aborted, edge, blocker, efFin)
+		}
 		for _, j := range g.Out[item.idx] {
 			if fin > readyAt[j] {
 				readyAt[j] = fin
+				if prof != nil {
+					blockedBy[j] = item.idx
+				}
+			}
+			if prof != nil && efFin > efReady[j] {
+				efReady[j] = efFin
 			}
 			g.Indegree[j]--
 			if g.Indegree[j] == 0 {

@@ -85,17 +85,55 @@ type Costs struct {
 }
 
 var (
-	calOnce sync.Once
+	calMu   sync.Mutex
+	calDone bool
 	calCost Costs
 )
+
+// SetCalibration overrides the process-wide cost model, bypassing the
+// micro-benchmark. It exists as a determinism seam: profiler and
+// critical-path tests pin FixedCosts so their expected virtual durations
+// are exact integers on every host. Subsequent Calibrate calls return c
+// verbatim.
+func SetCalibration(c Costs) {
+	calMu.Lock()
+	defer calMu.Unlock()
+	calCost = c
+	calDone = true
+}
+
+// FixedCosts is a host-independent cost model with the same component
+// ratios as a calibrated one (op = ExecFactor × build, sync = op, and the
+// documented divisors), on a clean power-of-two base so derived quantities
+// divide without remainder.
+func FixedCosts() Costs {
+	const base = 32 * time.Nanosecond // stands in for the measured tBuild
+	const pre = 64 * time.Nanosecond  // stands in for the measured tPre
+	return Costs{
+		Op:          ExecFactor * base,
+		PerDep:      ExecFactor * base / 8,
+		Preprocess:  pre,
+		Postprocess: pre / 2,
+		Build:       base,
+		Explore:     base / 2,
+		Record:      base,
+		Edge:        base / 3,
+		Compare:     base / 8,
+		Sync:        ExecFactor * base,
+		Lookup:      base / 4,
+		Pipeline:    6 * pre,
+	}
+}
 
 // Calibrate measures the host's real pipeline costs once — transaction
 // construction, graph building, and operation execution over a synthetic
 // epoch — and derives the cost model. The component ratios are documented
 // assumptions (DESIGN.md §1); the measured base adapts the scale to the
-// host.
+// host. SetCalibration pre-empts the measurement entirely.
 func Calibrate() Costs {
-	calOnce.Do(func() {
+	calMu.Lock()
+	defer calMu.Unlock()
+	if !calDone {
 		const (
 			nTxns  = 4000
 			rounds = 5
@@ -176,7 +214,8 @@ func Calibrate() Costs {
 			Lookup:      tBuild / 4,
 			Pipeline:    6 * tPre,
 		}
-	})
+		calDone = true
+	}
 	return calCost
 }
 

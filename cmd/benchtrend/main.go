@@ -51,6 +51,7 @@ func main() {
 		schedPath = flag.String("scheduler", "BENCH_scheduler.json", "scheduler report (skipped if missing)")
 		chaosPath = flag.String("chaos", "BENCH_chaos.json", "chaos report (skipped if missing)")
 		recPath   = flag.String("recovery", "BENCH_recovery.json", "recovery report (skipped if missing)")
+		shardPath = flag.String("shard", "BENCH_shard.json", "shard report (skipped if missing)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 	fold("scheduler", *schedPath, summarizeScheduler)
 	fold("chaos", *chaosPath, summarizeChaos)
 	fold("recovery", *recPath, summarizeRecovery)
+	fold("shard", *shardPath, summarizeShard)
 
 	if len(pt.Sources) == 0 {
 		fatalf("no benchmark reports found; nothing to fold")
@@ -176,6 +178,45 @@ func num(m map[string]any, key string) (float64, bool) {
 func str(m map[string]any, key string) string {
 	s, _ := m[key].(string)
 	return s
+}
+
+// summarizeShard keeps the shard layer's headlines: the acceptance-gate
+// verdicts, the gs-local scaling curve, and the recovery speedup per
+// fan-out.
+func summarizeShard(doc map[string]any) map[string]any {
+	out := map[string]any{}
+	if checks, ok := doc["checks"].(map[string]any); ok {
+		for _, k := range []string{"scaling_8x", "recovery_speedup_4x"} {
+			if v, ok := num(checks, k); ok {
+				out[k] = v
+			}
+			if v, ok := checks[k+"_pass"].(bool); ok {
+				out[k+"_pass"] = v
+			}
+		}
+	}
+	scaling := entries(doc, "scaling")
+	out["scaling_cells"] = len(scaling)
+	for _, c := range scaling {
+		if str(c, "workload") != "gs-local" {
+			continue
+		}
+		if shards, ok := num(c, "shards"); ok {
+			if x, ok := num(c, "scaling_x"); ok {
+				out[fmt.Sprintf("local_scaling_%dx", int(shards))] = x
+			}
+		}
+	}
+	recovery := entries(doc, "recovery")
+	out["recovery_cells"] = len(recovery)
+	for _, c := range recovery {
+		if shards, ok := num(c, "shards"); ok {
+			if x, ok := num(c, "speedup_x"); ok {
+				out[fmt.Sprintf("recovery_speedup_%dx", int(shards))] = x
+			}
+		}
+	}
+	return out
 }
 
 // summarizeScheduler keeps the headline throughput per implementation:

@@ -31,7 +31,10 @@ type Entry struct {
 	Kind      string `json:"kind"`
 	Scenario  string `json:"scenario"`
 	Pipelined bool   `json:"pipelined"`
-	Samples   int    `json:"samples"`
+	// Shards is the group fan-out of shard-kill cells (0 for single-engine
+	// scenarios).
+	Shards  int `json:"shards,omitempty"`
+	Samples int `json:"samples"`
 
 	Recoveries int `json:"recoveries"`
 	// DetectionUs is fault occurrence to supervisor detection (zero when
@@ -123,6 +126,55 @@ func measure(kind ftapi.Kind, sc crashtest.Scenario, pipelined bool, epochs, epo
 	return e, nil
 }
 
+// measureShardKill runs the single-shard-kill cell `repeat` times and
+// keeps the median sample by group MTTR: one shard's device dies fatally
+// under sustained group ingestion, the survivors keep committing, and the
+// coordinator heals the dead shard in place (internal/ft/crashtest.ShardChaos,
+// which also verifies the whole run against the sharded oracle).
+func measureShardKill(kind ftapi.Kind, shards, kill, epochs, epochSize, repeat int) (Entry, error) {
+	outs := make([]*crashtest.ShardChaosOutcome, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		out, err := crashtest.ShardChaos(crashtest.ShardChaosConfig{
+			Config: crashtest.Config{
+				Kind:      kind,
+				NewGen:    func() workload.Generator { return fttest.GSGen(43) },
+				Epochs:    epochs,
+				EpochSize: epochSize,
+			},
+			Shards:    shards,
+			KillShard: kill,
+			// Die mid-run (roughly epoch 5 of 10 at this write cadence) so
+			// the heal's recovery has committed epochs to replay.
+			FaultAt: 12,
+		})
+		if err != nil {
+			return Entry{}, err
+		}
+		outs = append(outs, out)
+	}
+	for i := 1; i < len(outs); i++ {
+		for j := i; j > 0 && outs[j].MTTR < outs[j-1].MTTR; j-- {
+			outs[j], outs[j-1] = outs[j-1], outs[j]
+		}
+	}
+	med := outs[len(outs)/2]
+	e := Entry{
+		Kind:         kind.String(),
+		Scenario:     "shard-kill",
+		Shards:       shards,
+		Samples:      len(outs),
+		Recoveries:   1,
+		MTTRUs:       us(med.MTTR),
+		MinMTTRUs:    us(outs[0].MTTR),
+		MaxMTTRUs:    us(outs[len(outs)-1].MTTR),
+		OfflineMatch: true, // ShardChaos verifies against the sharded oracle
+	}
+	if med.Report != nil {
+		e.EventsReplayed = med.Report.EventsReplayed
+	}
+	return e, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_chaos.json", "output path for the JSON report")
 	repeat := flag.Int("repeat", 5, "samples per cell; the median by MTTR is kept")
@@ -162,7 +214,12 @@ func main() {
 			"mttr 0); fatal-heal and mid-epoch-panic cells heal with exactly one " +
 			"in-process recovery, verified state- and output-equal to the oracle, " +
 			"and fatal-heal additionally verified report-equal to the offline " +
-			"crash-point recovery of the same write site.",
+			"crash-point recovery of the same write site. shard-kill cells run a " +
+			"4-shard group (internal/shard) with one shard's device dying fatally: " +
+			"mttr_us is the group MTTR — shard death detected to the interrupted " +
+			"barrier completed and the group live again — while the survivors keep " +
+			"committing; the run is verified per shard and globally against the " +
+			"sharded oracle.",
 	}
 
 	kinds := []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
@@ -179,6 +236,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%-5s %-16s pipelined=%-5v: detect %7.0f µs, mttr %7.0f µs, %d recoveries, %d retries\n",
 					e.Kind, e.Scenario, e.Pipelined, e.DetectionUs, e.MTTRUs, e.Recoveries, e.Retries)
 			}
+		}
+	}
+
+	// Shard-kill cells: the recoverable mechanisms at a 4-shard fan-out,
+	// killing an edge shard and an interior one.
+	for _, kind := range kinds {
+		for _, kill := range []int{0, 2} {
+			e, err := measureShardKill(kind, 4, kill, *epochs, *epochSize, *repeat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosbench:", err)
+				os.Exit(1)
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Fprintf(os.Stderr, "%-5s %-16s shards=4 kill=%d: mttr %7.0f µs, %d replayed\n",
+				e.Kind, e.Scenario, kill, e.MTTRUs, e.EventsReplayed)
 		}
 	}
 

@@ -103,6 +103,19 @@ type Config struct {
 	// every operation fires on the live parallel path. Chaos testing and
 	// the supervisor's cancellation hooks use it; nil costs nothing.
 	FireHook func(*tpg.OpNode)
+	// Shard and OfShards identify this engine as shard Shard of an
+	// OfShards-wide group (internal/shard). OfShards zero means an
+	// unsharded engine. The identity labels the engine's observer series
+	// and its recovery reports; it changes no processing behaviour.
+	Shard    int
+	OfShards int
+	// OnWriteSet, when non-nil, receives after each executed epoch the
+	// epoch number and the distinct keys its transactions wrote (the TPG's
+	// chain keys — write-attempted keys, including chains whose every
+	// operation aborted). The shard coordinator uses it to extract the
+	// epoch's cross-shard replication delta without diffing snapshots. The
+	// slice is only valid for the duration of the call.
+	OnWriteSet func(epoch uint64, keys []types.Key)
 }
 
 func (c *Config) normalize() error {
@@ -220,6 +233,27 @@ func (e *Engine) PendingOutputs() int {
 	return n
 }
 
+// PendingOutputsMatching returns how many buffered outputs satisfy match.
+// Layered harnesses use it to account subsets of the pending ledger — the
+// shard coordinator's exactly-once check counts application outputs
+// separately from replication acknowledgements.
+func (e *Engine) PendingOutputsMatching(match func(types.Output) bool) int {
+	n := 0
+	for _, p := range e.pending {
+		for _, out := range p.outs {
+			if match(out) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CommittedEpoch returns the highest epoch whose commit marker has fired —
+// the engine's current punctuation frontier. The shard coordinator's
+// determinism test records this vector after every aligned epoch.
+func (e *Engine) CommittedEpoch() uint64 { return e.lastCommit }
+
 // Runtime returns the accumulated fault-tolerance overhead breakdown.
 func (e *Engine) Runtime() metrics.RuntimeBreakdown { return e.runtime }
 
@@ -280,6 +314,13 @@ func (e *Engine) observeEpoch(start time.Time, events int) {
 	reg.Counter("engine.epochs").Inc()
 	reg.Counter("engine.events").Add(int64(events))
 	reg.Histogram("epoch.seconds").ObserveSince(start)
+	if e.cfg.OfShards > 0 {
+		// Sharded groups share one observer; per-shard series keep the
+		// shards distinguishable in /metrics.
+		reg.Counter(fmt.Sprintf("shard.%d.epochs", e.cfg.Shard)).Inc()
+		reg.Counter(fmt.Sprintf("shard.%d.events", e.cfg.Shard)).Add(int64(events))
+		reg.Gauge(fmt.Sprintf("shard.%d.committed", e.cfg.Shard)).Set(int64(e.lastCommit))
+	}
 }
 
 // processEpochAt runs the full epoch pipeline. persistInput is false when
@@ -373,12 +414,29 @@ func (e *Engine) reprocessEpoch(ep uint64, events []types.Event, breakdown *metr
 	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
 	e.procWall += time.Since(proc)
 	e.events += len(events)
+	e.notifyWriteSet(ep, g)
 
 	if e.cfg.Mechanism.Kind() == ftapi.NAT {
 		e.release(ep)
 		return nil
 	}
 	return e.sealAndMark(ep, events, g)
+}
+
+// notifyWriteSet surfaces the epoch's chain keys to Config.OnWriteSet. It
+// runs on both the live path and the recovery tail reprocessing path, so a
+// coordinator sees the write set of every epoch executed through the
+// normal pipeline (mechanism-replayed committed epochs do not execute
+// through it; coordinators fall back to a conservative full delta there).
+func (e *Engine) notifyWriteSet(ep uint64, g *tpg.Graph) {
+	if e.cfg.OnWriteSet == nil {
+		return
+	}
+	keys := make([]types.Key, len(g.ChainList))
+	for i, ch := range g.ChainList {
+		keys[i] = ch.Key
+	}
+	e.cfg.OnWriteSet(ep, keys)
 }
 
 // finishEpoch executes an already-built epoch graph and drives it through
@@ -419,6 +477,7 @@ func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc
 	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
 	e.procWall += time.Since(proc)
 	e.events += len(events)
+	e.notifyWriteSet(ep, g)
 
 	if e.cfg.Mechanism.Kind() == ftapi.NAT {
 		// Native execution has no durability gate; release immediately.

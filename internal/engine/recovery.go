@@ -29,6 +29,9 @@ type RecoveryReport struct {
 	Wall time.Duration
 	// Workers is the parallelism the recovery was simulated at.
 	Workers int
+	// Shard is the group shard identity of the recovered engine
+	// (Config.Shard; zero for unsharded engines).
+	Shard int
 	// EventsReplayed counts input events between snapshot and failure point.
 	EventsReplayed int
 	// SnapshotEpoch, CommittedEpoch, and LastEpoch locate the recovery:
@@ -235,6 +238,7 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 
 	report.Wall = time.Since(start)
 	report.Workers = e.cfg.Workers
+	report.Shard = e.cfg.Shard
 	report.SnapshotEpoch = snapEpoch
 	report.CommittedEpoch = committed
 	report.LastEpoch = e.epoch

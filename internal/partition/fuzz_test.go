@@ -1,0 +1,70 @@
+package partition_test
+
+import (
+	"testing"
+
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/types"
+)
+
+// FuzzRangesOf fuzzes the key→shard router over arbitrary table sizes,
+// partition counts, and rows. The properties the shard coordinator builds
+// on: every key maps into [0, count); the assignment is a pure function of
+// the table specs (stable across NewRanges rebuilds — a recovered
+// coordinator must route exactly like the crashed one); and Of agrees with
+// RowsIn (the key falls inside its partition's half-open row range, and
+// the ranges tile the table without gaps or overlap).
+func FuzzRangesOf(f *testing.F) {
+	f.Add(uint32(4096), 4, uint32(17), uint8(0))
+	f.Add(uint32(512), 8, uint32(511), uint8(1))
+	f.Add(uint32(1), 1, uint32(0), uint8(0))
+	f.Add(uint32(7), 64, uint32(6), uint8(3))
+	f.Add(uint32(1<<31), 16, uint32(1<<30), uint8(0))
+	f.Fuzz(func(t *testing.T, rows uint32, count int, row uint32, table uint8) {
+		if rows == 0 {
+			rows = 1
+		}
+		if count < 1 || count > 256 {
+			count = count&0xff + 1
+		}
+		specs := []types.TableSpec{{ID: types.TableID(table), Rows: rows}}
+		r := partition.NewRanges(specs, count)
+
+		k := types.Key{Table: types.TableID(table), Row: row % rows}
+		s := r.Of(k)
+		if s < 0 || s >= r.Count() {
+			t.Fatalf("Of(%v) = %d, outside [0, %d)", k, s, r.Count())
+		}
+		if again := partition.NewRanges(specs, count).Of(k); again != s {
+			t.Fatalf("rebuild moved %v: %d then %d", k, s, again)
+		}
+		lo, hi := r.RowsIn(k.Table, s)
+		if k.Row < lo || k.Row >= hi {
+			t.Fatalf("Of(%v) = %d but RowsIn gives [%d, %d)", k, s, lo, hi)
+		}
+		// The partitions tile [0, rows): consecutive ranges abut, the
+		// first starts at 0, the last ends at rows.
+		prevHi := uint32(0)
+		for p := 0; p < r.Count(); p++ {
+			plo, phi := r.RowsIn(k.Table, p)
+			if plo != prevHi {
+				t.Fatalf("partition %d starts at %d, previous ended at %d", p, plo, prevHi)
+			}
+			if phi < plo {
+				t.Fatalf("partition %d range [%d, %d) inverted", p, plo, phi)
+			}
+			prevHi = phi
+		}
+		if prevHi != rows {
+			t.Fatalf("partitions end at %d, table has %d rows", prevHi, rows)
+		}
+		// A key outside the table still clamps into range.
+		if s := r.Of(types.Key{Table: types.TableID(table), Row: row}); s < 0 || s >= r.Count() {
+			t.Fatalf("Of(out-of-table row %d) = %d, outside [0, %d)", row, s, r.Count())
+		}
+		// An unknown table routes to partition 0 rather than out of range.
+		if s := r.Of(types.Key{Table: types.TableID(table) + 1, Row: row}); s != 0 {
+			t.Fatalf("Of(unknown table) = %d, want 0", s)
+		}
+	})
+}

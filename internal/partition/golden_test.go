@@ -1,0 +1,38 @@
+package partition_test
+
+import (
+	"fmt"
+	"testing"
+
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/workload"
+)
+
+// TestGoldenRouting pins the shard assignment of the first 64 events of
+// each seeded workload at four shards. The shard coordinator's routed
+// history, the frontier log, and every sharded crash-sweep oracle all
+// assume the key→shard map is a stable pure function of the table specs;
+// an innocent-looking change to NewRanges or Of that re-homes keys would
+// silently invalidate every durable frontier log written before it, so it
+// must show up here as an explicit golden diff.
+func TestGoldenRouting(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  workload.Generator
+		want string
+	}{
+		{"GS", fttest.GSGen(43), "2230213330320020310300221200020223333122330031001032130202322301"},
+		{"SL", fttest.SLGen(41), "3222302002211031101100103300223122231131201312133331003311311113"},
+		{"TP", fttest.TPGen(53), "3220220220323331330000030331303230222332312011132323321122323033"},
+	} {
+		r := partition.NewRanges(tc.gen.App().Tables(), 4)
+		got := ""
+		for _, ev := range workload.Batch(tc.gen, 64) {
+			got += fmt.Sprint(r.Of(ev.Keys[0]))
+		}
+		if got != tc.want {
+			t.Errorf("%s: routed assignment drifted\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+}

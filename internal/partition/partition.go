@@ -43,17 +43,22 @@ func NewRanges(specs []types.TableSpec, count int) *Ranges {
 // Count returns the number of partitions.
 func (r *Ranges) Count() int { return r.count }
 
-// Of returns the partition of a key in [0, Count()).
+// Of returns the partition of a key in [0, Count()). It is the exact
+// inverse of the RowsIn tiling — the unique p with
+// RowsIn(t,p).lo <= row < RowsIn(t,p).hi — for every table size, not just
+// sizes divisible by the partition count: floor(row*count/rows) would
+// drift below the tiling whenever rows%count != 0 and strand rows in a
+// partition that doesn't own them (found by FuzzRangesOf). Rows at or
+// beyond the table's end clamp into the last partition.
 func (r *Ranges) Of(k types.Key) int {
 	rows := r.rows[k.Table]
 	if rows == 0 {
 		return 0
 	}
-	p := int(uint64(k.Row) * uint64(r.count) / uint64(rows))
-	if p >= r.count {
-		p = r.count - 1
+	if k.Row >= rows {
+		return r.count - 1
 	}
-	return p
+	return int(((uint64(k.Row)+1)*uint64(r.count) - 1) / uint64(rows))
 }
 
 // RowsIn returns the half-open row range [lo, hi) of partition p for the

@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/engine"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/vtime"
+)
+
+// Source supplies the global (pre-routing) batch of a group epoch for
+// re-feeding during alignment, and reports whether it is known. It is the
+// group-level analogue of the supervisor's rewindable source contract.
+type Source func(epoch uint64) ([]types.Event, bool)
+
+// BatchSource adapts a fixed batch list (batches[e-1] is epoch e).
+func BatchSource(batches [][]types.Event) Source {
+	return func(epoch uint64) ([]types.Event, bool) {
+		if epoch == 0 || epoch > uint64(len(batches)) {
+			return nil, false
+		}
+		return batches[epoch-1], true
+	}
+}
+
+// RecoverConfig parameterizes a group recovery.
+type RecoverConfig struct {
+	// Config must match the crashed group's, with Devices and CoordDev the
+	// surviving devices.
+	Config
+	// Source re-feeds the alignment epoch to lagging shards and
+	// reconstructs routing counters; it must cover every epoch of the run.
+	Source Source
+	// Serial recovers the shards one at a time instead of in parallel —
+	// the baseline the recovery-speedup benchmark compares against.
+	Serial bool
+	// Profilers, when non-nil, attaches a recovery profiler per shard
+	// (index = shard) so the group report carries a rolled-up virtual-time
+	// profile.
+	Profilers []*vtime.Profiler
+}
+
+// GroupReport quantifies one group recovery.
+type GroupReport struct {
+	// Reports are the per-shard engine recovery reports, indexed by shard.
+	Reports []*engine.RecoveryReport
+	// Target is the punctuation frontier processing resumed from: the
+	// maximum recovered epoch across shards.
+	Target uint64
+	// AlignedShards counts shards that lagged one epoch behind Target and
+	// were re-fed to it.
+	AlignedShards int
+	// SerialSim is the simulated wall of recovering the shards one after
+	// another (Σ per-shard SimWall); ParallelSim is the simulated wall of
+	// the parallel recovery (max per-shard SimWall). Their ratio is the
+	// parallel recovery speedup — the headline number of the shard layer.
+	SerialSim   time.Duration
+	ParallelSim time.Duration
+	// Wall is the real wall-clock duration of the whole group recovery on
+	// this host (the group MTTR), including alignment.
+	Wall time.Duration
+	// Profile is the per-shard virtual-time rollup (nil unless Profilers
+	// were supplied).
+	Profile *vtime.GroupProfile
+}
+
+// Speedup returns SerialSim / ParallelSim — how much faster the group
+// recovers by replaying shards concurrently instead of one at a time.
+func (r *GroupReport) Speedup() float64 {
+	if r.ParallelSim <= 0 {
+		return 0
+	}
+	return float64(r.SerialSim) / float64(r.ParallelSim)
+}
+
+// GroupRecover rebuilds a working group from the surviving devices after a
+// group-wide crash — the headline protocol of the shard layer:
+//
+//  1. recover every shard in parallel with stock engine.Recover (each
+//     shard's snapshot restore + mechanism replay + tail reprocessing is
+//     independent of every other shard's);
+//  2. verify the lockstep invariant: recovered epochs may spread by at
+//     most one (a shard is fed epoch e+1 only after every shard finished
+//     epoch e, and its inputs persist before processing);
+//  3. re-align lagging shards by re-feeding the alignment epoch from
+//     Source, with replication events rebuilt from the durable frontier
+//     log (the coordinator appended that record before any shard was fed
+//     the epoch);
+//  4. arm a full re-sync: the next live epoch replicates every shard's
+//     whole owned partition, covering mechanism-replayed epochs whose
+//     exact write sets were never captured.
+func GroupRecover(cfg RecoverConfig) (*Group, *GroupReport, error) {
+	if cfg.Source == nil {
+		return nil, nil, errors.New("shard: GroupRecover requires a Source")
+	}
+	g, err := newGroupShell(cfg.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	report := &GroupReport{Reports: make([]*engine.RecoveryReport, len(g.shards))}
+
+	errs := make([]error, len(g.shards))
+	recoverShard := func(i int) {
+		ec := g.engineConfig(g.shards[i])
+		if len(cfg.Profilers) > i && cfg.Profilers[i] != nil {
+			ec.RecoveryProfiler = cfg.Profilers[i]
+		}
+		eng, rep, err := engine.Recover(ec)
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		g.shards[i].eng = eng
+		report.Reports[i] = rep
+	}
+	if cfg.Serial {
+		for i := range g.shards {
+			recoverShard(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range g.shards {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); recoverShard(i) }(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: group recover: %w", err)
+		}
+	}
+
+	// Lockstep invariant: the barrier never lets a shard run more than one
+	// epoch ahead of another.
+	lo, hi := report.Reports[0].LastEpoch, report.Reports[0].LastEpoch
+	for _, rep := range report.Reports[1:] {
+		if rep.LastEpoch < lo {
+			lo = rep.LastEpoch
+		}
+		if rep.LastEpoch > hi {
+			hi = rep.LastEpoch
+		}
+	}
+	if hi-lo > 1 {
+		return nil, nil, fmt.Errorf("shard: group recover: recovered epochs spread from %d to %d; lockstep invariant violated", lo, hi)
+	}
+	report.Target = hi
+
+	// Re-align lagging shards: re-feed the alignment epoch through the
+	// normal pipeline (inputs re-persist, outputs deliver — the shard's
+	// durability gate for this epoch never fired before the crash).
+	if lo < hi {
+		reps, err := g.alignmentReplication(hi, cfg.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, s := range g.shards {
+			if report.Reports[i].LastEpoch == hi {
+				continue
+			}
+			batch := append(reps[i], g.subBatch(hi, i, cfg.Source)...)
+			if err := s.eng.ProcessEpoch(batch); err != nil {
+				return nil, nil, fmt.Errorf("shard: group recover: align shard %d to epoch %d: %w", i, hi, err)
+			}
+			report.AlignedShards++
+		}
+	}
+
+	g.restoreCounters(hi, cfg.Source)
+	g.epoch = hi
+	g.fullSync = true
+
+	for _, rep := range report.Reports {
+		sw := rep.SimWall()
+		report.SerialSim += sw
+		if sw > report.ParallelSim {
+			report.ParallelSim = sw
+		}
+	}
+	if len(cfg.Profilers) > 0 {
+		var profs []vtime.Profile
+		for _, rep := range report.Reports {
+			if rep.Profile != nil {
+				profs = append(profs, *rep.Profile)
+			}
+		}
+		if len(profs) > 0 {
+			gp := vtime.RollupGroup(profs)
+			report.Profile = &gp
+		}
+	}
+	report.Wall = time.Since(start)
+	if reg := g.cfg.Obs.Registry(); reg != nil {
+		reg.Counter("group.recoveries").Inc()
+		reg.Histogram("group.recovery_seconds").ObserveSince(start)
+	}
+	return g, report, nil
+}
+
+// subBatch routes epoch ep's global batch and returns shard i's slice.
+func (g *Group) subBatch(ep uint64, i int, src Source) []types.Event {
+	events, ok := src(ep)
+	if !ok {
+		return nil
+	}
+	var sub []types.Event
+	for _, ev := range events {
+		if len(ev.Keys) > 0 && g.router.Of(ev.Keys[0]) == i {
+			sub = append(sub, ev)
+		}
+	}
+	return sub
+}
+
+// alignmentReplication rebuilds every shard's replication events for
+// epoch ep from the durable frontier record of ep-1, exactly as the live
+// coordinator built them before the crash.
+func (g *Group) alignmentReplication(ep uint64, src Source) ([][]types.Event, error) {
+	reps := make([][]types.Event, len(g.shards))
+	if ep <= 1 {
+		return reps, nil
+	}
+	deltas, ok, err := g.frontierDeltas(ep - 1)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("shard: group recover: frontier record for epoch %d missing (needed to re-align epoch %d)", ep-1, ep)
+	}
+	events, ok := src(ep)
+	if !ok {
+		return nil, fmt.Errorf("shard: group recover: source has no batch for alignment epoch %d", ep)
+	}
+	minSeq := g.seqFloor
+	for i, ev := range events {
+		if i == 0 || ev.Seq < minSeq {
+			minSeq = ev.Seq
+		}
+	}
+	for i := range g.shards {
+		ev, err := buildReplication(i, deltas, minSeq)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = ev
+	}
+	return reps, nil
+}
+
+// frontierDeltas returns the last durable frontier record for the given
+// epoch. A decode failure on the log's final record is a torn tail (the
+// coordinator died mid-append; no shard can have been fed past it) and
+// reads as absent; earlier corruption is an error. Later records for the
+// same epoch win: the first live epoch after a recovery re-appends its
+// full-sync deltas under the current epoch so a future recovery never
+// depends on a record lost to a coordinator-device crash.
+func (g *Group) frontierDeltas(epoch uint64) ([]codec.ShardDelta, bool, error) {
+	recs, err := g.coord.ReadLog(LogFrontier)
+	if err != nil {
+		return nil, false, fmt.Errorf("shard: frontier log: %w", err)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Epoch != epoch {
+			continue
+		}
+		deltas, err := codec.DecodeShardDeltas(recs[i].Payload)
+		if err != nil {
+			if i == len(recs)-1 {
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("shard: frontier record epoch %d: %w", epoch, err)
+		}
+		if len(deltas) != len(g.shards) {
+			return nil, false, fmt.Errorf("shard: frontier record epoch %d has %d shards, group has %d", epoch, len(deltas), len(g.shards))
+		}
+		return deltas, true, nil
+	}
+	return nil, false, nil
+}
+
+// restoreCounters reconstructs the routed-event counters and the sequence
+// floor from the source, for epochs it covers.
+func (g *Group) restoreCounters(through uint64, src Source) {
+	for ep := uint64(1); ep <= through; ep++ {
+		events, ok := src(ep)
+		if !ok {
+			continue
+		}
+		for _, ev := range events {
+			if len(ev.Keys) == 0 {
+				continue
+			}
+			g.shards[g.router.Of(ev.Keys[0])].fedReal++
+			if ev.Seq+1 > g.seqFloor {
+				g.seqFloor = ev.Seq + 1
+			}
+		}
+	}
+}
+
+// persistFullSync appends the full re-sync deltas under the current epoch
+// so alignment after a future crash can rebuild them from the frontier log
+// (the record they would otherwise come from may predate the recovery or
+// have been lost with the coordinator's crash).
+func (g *Group) persistFullSync(deltas []codec.ShardDelta) error {
+	payload := codec.EncodeShardDeltas(deltas)
+	if err := g.coord.Append(LogFrontier, storage.Record{Epoch: g.epoch, Payload: payload}); err != nil {
+		return fmt.Errorf("shard: full-sync frontier record epoch %d: %w", g.epoch, err)
+	}
+	return nil
+}

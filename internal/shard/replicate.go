@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/types"
+)
+
+// KindReplicate is the reserved event kind carrying cross-shard state
+// propagation: a frontier write-set chunk, applied as plain puts. It lives
+// at the top of the kind space; application kinds are small iota values,
+// so the coordinator rejects any input event that claims it.
+const KindReplicate types.EventKind = 0xFF
+
+// maxReplicateKeys bounds one replication event's key count. Operation
+// indices are uint8 (at most 256 ops per transaction), so frontier deltas
+// chunk into events of at most this many puts.
+const maxReplicateKeys = 100
+
+// App wraps an application with the replication-event handler: events of
+// KindReplicate preprocess into transactions of unconditional puts
+// (types.FnPut never aborts), every other event passes through unchanged.
+//
+// Replication-as-events is the load-bearing trick of the shard layer:
+// because frontier propagation rides the ordinary event path, it is
+// persisted by input logging, covered by every fault-tolerance mechanism's
+// records, and replayed by stock engine recovery — per-shard recovery
+// needs no shard-specific durability at all, which is what lets the group
+// recover every shard in parallel with unmodified engine.Recover calls.
+type App struct {
+	inner types.App
+}
+
+// WrapApp builds the shard-level view of an application.
+func WrapApp(inner types.App) *App { return &App{inner: inner} }
+
+// Inner returns the wrapped application.
+func (a *App) Inner() types.App { return a.inner }
+
+// Name implements types.App.
+func (a *App) Name() string { return a.inner.Name() + "+shard" }
+
+// Tables implements types.App.
+func (a *App) Tables() []types.TableSpec { return a.inner.Tables() }
+
+// Preprocess implements types.App. A replication event's transaction puts
+// each carried key to its carried value; all ops after index 0 logically
+// depend on op 0, which is itself a put and can never abort.
+func (a *App) Preprocess(ev types.Event) types.Txn {
+	if ev.Kind != KindReplicate {
+		return a.inner.Preprocess(ev)
+	}
+	txn := types.Txn{ID: ev.Seq, TS: ev.Seq, Event: ev}
+	txn.Ops = make([]types.Operation, len(ev.Keys))
+	for i := range ev.Keys {
+		txn.Ops[i] = types.Operation{
+			TxnID: ev.Seq, TS: ev.Seq, Idx: uint8(i),
+			Key: ev.Keys[i], Fn: types.FnPut, Const: ev.Vals[i],
+		}
+	}
+	return txn
+}
+
+// Postprocess implements types.App. Replication events acknowledge with an
+// empty output of their kind; every downstream verifier filters these out
+// of the application output stream (see IsReplication).
+func (a *App) Postprocess(t *types.ExecutedTxn) types.Output {
+	if t.Txn.Event.Kind != KindReplicate {
+		return a.inner.Postprocess(t)
+	}
+	return types.Output{EventSeq: t.Txn.ID, Kind: KindReplicate}
+}
+
+// IsReplication reports whether an output is a replication acknowledgement
+// rather than an application output.
+func IsReplication(out types.Output) bool { return out.Kind == KindReplicate }
+
+// RealOutputs filters a ledger down to application outputs.
+func RealOutputs(outs []types.Output) []types.Output {
+	kept := make([]types.Output, 0, len(outs))
+	for _, out := range outs {
+		if !IsReplication(out) {
+			kept = append(kept, out)
+		}
+	}
+	return kept
+}
+
+// sortedDelta flattens a delta map into the canonical key order shared by
+// the frontier codec, replication events, and the oracle.
+func sortedDelta(delta map[types.Key]types.Value) codec.ShardDelta {
+	out := codec.ShardDelta{
+		Keys: make([]types.Key, 0, len(delta)),
+		Vals: make([]types.Value, 0, len(delta)),
+	}
+	for k := range delta {
+		out.Keys = append(out.Keys, k)
+	}
+	sort.Slice(out.Keys, func(i, j int) bool { return out.Keys[i].Less(out.Keys[j]) })
+	for _, k := range out.Keys {
+		out.Vals = append(out.Vals, delta[k])
+	}
+	return out
+}
+
+// buildReplication turns the foreign portion of a barrier's deltas into
+// the replication events shard dst ingests next epoch. Sequence numbers
+// occupy [minSeq-n, minSeq): strictly below the epoch's first real
+// sequence number, so every replicated put orders (by temporal dependency)
+// before every real operation of the epoch, and frontier reads observe the
+// consistent committed frontier. Sequence space below an epoch is finite;
+// an epoch too small to host its replication fan-in is an error, not a
+// silent reorder.
+func buildReplication(dst int, deltas []codec.ShardDelta, minSeq uint64) ([]types.Event, error) {
+	merged := make(map[types.Key]types.Value)
+	for src, d := range deltas {
+		if src == dst {
+			continue
+		}
+		for i, k := range d.Keys {
+			merged[k] = d.Vals[i]
+		}
+	}
+	if len(merged) == 0 {
+		return nil, nil
+	}
+	flat := sortedDelta(merged)
+	n := (len(flat.Keys) + maxReplicateKeys - 1) / maxReplicateKeys
+	if uint64(n) > minSeq {
+		return nil, fmt.Errorf("shard: %d replication events do not fit below sequence %d (epoch too small for the replication fan-in)", n, minSeq)
+	}
+	events := make([]types.Event, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * maxReplicateKeys
+		hi := lo + maxReplicateKeys
+		if hi > len(flat.Keys) {
+			hi = len(flat.Keys)
+		}
+		events = append(events, types.Event{
+			Seq:  minSeq - uint64(n) + uint64(i),
+			Kind: KindReplicate,
+			Keys: flat.Keys[lo:hi],
+			Vals: flat.Vals[lo:hi],
+		})
+	}
+	return events, nil
+}

@@ -1,0 +1,576 @@
+// Package shard scales the engine out across N shards: a coordinator
+// routes events by key over internal/partition's range maps, runs one
+// engine per shard (each with its own storage device, mechanism, and
+// logs), and aligns the shards' epochs with punctuation barriers so
+// cross-shard reads observe a consistent committed frontier.
+//
+// # Epoch protocol
+//
+// Every group epoch is one lockstep round:
+//
+//  1. route the global batch to per-shard sub-batches by each event's
+//     first key (the write target; applications run sharded must be
+//     write-local — every key a transaction writes lives in the shard
+//     that owns its routing key, a property the barrier verifies);
+//  2. prepend each shard's replication events — the previous barrier's
+//     foreign write-sets as KindReplicate puts, sequenced below the
+//     epoch's real events so frontier writes order before every real
+//     read (see replicate.go);
+//  3. process all shards (concurrently by default), then barrier;
+//  4. extract each shard's owned write-set delta, append one frontier
+//     record to the coordinator's own durable log, and stage the deltas
+//     as the next epoch's replication payload.
+//
+// Cross-shard reads therefore observe other shards' state as of the last
+// barrier — exactly the punctuation-aligned consistent frontier the
+// protocol promises — and because replication rides the ordinary event
+// path, every fault-tolerance mechanism logs and replays it with zero
+// shard-specific code.
+//
+// # Recovery
+//
+// After a group crash, GroupRecover (see recovery.go) recovers every
+// shard in parallel with stock engine.Recover — per-shard TPG replay ×
+// shard fan-out — then re-aligns stragglers from the durable frontier log
+// and reports a group MTTR. A single dead shard heals without stopping
+// the survivors via Group.HealShard (see heal.go).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/core"
+	"morphstreamr/internal/engine"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/msr"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/obs"
+	"morphstreamr/internal/partition"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+)
+
+// LogFrontier is the coordinator's durable log of barrier frontier
+// records: one record per group epoch, payload EncodeShardDeltas. It lives
+// on the coordinator's own device, so shard logs and the group punctuation
+// agreement survive crashes independently.
+const LogFrontier = "frontier"
+
+// Config assembles one shard group.
+type Config struct {
+	// GroupShape is the shard fan-out plus the per-shard engine knobs.
+	// Pipeline is ignored: the coordinator feeds one epoch per barrier, so
+	// there is never a multi-epoch run to overlap.
+	types.GroupShape
+	// App is the (write-local) application; the coordinator wraps it with
+	// the replication-event handler.
+	App types.App
+	// Kind is the fault-tolerance mechanism every shard runs.
+	Kind ftapi.Kind
+	// Devices are the per-shard durable devices (len Shards). Nil entries
+	// and a short or nil slice are filled with fresh in-memory devices.
+	Devices []storage.Device
+	// CoordDev is the coordinator's durable device for the frontier log.
+	// Nil allocates a fresh in-memory device.
+	CoordDev storage.Device
+	// Obs, when non-nil, observes every shard engine (per-shard series)
+	// and the group barriers.
+	Obs *obs.Observer
+	// Health receives shard-death incidents from HealShard; nil allocates
+	// a fresh log.
+	Health *metrics.Health
+	// Sinks, when non-nil, receives each shard's released outputs
+	// (Sinks[i] for shard i) in addition to the engines' ledgers.
+	Sinks []func([]types.Output)
+	// LocalReads declares the application partition-local: every key a
+	// transaction reads lives in the shard that owns its routing key (GS
+	// with MultiPartitionRatio 0 and Partitions == Shards, for example).
+	// The coordinator then skips cross-shard replication entirely — no
+	// frontier deltas, no replication events — which removes the per-epoch
+	// broadcast tax and is what lets a partitionable workload scale near
+	// linearly. Write locality is still verified every barrier; read
+	// locality is the caller's assertion (reads are not captured) — if it
+	// is wrong, a cross-shard read deterministically observes the table's
+	// Init value instead of the replicated frontier.
+	LocalReads bool
+	// SerialEpochs processes the shards of each epoch sequentially instead
+	// of concurrently. Benchmarks use it to measure clean per-shard walls
+	// on oversubscribed hosts; the durable history is identical.
+	SerialEpochs bool
+	// RecordRouting retains the shard assignment of every routed event
+	// (the determinism test's routed-event transcript).
+	RecordRouting bool
+}
+
+func (c *Config) normalize() error {
+	if c.App == nil {
+		return errors.New("shard: App is required")
+	}
+	if err := c.GroupShape.Normalize(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if len(c.Devices) < c.Shards {
+		c.Devices = append(append([]storage.Device(nil), c.Devices...),
+			make([]storage.Device, c.Shards-len(c.Devices))...)
+	}
+	for i := range c.Devices {
+		if c.Devices[i] == nil {
+			c.Devices[i] = storage.NewMem()
+		}
+	}
+	if c.CoordDev == nil {
+		c.CoordDev = storage.NewMem()
+	}
+	if c.Health == nil {
+		c.Health = metrics.NewHealth()
+	}
+	return nil
+}
+
+// ErrCrashed is returned by ProcessEpoch after the group crashed.
+var ErrCrashed = errors.New("shard: group crashed; recover with GroupRecover")
+
+// ShardError wraps a shard-local failure with the shard that died, so
+// callers can distinguish "heal shard 2" from a group-wide failure.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying engine error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// EpochStat is one group epoch's timing: per-shard processing walls and
+// the barrier (delta extraction + frontier append) wall. cmd/shardbench
+// derives the simulated group ingest wall as Σ over epochs of
+// (max shard wall + barrier wall).
+type EpochStat struct {
+	Epoch       uint64
+	Events      int // real events fed this epoch, group-wide
+	ShardWalls  []time.Duration
+	BarrierWall time.Duration
+}
+
+// shardState is one shard's runtime: its engine, device, and the write-set
+// capture that feeds the barrier.
+type shardState struct {
+	idx   int
+	dev   storage.Device
+	eng   *engine.Engine
+	bytes *metrics.Bytes
+
+	// writeSet holds the chain keys of epoch writeSetEpoch, captured by
+	// the engine's OnWriteSet hook on the shard's goroutine and read only
+	// after the barrier joins all shards.
+	writeSet      []types.Key
+	writeSetEpoch uint64
+
+	// repKeys is the set of keys the coordinator fed shard idx as
+	// replication puts this epoch. Replication deliberately writes
+	// foreign-owned keys (that is what a replica is), so the barrier's
+	// write-locality check exempts exactly these; any other foreign-key
+	// write is an application locality violation. An application write to
+	// a key that was also replicated this epoch is masked by the exemption
+	// — acceptable, since such an application is already rejected the
+	// first time it writes a foreign key that was not replicated.
+	repKeys map[types.Key]bool
+
+	fedReal int
+	// banked holds outputs delivered by abandoned incarnations of this
+	// shard (per-shard heals); DeliveredUnion joins them with the live
+	// engine's ledger.
+	banked []types.Output
+}
+
+// Group is a running shard group. Create with NewGroup (or GroupRecover),
+// drive with ProcessEpoch.
+type Group struct {
+	cfg    Config
+	app    *App
+	router *partition.Ranges
+	shards []*shardState
+	coord  storage.Device
+
+	epoch    uint64
+	crashed  bool
+	seqFloor uint64
+
+	// lastDeltas is the previous barrier's per-shard delta — the next
+	// epoch's replication payload. fullSync replaces it with every shard's
+	// full owned partition for one epoch (set after a group recovery,
+	// whose mechanism-replayed epochs have no captured write sets).
+	lastDeltas []codec.ShardDelta
+	fullSync   bool
+
+	stats  []EpochStat
+	routes [][]int
+}
+
+// NewGroup builds a shard group with fresh engines over cfg's devices.
+func NewGroup(cfg Config) (*Group, error) {
+	g, err := newGroupShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range g.shards {
+		eng, err := engine.New(g.engineConfig(s))
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
+	}
+	return g, nil
+}
+
+// newGroupShell validates the config and builds everything except the
+// engines (GroupRecover seats recovered engines instead of fresh ones).
+func newGroupShell(cfg Config) (*Group, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g := &Group{
+		cfg:    cfg,
+		app:    WrapApp(cfg.App),
+		router: partition.NewRanges(cfg.App.Tables(), cfg.Shards),
+		coord:  cfg.CoordDev,
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		g.shards = append(g.shards, &shardState{
+			idx:   i,
+			dev:   cfg.Devices[i],
+			bytes: metrics.NewBytes(),
+		})
+	}
+	return g, nil
+}
+
+// engineConfig assembles shard s's engine configuration. The OnWriteSet
+// closure captures into s only; during concurrent epochs each engine
+// goroutine therefore touches its own shard state exclusively.
+func (g *Group) engineConfig(s *shardState) engine.Config {
+	shape := g.cfg.RunShape
+	shape.Pipeline = false
+	// One commit cadence per group: the punctuation agreement is exactly
+	// that every shard's markers land on the same epochs, so the MSR
+	// advisor must not retune CommitEvery per shard.
+	shape.AutoCommit = false
+	var sink func([]types.Output)
+	if len(g.cfg.Sinks) > s.idx {
+		sink = g.cfg.Sinks[s.idx]
+	}
+	return engine.Config{
+		RunShape:  shape,
+		App:       g.app,
+		Device:    s.dev,
+		Mechanism: core.NewMechanism(g.cfg.Kind, s.dev, s.bytes, msr.Default()),
+		Bytes:     s.bytes,
+		Obs:       g.cfg.Obs,
+		Sink:      sink,
+		Shard:     s.idx,
+		OfShards:  g.cfg.Shards,
+		OnWriteSet: func(ep uint64, keys []types.Key) {
+			s.writeSet = append(s.writeSet[:0], keys...)
+			s.writeSetEpoch = ep
+		},
+	}
+}
+
+// ProcessEpoch ingests one group punctuation interval: route, replicate,
+// process all shards, barrier. A shard failure surfaces as a *ShardError
+// and crashes the group (HealShard can instead heal that one shard and
+// complete the epoch; see heal.go).
+func (g *Group) ProcessEpoch(events []types.Event) error {
+	if g.crashed {
+		return ErrCrashed
+	}
+	ep := g.epoch + 1
+
+	subs, minSeq, err := g.route(events)
+	if err != nil {
+		g.crashed = true
+		return err
+	}
+	reps, err := g.replicationFor(minSeq)
+	if err != nil {
+		g.crashed = true
+		return err
+	}
+
+	for i, s := range g.shards {
+		s.repKeys = repKeySet(reps[i])
+	}
+
+	walls := make([]time.Duration, len(g.shards))
+	errs := make([]error, len(g.shards))
+	run := func(i int) {
+		t0 := time.Now()
+		batch := append(reps[i], subs[i]...)
+		errs[i] = g.shards[i].eng.ProcessEpoch(batch)
+		walls[i] = time.Since(t0)
+	}
+	if g.cfg.SerialEpochs {
+		for i := range g.shards {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range g.shards {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); run(i) }(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			g.crashed = true
+			return &ShardError{Shard: i, Err: err}
+		}
+	}
+	for i, s := range g.shards {
+		s.fedReal += len(subs[i])
+	}
+
+	t0 := time.Now()
+	if err := g.completeBarrier(ep); err != nil {
+		g.crashed = true
+		return err
+	}
+	g.stats = append(g.stats, EpochStat{
+		Epoch: ep, Events: len(events), ShardWalls: walls, BarrierWall: time.Since(t0),
+	})
+	return nil
+}
+
+// Run feeds a fixed batch list, one group epoch per batch.
+func (g *Group) Run(batches [][]types.Event) error {
+	for _, batch := range batches {
+		if err := g.ProcessEpoch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route splits the global batch into per-shard sub-batches by each
+// event's first key, and returns the epoch's minimum real sequence number
+// (the replication sequence ceiling).
+func (g *Group) route(events []types.Event) ([][]types.Event, uint64, error) {
+	subs := make([][]types.Event, len(g.shards))
+	// An empty epoch anchors replication sequences just past the highest
+	// sequence ever routed (no real events to order against).
+	minSeq := g.seqFloor
+	var route []int
+	for i, ev := range events {
+		if ev.Kind == KindReplicate {
+			return nil, 0, fmt.Errorf("shard: input event %d uses reserved kind %d", ev.Seq, KindReplicate)
+		}
+		if len(ev.Keys) == 0 {
+			return nil, 0, fmt.Errorf("shard: input event %d has no routing key", ev.Seq)
+		}
+		s := g.router.Of(ev.Keys[0])
+		subs[s] = append(subs[s], ev)
+		if g.cfg.RecordRouting {
+			route = append(route, s)
+		}
+		if i == 0 || ev.Seq < minSeq {
+			minSeq = ev.Seq
+		}
+		if ev.Seq+1 > g.seqFloor {
+			g.seqFloor = ev.Seq + 1
+		}
+	}
+	if g.cfg.RecordRouting {
+		g.routes = append(g.routes, route)
+	}
+	return subs, minSeq, nil
+}
+
+// replicationFor builds every shard's replication events for the next
+// epoch from the staged barrier deltas (or, after a group recovery, from
+// every shard's full owned partition — the conservative re-sync that
+// covers mechanism-replayed epochs whose write sets were never captured).
+func (g *Group) replicationFor(minSeq uint64) ([][]types.Event, error) {
+	reps := make([][]types.Event, len(g.shards))
+	if g.cfg.LocalReads {
+		g.fullSync = false
+		return reps, nil
+	}
+	deltas := g.lastDeltas
+	if g.fullSync {
+		deltas = make([]codec.ShardDelta, len(g.shards))
+		for i := range g.shards {
+			deltas[i] = g.fullDelta(i)
+		}
+		if err := g.persistFullSync(deltas); err != nil {
+			return nil, err
+		}
+		g.fullSync = false
+		g.lastDeltas = deltas
+	}
+	if deltas == nil {
+		return reps, nil
+	}
+	for i := range g.shards {
+		ev, err := buildReplication(i, deltas, minSeq)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = ev
+	}
+	return reps, nil
+}
+
+// completeBarrier runs the barrier step of epoch ep: verify write
+// locality, extract per-shard deltas, append the frontier record, advance
+// the group epoch, and stage the deltas for the next epoch's replication.
+func (g *Group) completeBarrier(ep uint64) error {
+	deltas := make([]codec.ShardDelta, len(g.shards))
+	for i, s := range g.shards {
+		if g.cfg.LocalReads {
+			// No replication, so no delta extraction — but write locality
+			// is still the contract, and still checked.
+			for _, k := range s.writeSet {
+				if s.writeSetEpoch == ep && g.router.Of(k) != i {
+					return fmt.Errorf("shard: write-locality violation: shard %d wrote %v owned by shard %d (application %q is not write-local)",
+						i, k, g.router.Of(k), g.cfg.App.Name())
+				}
+			}
+			continue
+		}
+		if s.writeSetEpoch != ep {
+			// The shard reached ep without executing it through the live
+			// pipeline (a heal whose mechanism replayed the epoch): its
+			// exact write set is unknown, so publish the full owned
+			// partition — replication writes authoritative values, so
+			// over-publishing is deterministic and harmless.
+			deltas[i] = g.fullDelta(i)
+			continue
+		}
+		m := make(map[types.Key]types.Value, len(s.writeSet))
+		for _, k := range s.writeSet {
+			if owner := g.router.Of(k); owner != i {
+				if s.repKeys[k] {
+					continue // replica refresh, not an application write
+				}
+				return fmt.Errorf("shard: write-locality violation: shard %d wrote %v owned by shard %d (application %q is not write-local)",
+					i, k, owner, g.cfg.App.Name())
+			}
+			m[k] = s.eng.Store().Get(k)
+		}
+		deltas[i] = sortedDelta(m)
+	}
+	payload := codec.EncodeShardDeltas(deltas)
+	if err := g.coord.Append(LogFrontier, storage.Record{Epoch: ep, Payload: payload}); err != nil {
+		return fmt.Errorf("shard: frontier record epoch %d: %w", ep, err)
+	}
+	g.lastDeltas = deltas
+	g.epoch = ep
+	if reg := g.cfg.Obs.Registry(); reg != nil {
+		reg.Counter("group.barriers").Inc()
+		reg.Gauge("group.epoch").Set(int64(ep))
+	}
+	return nil
+}
+
+// repKeySet collects the keys carried by a shard's replication events.
+func repKeySet(reps []types.Event) map[types.Key]bool {
+	if len(reps) == 0 {
+		return nil
+	}
+	set := make(map[types.Key]bool)
+	for _, ev := range reps {
+		for _, k := range ev.Keys {
+			set[k] = true
+		}
+	}
+	return set
+}
+
+// fullDelta is shard i's entire owned key space with current values — the
+// conservative replication payload used when an exact write set is
+// unavailable. Specs iterate in table order so the delta is canonical.
+func (g *Group) fullDelta(i int) codec.ShardDelta {
+	specs := append([]types.TableSpec(nil), g.app.Tables()...)
+	sort.Slice(specs, func(a, b int) bool { return specs[a].ID < specs[b].ID })
+	var d codec.ShardDelta
+	st := g.shards[i].eng.Store()
+	for _, sp := range specs {
+		lo, hi := g.router.RowsIn(sp.ID, i)
+		for row := lo; row < hi; row++ {
+			k := types.Key{Table: sp.ID, Row: row}
+			d.Keys = append(d.Keys, k)
+			d.Vals = append(d.Vals, st.Get(k))
+		}
+	}
+	return d
+}
+
+// Crash models a group-wide stoppage: every shard engine crashes and only
+// the devices (and the coordinator's frontier log) survive.
+func (g *Group) Crash() {
+	g.crashed = true
+	for _, s := range g.shards {
+		s.eng.Crash()
+	}
+}
+
+// Epoch returns the number of group epochs completed (all shards aligned
+// at this punctuation).
+func (g *Group) Epoch() uint64 { return g.epoch }
+
+// Shards returns the shard fan-out.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Engine exposes shard i's engine for inspection and tests.
+func (g *Group) Engine(i int) *engine.Engine { return g.shards[i].eng }
+
+// Router exposes the key→shard map.
+func (g *Group) Router() *partition.Ranges { return g.router }
+
+// App returns the replication-wrapped application every shard runs.
+func (g *Group) App() *App { return g.app }
+
+// Health returns the group's incident log (shard heals).
+func (g *Group) Health() *metrics.Health { return g.cfg.Health }
+
+// FedReal returns how many application events have been routed to shard i
+// (replication events excluded).
+func (g *Group) FedReal(i int) int { return g.shards[i].fedReal }
+
+// DeliveredUnion returns every output shard i has released downstream
+// across all of its incarnations (heals bank the abandoned engine's
+// ledger), replication acknowledgements included.
+func (g *Group) DeliveredUnion(i int) []types.Output {
+	s := g.shards[i]
+	out := append([]types.Output(nil), s.banked...)
+	return append(out, s.eng.Delivered()...)
+}
+
+// CommittedVector returns each shard's punctuation frontier — the highest
+// epoch whose commit marker fired.
+func (g *Group) CommittedVector() []uint64 {
+	v := make([]uint64, len(g.shards))
+	for i, s := range g.shards {
+		v[i] = s.eng.CommittedEpoch()
+	}
+	return v
+}
+
+// EpochStats returns the per-epoch timing records.
+func (g *Group) EpochStats() []EpochStat { return g.stats }
+
+// RouteLog returns the routed-event transcript (RecordRouting only):
+// entry [e][j] is the shard of the e+1-th epoch's j-th event.
+func (g *Group) RouteLog() [][]int { return g.routes }
+
+// FrontierRecords reads the coordinator's durable frontier log.
+func (g *Group) FrontierRecords() ([]storage.Record, error) {
+	return g.coord.ReadLog(LogFrontier)
+}

@@ -1,0 +1,241 @@
+package shard_test
+
+import (
+	"strings"
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// sweepShape is the compact run every shard test uses: two workers per
+// shard, commit every 2 epochs, snapshot every 4.
+func sweepShape(shards int) types.GroupShape {
+	return types.GroupShape{
+		RunShape: types.RunShape{Workers: 2, CommitEvery: 2, SnapshotEvery: 4},
+		Shards:   shards,
+	}
+}
+
+// gsRun generates a seeded Grep&Sum run: the app and the per-epoch global
+// batches both the group and its oracle consume.
+func gsRun(seed int64, epochs, epochSize int) (types.App, [][]types.Event) {
+	gen := fttest.GSGen(seed)
+	batches := make([][]types.Event, epochs)
+	for i := range batches {
+		batches[i] = workload.Batch(gen, epochSize)
+	}
+	return gen.App(), batches
+}
+
+func realPending(g *shard.Group, s int) int {
+	return g.Engine(s).PendingOutputsMatching(func(o types.Output) bool { return !shard.IsReplication(o) })
+}
+
+// verifyAgainstOracle checks every shard's state, routing counters, and
+// exactly-once application outputs at the group's current epoch.
+func verifyAgainstOracle(t *testing.T, g *shard.Group, orc *shard.GroupOracle, delivered [][]types.Output) {
+	t.Helper()
+	last := g.Epoch()
+	for s := 0; s < g.Shards(); s++ {
+		if err := orc.CheckState(s, last, g.Engine(s).Store()); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := g.FedReal(s), orc.RealEvents(s, last); got != want {
+			t.Fatalf("shard %d: routed %d real events, oracle says %d", s, got, want)
+		}
+		outs := shard.RealOutputs(delivered[s])
+		if err := orc.CheckOutputs(s, last, outs, realPending(g, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGroupMatchesOracle runs the live (no-crash) group protocol at
+// several fan-outs and checks every shard against the sharded oracle.
+func TestGroupMatchesOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		app, batches := gsRun(7, 6, 24)
+		g, err := shard.NewGroup(shard.Config{
+			GroupShape: sweepShape(n), App: app, Kind: ftapi.WAL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Run(batches); err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if got := g.Epoch(); got != 6 {
+			t.Fatalf("shards=%d: group at epoch %d, want 6", n, got)
+		}
+		for _, committed := range g.CommittedVector() {
+			if committed != 6 {
+				t.Fatalf("shards=%d: committed vector %v, want all 6", n, g.CommittedVector())
+			}
+		}
+		orc, err := shard.NewGroupOracle(app, n, batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := make([][]types.Output, n)
+		for s := 0; s < n; s++ {
+			delivered[s] = g.DeliveredUnion(s)
+		}
+		verifyAgainstOracle(t, g, orc, delivered)
+	}
+}
+
+// TestLocalReadsGroup covers the replication-free mode: a partition-local
+// Grep&Sum (MultiPartitionRatio 0, Partitions == Shards) runs with
+// LocalReads, crashes, recovers in parallel, and continues — all verified
+// against the local oracle, which skips replication exactly as the
+// coordinator does.
+func TestLocalReadsGroup(t *testing.T) {
+	const n = 4
+	p := workload.DefaultGSParams()
+	p.Seed, p.Rows, p.Theta = 19, 512, 0.2
+	p.Partitions, p.MultiPartitionRatio = n, 0
+	gen := workload.NewGS(p)
+	app := gen.App()
+	batches := make([][]types.Event, 7)
+	for i := range batches {
+		batches[i] = workload.Batch(gen, 24)
+	}
+	devs := make([]storage.Device, n)
+	for i := range devs {
+		devs[i] = storage.NewMem()
+	}
+	cfg := shard.Config{
+		GroupShape: sweepShape(n), App: app, Kind: ftapi.WAL,
+		Devices: devs, CoordDev: storage.NewMem(), LocalReads: true,
+	}
+	g, err := shard.NewGroup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(batches[:6]); err != nil {
+		t.Fatal(err)
+	}
+	precrash := make([][]types.Output, n)
+	for s := 0; s < n; s++ {
+		precrash[s] = g.DeliveredUnion(s)
+		// The coordinator must not have built a single replication event.
+		for _, o := range precrash[s] {
+			if shard.IsReplication(o) {
+				t.Fatalf("shard %d delivered replication ack %d in LocalReads mode", s, o.EventSeq)
+			}
+		}
+	}
+	g.Crash()
+
+	g2, rep, err := shard.GroupRecover(shard.RecoverConfig{
+		Config: cfg, Source: shard.BatchSource(batches),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != 6 {
+		t.Fatalf("recovered to epoch %d, want 6", rep.Target)
+	}
+	if err := g2.ProcessEpoch(batches[6]); err != nil {
+		t.Fatal(err)
+	}
+	orc, err := shard.NewLocalGroupOracle(app, n, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make([][]types.Output, n)
+	for s := 0; s < n; s++ {
+		delivered[s] = append(precrash[s], g2.DeliveredUnion(s)...)
+	}
+	verifyAgainstOracle(t, g2, orc, delivered)
+}
+
+// TestWriteLocalityViolation proves the barrier rejects applications that
+// write keys owned by other shards: StreamLedger transfers debit one
+// account and credit another, so at two shards a cross-partition transfer
+// must surface the locality error instead of silently corrupting the
+// frontier.
+func TestWriteLocalityViolation(t *testing.T) {
+	gen := fttest.SLGen(41)
+	g, err := shard.NewGroup(shard.Config{
+		GroupShape: sweepShape(2), App: gen.App(), Kind: ftapi.WAL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 6; ep++ {
+		if err := g.ProcessEpoch(workload.Batch(gen, 24)); err != nil {
+			if !strings.Contains(err.Error(), "write-locality") {
+				t.Fatalf("want write-locality violation, got: %v", err)
+			}
+			if err := g.ProcessEpoch(nil); err != shard.ErrCrashed {
+				t.Fatalf("group should be crashed after violation, got: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("no write-locality violation in 6 epochs of cross-partition transfers")
+}
+
+// TestGroupCrashRecoverContinue is the smoke version of the sharded sweep:
+// crash the whole group after a full run, recover all shards in parallel,
+// verify oracle equivalence, then keep processing and verify again.
+func TestGroupCrashRecoverContinue(t *testing.T) {
+	const n = 4
+	app, batches := gsRun(11, 7, 24)
+	pre := batches[:6]
+	devs := make([]storage.Device, n)
+	for i := range devs {
+		devs[i] = storage.NewMem()
+	}
+	cfg := shard.Config{
+		GroupShape: sweepShape(n), App: app, Kind: ftapi.CKPT,
+		Devices: devs, CoordDev: storage.NewMem(),
+	}
+	g, err := shard.NewGroup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(pre); err != nil {
+		t.Fatal(err)
+	}
+	precrash := make([][]types.Output, n)
+	for s := 0; s < n; s++ {
+		precrash[s] = g.DeliveredUnion(s)
+	}
+	g.Crash()
+	if err := g.ProcessEpoch(nil); err != shard.ErrCrashed {
+		t.Fatalf("crashed group accepted an epoch: %v", err)
+	}
+
+	g2, rep, err := shard.GroupRecover(shard.RecoverConfig{
+		Config: cfg, Source: shard.BatchSource(batches),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != 6 {
+		t.Fatalf("recovered to epoch %d, want 6", rep.Target)
+	}
+	if rep.SerialSim < rep.ParallelSim {
+		t.Fatalf("serial sim %v < parallel sim %v", rep.SerialSim, rep.ParallelSim)
+	}
+
+	orc, err := shard.NewGroupOracle(app, n, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.ProcessEpoch(batches[6]); err != nil {
+		t.Fatal(err)
+	}
+	delivered := make([][]types.Output, n)
+	for s := 0; s < n; s++ {
+		delivered[s] = append(precrash[s], g2.DeliveredUnion(s)...)
+	}
+	verifyAgainstOracle(t, g2, orc, delivered)
+}

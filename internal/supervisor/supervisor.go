@@ -297,6 +297,12 @@ type failure struct {
 	detection  time.Duration
 }
 
+// Classify maps a surfaced engine error to its incident cause label
+// ("panic", "poisoned", "io-transient-exhausted", or "io-fatal"). The
+// shard coordinator's per-shard heal shares the supervisor's taxonomy so
+// incident logs read identically whether one engine or one shard died.
+func Classify(err error) string { return classify(err) }
+
 // classify maps a surfaced engine error to its incident cause.
 func classify(err error) string {
 	switch {

@@ -61,6 +61,28 @@ func (s *RunShape) Normalize() error {
 // "caller chose nothing" from "caller chose the defaults".
 func (s RunShape) IsZero() bool { return s == RunShape{} }
 
+// GroupShape is RunShape lifted to a sharded deployment: the per-shard
+// engine knobs plus the shard fan-out. The shard coordinator
+// (internal/shard), the sharded crash-point sweep, and cmd/shardbench all
+// embed it instead of re-declaring a Shards field next to a RunShape.
+type GroupShape struct {
+	// RunShape configures every shard's engine identically; punctuation
+	// alignment across shards requires equal CommitEvery/SnapshotEvery, so
+	// the group shape deliberately has one RunShape, not one per shard.
+	RunShape
+	// Shards is the engine fan-out. Zero means 1 (an unsharded group,
+	// which behaves exactly like a single engine plus a coordinator).
+	Shards int
+}
+
+// Normalize applies the zero-value defaults of both layers in place.
+func (s *GroupShape) Normalize() error {
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	return s.RunShape.Normalize()
+}
+
 // NormalizeWorkers is the worker-count half of the zero-value rule for
 // callers that only deal in parallelism (scheduler.Options). Zero or
 // negative means 1, the same rule Normalize applies.

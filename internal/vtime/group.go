@@ -1,0 +1,59 @@
+package vtime
+
+import "time"
+
+// GroupProfile rolls the per-shard recovery profiles of a shard group into
+// one group-level virtual timeline. Shards recover concurrently, so the
+// group's parallel recovery length is the slowest shard's timeline while
+// the serial baseline (one shard after another, as a single-engine deploy
+// would have to) is the sum — their ratio is the parallel recovery
+// speedup reported next to the per-shard breakdowns.
+type GroupProfile struct {
+	// Shards are the per-shard profiles, in shard order.
+	Shards []Profile `json:"shards"`
+	// Serial is the summed timeline (one-at-a-time recovery); Parallel is
+	// the max timeline (all shards at once).
+	Serial   time.Duration `json:"serial_ns"`
+	Parallel time.Duration `json:"parallel_ns"`
+	// Work is the total virtual work across shards; CritPath the longest
+	// single-shard critical path — the floor no amount of shard
+	// parallelism can beat.
+	Work     time.Duration `json:"work_ns"`
+	CritPath time.Duration `json:"critical_path_ns"`
+}
+
+// RollupGroup combines per-shard recovery profiles.
+func RollupGroup(shards []Profile) GroupProfile {
+	g := GroupProfile{Shards: shards}
+	for _, p := range shards {
+		g.Serial += p.Timeline
+		g.Work += p.Work
+		if p.Timeline > g.Parallel {
+			g.Parallel = p.Timeline
+		}
+		if p.CritPath > g.CritPath {
+			g.CritPath = p.CritPath
+		}
+	}
+	return g
+}
+
+// Speedup is Serial / Parallel — the factor shard-parallel recovery gains
+// over recovering the same shards one at a time.
+func (g *GroupProfile) Speedup() float64 {
+	if g.Parallel <= 0 {
+		return 0
+	}
+	return float64(g.Serial) / float64(g.Parallel)
+}
+
+// Balance is the mean shard timeline over the max — 1.0 when every shard
+// recovers in the same virtual time, approaching 1/N when one shard
+// dominates (the straggler that bounds group recovery).
+func (g *GroupProfile) Balance() float64 {
+	if g.Parallel <= 0 || len(g.Shards) == 0 {
+		return 0
+	}
+	mean := float64(g.Serial) / float64(len(g.Shards))
+	return mean / float64(g.Parallel)
+}

@@ -1,0 +1,45 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRollupGroup pins the group rollup arithmetic: serial is the summed
+// timeline, parallel the max, speedup their ratio, and balance mean/max.
+func TestRollupGroup(t *testing.T) {
+	shards := []Profile{
+		{Timeline: 4 * time.Millisecond, Work: 3 * time.Millisecond, CritPath: 1 * time.Millisecond},
+		{Timeline: 2 * time.Millisecond, Work: 2 * time.Millisecond, CritPath: 2 * time.Millisecond},
+		{Timeline: 2 * time.Millisecond, Work: 1 * time.Millisecond, CritPath: 1 * time.Millisecond},
+	}
+	g := RollupGroup(shards)
+	if g.Serial != 8*time.Millisecond {
+		t.Errorf("serial %v, want 8ms", g.Serial)
+	}
+	if g.Parallel != 4*time.Millisecond {
+		t.Errorf("parallel %v, want 4ms", g.Parallel)
+	}
+	if g.Work != 6*time.Millisecond {
+		t.Errorf("work %v, want 6ms", g.Work)
+	}
+	if g.CritPath != 2*time.Millisecond {
+		t.Errorf("critical path %v, want 2ms", g.CritPath)
+	}
+	if got, want := g.Speedup(), 2.0; got != want {
+		t.Errorf("speedup %v, want %v", got, want)
+	}
+	// mean = 8/3 ms, max = 4 ms.
+	if got, want := g.Balance(), 8.0/3.0/4.0; got != want {
+		t.Errorf("balance %v, want %v", got, want)
+	}
+}
+
+// TestRollupGroupEmpty pins the degenerate cases: no shards, and a
+// zero-length parallel timeline.
+func TestRollupGroupEmpty(t *testing.T) {
+	g := RollupGroup(nil)
+	if g.Speedup() != 0 || g.Balance() != 0 {
+		t.Errorf("empty rollup: speedup %v balance %v, want 0, 0", g.Speedup(), g.Balance())
+	}
+}

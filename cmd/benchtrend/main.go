@@ -239,6 +239,23 @@ func summarizeScheduler(doc map[string]any) map[string]any {
 	for _, impl := range impls {
 		out["max_ops_per_sec_"+impl] = best[impl]
 	}
+	// Adaptive section: the controller-vs-best-static ratio per trajectory,
+	// the headline of the adaptive scheduling bench.
+	for _, s := range entries(doc, "adaptive_summary") {
+		if ratio, ok := num(s, "adaptive_over_best_static"); ok {
+			out["adaptive_over_best_"+str(s, "trajectory")] = ratio
+		}
+	}
+	// Alloc section: the arena pass's worst (smallest) bytes reduction.
+	worst, haveAlloc := 0.0, false
+	for _, s := range entries(doc, "alloc_summary") {
+		if red, ok := num(s, "bytes_reduction"); ok && (!haveAlloc || red < worst) {
+			worst, haveAlloc = red, true
+		}
+	}
+	if haveAlloc {
+		out["min_alloc_bytes_reduction"] = worst
+	}
 	return out
 }
 

@@ -24,8 +24,10 @@ import (
 	"runtime"
 	"testing"
 
+	"morphstreamr/internal/codec"
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/schedbench"
+	"morphstreamr/internal/workload"
 )
 
 // Entry is one measured cell of the grid.
@@ -53,6 +55,50 @@ type Speedup struct {
 	Bytes float64 `json:"bytes_chanref_over_steal"`
 }
 
+// AdaptiveEntry is one measured trajectory run of the adaptive section:
+// a fresh multi-epoch stream executed end to end by one strategy mode —
+// a fixed static worker count, or the adaptive controller.
+type AdaptiveEntry struct {
+	Trajectory string `json:"trajectory"`
+	// Mode is "static-wN" or "adaptive".
+	Mode      string  `json:"mode"`
+	Epochs    int     `json:"epochs"`
+	NsTotal   float64 `json:"ns_total"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Morphs counts controller decisions (adaptive mode only).
+	Morphs int `json:"morphs,omitempty"`
+}
+
+// AdaptiveSummary ratios the adaptive controller against the best static
+// worker count on one trajectory. The committed gates: on steady
+// trajectories the ratio must stay >= 0.97 (adaptivity is nearly free when
+// there is nothing to adapt to), and on the phase-shifting trajectory it
+// must reach >= 1.15 (adaptivity pays when no static choice is right).
+type AdaptiveSummary struct {
+	Trajectory string `json:"trajectory"`
+	BestStatic string `json:"best_static"`
+	// AdaptiveOverBest is adaptive ops/s over best-static ops/s.
+	AdaptiveOverBest float64 `json:"adaptive_over_best_static"`
+}
+
+// AllocEntry is one measured cell of the allocation section: an encode
+// hot path run either "fresh" (allocate the payload per call, the
+// pre-arena behaviour) or "arena" (encode into a pooled buffer, the seal
+// path's behaviour since the arena pass).
+type AllocEntry struct {
+	Path        string `json:"path"`
+	Mode        string `json:"mode"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// AllocSummary is the committed record of the arena pass on one path:
+// BytesReduction = 1 - arena/fresh allocated bytes per op, gated >= 0.20.
+type AllocSummary struct {
+	Path           string  `json:"path"`
+	BytesReduction float64 `json:"bytes_reduction"`
+}
+
 // BaselineCell compares one steal cell against the same cell of a prior
 // report — the observability layer's hot-path overhead record: with
 // tracing off, after/before must stay within noise of 1.0.
@@ -75,14 +121,18 @@ type Baseline struct {
 
 // Report is the file layout of BENCH_scheduler.json.
 type Report struct {
-	GoVersion   string    `json:"go_version"`
-	GOMAXPROCS  int       `json:"gomaxprocs"`
-	NumCPU      int       `json:"num_cpu"`
-	EpochEvents int       `json:"epoch_events"`
-	Note        string    `json:"note"`
-	Entries     []Entry   `json:"entries"`
-	Speedups    []Speedup `json:"speedups"`
-	Baseline    *Baseline `json:"baseline,omitempty"`
+	GoVersion       string            `json:"go_version"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	NumCPU          int               `json:"num_cpu"`
+	EpochEvents     int               `json:"epoch_events"`
+	Note            string            `json:"note"`
+	Entries         []Entry           `json:"entries"`
+	Speedups        []Speedup         `json:"speedups"`
+	Adaptive        []AdaptiveEntry   `json:"adaptive,omitempty"`
+	AdaptiveSummary []AdaptiveSummary `json:"adaptive_summary,omitempty"`
+	Alloc           []AllocEntry      `json:"alloc,omitempty"`
+	AllocSummary    []AllocSummary    `json:"alloc_summary,omitempty"`
+	Baseline        *Baseline         `json:"baseline,omitempty"`
 }
 
 // measure benchmarks one grid cell, keeping the fastest of repeat samples:
@@ -121,6 +171,85 @@ func measure(wl schedbench.Workload, impl string, workers, repeat int, o *obs.Ob
 		OpsPerSec:      float64(numOps) * 1e9 / nsPerEpoch,
 		AllocsPerEpoch: res.AllocsPerOp(),
 		BytesPerEpoch:  res.AllocedBytesPerOp(),
+	}
+}
+
+// measureTrajectory runs one trajectory/mode cell, keeping the fastest of
+// repeat samples (same minimum-as-estimate rationale as measure).
+func measureTrajectory(tr schedbench.Trajectory, mode string, repeat int,
+	run func() (schedbench.TrajectoryResult, error)) (AdaptiveEntry, error) {
+	var best schedbench.TrajectoryResult
+	for s := 0; s < repeat; s++ {
+		r, err := run()
+		if err != nil {
+			return AdaptiveEntry{}, err
+		}
+		if s == 0 || r.Wall < best.Wall {
+			best = r
+		}
+	}
+	ns := float64(best.Wall.Nanoseconds())
+	return AdaptiveEntry{
+		Trajectory: tr.Name,
+		Mode:       mode,
+		Epochs:     tr.Epochs,
+		NsTotal:    ns,
+		OpsPerSec:  float64(best.Ops) * 1e9 / ns,
+		Morphs:     best.Morphs,
+	}, nil
+}
+
+// measureAlloc benchmarks one encode-path mode; bytes and allocs are the
+// quantities of record (they are deterministic), the wall time is not kept.
+func measureAlloc(path, mode string, fn func()) AllocEntry {
+	fn() // warm the buffer pool so the arena numbers are steady-state
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return AllocEntry{
+		Path:        path,
+		Mode:        mode,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// allocProbes builds the encode hot-path fresh/arena pairs from one
+// epoch-sized event batch.
+func allocProbes() []struct {
+	Path         string
+	Fresh, Arena func()
+} {
+	events := workload.Batch(workload.NewGS(workload.DefaultGSParams()), schedbench.EpochEvents)
+	recs := make([]codec.WALRecord, len(events))
+	for i, ev := range events {
+		recs[i] = codec.WALRecord{Event: ev}
+	}
+	return []struct {
+		Path         string
+		Fresh, Arena func()
+	}{
+		{
+			Path:  "codec.EncodeEvents",
+			Fresh: func() { codec.EncodeEvents(events) },
+			Arena: func() {
+				w := codec.GetBuffer()
+				codec.EncodeEventsInto(w, events)
+				codec.PutBuffer(w)
+			},
+		},
+		{
+			Path:  "codec.EncodeWAL",
+			Fresh: func() { codec.EncodeWAL(recs) },
+			Arena: func() {
+				w := codec.GetBuffer()
+				codec.EncodeWALInto(w, recs)
+				codec.PutBuffer(w)
+			},
+		},
 	}
 }
 
@@ -205,7 +334,11 @@ func main() {
 			"isolate scheduling cost from graph construction. chanref is " +
 			"the seed channel-based scheduler preserved in " +
 			"internal/scheduler/chanref.go; steal is the work-stealing " +
-			"scheduler on the production path. The baseline section, when " +
+			"scheduler on the production path. The adaptive section runs " +
+			"whole multi-epoch trajectories (fresh graphs per epoch) and " +
+			"ratios the adaptive controller against the best static worker " +
+			"count; the alloc section records the arena pass's fresh vs " +
+			"pooled-buffer encode cost. The baseline section, when " +
 			"present, ratios steal cells against a prior report — the " +
 			"observability layer's tracing-off overhead record.",
 	}
@@ -244,6 +377,66 @@ func main() {
 			}
 			rep.Speedups = append(rep.Speedups, sp)
 		}
+	}
+
+	// Adaptive section: whole trajectories, static grid vs controller.
+	trajectories := schedbench.Trajectories()
+	if *quick {
+		// CI smoke keeps the trajectory that actually exercises morphing.
+		for _, tr := range trajectories {
+			if tr.Name == "GS-phased" {
+				trajectories = []schedbench.Trajectory{tr}
+				break
+			}
+		}
+	}
+	maxWorkers := workers[len(workers)-1]
+	for _, tr := range trajectories {
+		bestStatic := AdaptiveEntry{}
+		for _, w := range workers {
+			w := w
+			e, err := measureTrajectory(tr, fmt.Sprintf("static-w%d", w), *repeat,
+				func() (schedbench.TrajectoryResult, error) { return schedbench.RunTrajectoryStatic(tr, w) })
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "schedbench: adaptive:", err)
+				os.Exit(1)
+			}
+			rep.Adaptive = append(rep.Adaptive, e)
+			if e.OpsPerSec > bestStatic.OpsPerSec {
+				bestStatic = e
+			}
+			fmt.Fprintf(os.Stderr, "%-18s %-10s: %8.2f ms, %.2f Mops/s\n",
+				tr.Name, e.Mode, e.NsTotal/1e6, e.OpsPerSec/1e6)
+		}
+		e, err := measureTrajectory(tr, "adaptive", *repeat,
+			func() (schedbench.TrajectoryResult, error) { return schedbench.RunTrajectoryAdaptive(tr, maxWorkers) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench: adaptive:", err)
+			os.Exit(1)
+		}
+		rep.Adaptive = append(rep.Adaptive, e)
+		sum := AdaptiveSummary{
+			Trajectory:       tr.Name,
+			BestStatic:       bestStatic.Mode,
+			AdaptiveOverBest: e.OpsPerSec / bestStatic.OpsPerSec,
+		}
+		rep.AdaptiveSummary = append(rep.AdaptiveSummary, sum)
+		fmt.Fprintf(os.Stderr, "%-18s %-10s: %8.2f ms, %.2f Mops/s, %d morphs (x%.2f of best static %s)\n",
+			tr.Name, e.Mode, e.NsTotal/1e6, e.OpsPerSec/1e6, e.Morphs, sum.AdaptiveOverBest, sum.BestStatic)
+	}
+
+	// Allocation section: the arena pass's before/after on encode paths.
+	for _, p := range allocProbes() {
+		fresh := measureAlloc(p.Path, "fresh", p.Fresh)
+		arena := measureAlloc(p.Path, "arena", p.Arena)
+		rep.Alloc = append(rep.Alloc, fresh, arena)
+		sum := AllocSummary{Path: p.Path}
+		if fresh.BytesPerOp > 0 {
+			sum.BytesReduction = 1 - float64(arena.BytesPerOp)/float64(fresh.BytesPerOp)
+		}
+		rep.AllocSummary = append(rep.AllocSummary, sum)
+		fmt.Fprintf(os.Stderr, "%-20s fresh %d B/op %d allocs/op -> arena %d B/op %d allocs/op (-%.0f%% bytes)\n",
+			p.Path, fresh.BytesPerOp, fresh.AllocsPerOp, arena.BytesPerOp, arena.AllocsPerOp, sum.BytesReduction*100)
 	}
 
 	if *baselinePath != "" {

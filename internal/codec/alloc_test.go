@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"testing"
+
+	"morphstreamr/internal/types"
+)
+
+// Allocation regression pins for the encode/decode hot paths. The Into
+// variants exist so the seal and persist paths can reuse one grown buffer
+// per call site; these tests pin that contract so a refactor cannot
+// silently reintroduce per-epoch payload allocations.
+
+func allocEvents(n int) []types.Event {
+	events := make([]types.Event, n)
+	for i := range events {
+		events[i] = types.Event{
+			Seq:  uint64(i + 1),
+			Kind: types.EventKind(1),
+			Keys: []types.Key{{Table: 0, Row: uint32(i % 64)}, {Table: 1, Row: uint32(i % 17)}},
+			Vals: []types.Value{int64(i), -int64(i)},
+		}
+	}
+	return events
+}
+
+// TestEncodeIntoAllocFree: once the reused buffer has grown, encoding a
+// batch of events, WAL records, or a snapshot into it allocates nothing.
+func TestEncodeIntoAllocFree(t *testing.T) {
+	events := allocEvents(256)
+	recs := make([]WALRecord, len(events))
+	for i, ev := range events {
+		recs[i] = WALRecord{Event: ev}
+	}
+	vals := make([]types.Value, 1024)
+	for i := range vals {
+		vals[i] = int64(i % 13)
+	}
+	tables := []SnapshotTable{{ID: 0, Init: 5, Vals: vals}}
+
+	cases := []struct {
+		name   string
+		encode func(w *Buffer)
+	}{
+		{"events", func(w *Buffer) { EncodeEventsInto(w, events) }},
+		{"wal", func(w *Buffer) { EncodeWALInto(w, recs) }},
+		{"snapshot", func(w *Buffer) { EncodeSnapshotInto(w, tables) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewBuffer(0)
+			tc.encode(w) // warm: grow the buffer once
+			if got := testing.AllocsPerRun(100, func() {
+				w.Reset()
+				tc.encode(w)
+			}); got != 0 {
+				t.Fatalf("encode %s into warm buffer: %.1f allocs/op, want 0", tc.name, got)
+			}
+		})
+	}
+}
+
+// TestPooledEncodeAllocFree: the GetBuffer/PutBuffer cycle itself is
+// allocation-free at steady state — the pattern every seal path uses via
+// ftapi.GroupCommitter.SealInto.
+func TestPooledEncodeAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector makes sync.Pool drop items on purpose; the steady-state pin only holds without it")
+	}
+	events := allocEvents(256)
+	// Warm the pool with one grown buffer.
+	w := GetBuffer()
+	EncodeEventsInto(w, events)
+	PutBuffer(w)
+	got := testing.AllocsPerRun(100, func() {
+		w := GetBuffer()
+		EncodeEventsInto(w, events)
+		PutBuffer(w)
+	})
+	// sync.Pool may shed its buffer across a GC cycle; allow a stray grow
+	// but fail on per-call allocation.
+	if got >= 1 {
+		t.Fatalf("pooled encode cycle: %.1f allocs/op, want < 1", got)
+	}
+}
+
+// TestDecodeEventsAllocBound: decoding necessarily materialises the output
+// (slices per event), but must stay at that floor — two allocations per
+// event (Keys, Vals) plus constant framing overhead.
+func TestDecodeEventsAllocBound(t *testing.T) {
+	events := allocEvents(256)
+	payload := EncodeEvents(events)
+	got := testing.AllocsPerRun(50, func() {
+		if _, err := DecodeEvents(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bound := float64(2*len(events) + 8)
+	if got > bound {
+		t.Fatalf("decode: %.1f allocs/op, want <= %.0f (2/event + framing)", got, bound)
+	}
+}

@@ -15,12 +15,37 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"morphstreamr/internal/types"
 )
 
 // ErrShortBuffer is returned when a decoder runs out of input mid-record.
 var ErrShortBuffer = errors.New("codec: short buffer")
+
+// bufPool recycles encode buffers across epochs. Every storage.Device
+// implementation copies record payloads on Append/WriteBlob (the documented
+// contract — see storage.Mem), so an encode buffer may return to the pool
+// the moment its durable write completes; steady-state encoding then
+// allocates nothing once the pooled buffers have grown to the workload's
+// payload sizes.
+var bufPool = sync.Pool{New: func() any { return &Buffer{b: make([]byte, 0, 1024)} }}
+
+// GetBuffer returns a reset pooled encode buffer. Pair with PutBuffer once
+// the encoded bytes have been handed off (written to a device, or copied).
+func GetBuffer() *Buffer {
+	w := bufPool.Get().(*Buffer)
+	w.Reset()
+	return w
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must not
+// touch the buffer — or any slice returned by its Bytes — afterwards.
+func PutBuffer(w *Buffer) {
+	if w != nil {
+		bufPool.Put(w)
+	}
+}
 
 // Buffer is an append-only encoder.
 type Buffer struct {
@@ -169,11 +194,19 @@ func (r *Reader) Event() types.Event {
 // EncodeEvents frames a batch of events: count followed by each event.
 func EncodeEvents(events []types.Event) []byte {
 	w := NewBuffer(16 + 24*len(events))
+	EncodeEventsInto(w, events)
+	return w.Bytes()
+}
+
+// EncodeEventsInto appends the EncodeEvents framing to w — the arena-reuse
+// variant of the input-persistence hot path: the engine encodes every
+// epoch's input batch into one persistent buffer instead of allocating a
+// fresh slice per epoch.
+func EncodeEventsInto(w *Buffer, events []types.Event) {
 	w.Uvarint(uint64(len(events)))
 	for _, ev := range events {
 		w.Event(ev)
 	}
-	return w.Bytes()
 }
 
 // DecodeEvents parses a batch encoded by EncodeEvents.
@@ -200,6 +233,13 @@ func DecodeEvents(b []byte) ([]types.Event, error) {
 // mostly-untouched-records case well under varint coding.
 func EncodeSnapshot(tables []SnapshotTable) []byte {
 	w := NewBuffer(1024)
+	EncodeSnapshotInto(w, tables)
+	return w.Bytes()
+}
+
+// EncodeSnapshotInto appends the EncodeSnapshot framing to w, letting the
+// engine's snapshot writer reuse one buffer across snapshot markers.
+func EncodeSnapshotInto(w *Buffer, tables []SnapshotTable) {
 	w.Uvarint(uint64(len(tables)))
 	for _, t := range tables {
 		w.Byte(byte(t.ID))
@@ -209,7 +249,6 @@ func EncodeSnapshot(tables []SnapshotTable) []byte {
 			w.Varint(v - t.Init)
 		}
 	}
-	return w.Bytes()
 }
 
 // SnapshotTable is the codec-level view of one table snapshot.

@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether the race detector instruments this build;
+// pins that depend on sync.Pool retention consult it (the detector drops
+// pool items on purpose to expose reuse races).
+const raceEnabled = true

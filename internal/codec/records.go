@@ -20,11 +20,19 @@ type WALRecord struct {
 // EncodeWAL frames a batch of command records.
 func EncodeWAL(recs []WALRecord) []byte {
 	w := NewBuffer(16 + 24*len(recs))
+	EncodeWALInto(w, recs)
+	return w.Bytes()
+}
+
+// EncodeWALInto appends the EncodeWAL framing to w. The Into variants are
+// the seal-path arena pass: mechanisms encode each epoch into a pooled
+// buffer owned by their GroupCommitter (see ftapi.GroupCommitter.SealInto)
+// instead of allocating a fresh payload per epoch.
+func EncodeWALInto(w *Buffer, recs []WALRecord) {
 	w.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
 		w.Event(rec.Event)
 	}
-	return w.Bytes()
 }
 
 // DecodeWAL parses EncodeWAL output.
@@ -62,6 +70,12 @@ type DLRecord struct {
 // delta-encoded, exploiting their sorted order.
 func EncodeDL(recs []DLRecord) []byte {
 	w := NewBuffer(16 + 32*len(recs))
+	EncodeDLInto(w, recs)
+	return w.Bytes()
+}
+
+// EncodeDLInto appends the EncodeDL framing to w (see EncodeWALInto).
+func EncodeDLInto(w *Buffer, recs []DLRecord) {
 	w.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
 		w.Event(rec.Event)
@@ -72,7 +86,6 @@ func EncodeDL(recs []DLRecord) []byte {
 			prev = id
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeDL parses EncodeDL output.
@@ -117,6 +130,12 @@ type LVRecord struct {
 // EncodeLV frames a batch of LSN-vector records.
 func EncodeLV(recs []LVRecord) []byte {
 	w := NewBuffer(16 + 48*len(recs))
+	EncodeLVInto(w, recs)
+	return w.Bytes()
+}
+
+// EncodeLVInto appends the EncodeLV framing to w (see EncodeWALInto).
+func EncodeLVInto(w *Buffer, recs []LVRecord) {
 	w.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
 		w.Event(rec.Event)
@@ -127,7 +146,6 @@ func EncodeLV(recs []LVRecord) []byte {
 			w.Uvarint(v)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeLV parses EncodeLV output.
@@ -192,6 +210,12 @@ type MSRViews struct {
 // EncodeMSR frames one epoch's views. Abort IDs are delta-encoded.
 func EncodeMSR(v MSRViews) []byte {
 	w := NewBuffer(32 + 8*len(v.Aborted) + 24*len(v.Parametric) + 8*len(v.Groups))
+	EncodeMSRInto(w, v)
+	return w.Bytes()
+}
+
+// EncodeMSRInto appends the EncodeMSR framing to w (see EncodeWALInto).
+func EncodeMSRInto(w *Buffer, v MSRViews) {
 	w.Uvarint(uint64(len(v.Aborted)))
 	prev := uint64(0)
 	for _, id := range v.Aborted {
@@ -210,7 +234,6 @@ func EncodeMSR(v MSRViews) []byte {
 		w.Key(e.Key)
 		w.Byte(e.Group)
 	}
-	return w.Bytes()
 }
 
 // DecodeMSR parses EncodeMSR output.

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"morphstreamr/internal/adaptive"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// transcript renders the full durable content of a Mem device — every log
+// record and blob, in order — so two runs can be compared byte-for-byte.
+func transcript(t *testing.T, dev *storage.Mem) string {
+	t.Helper()
+	var b strings.Builder
+	for _, log := range []string{storage.LogInput, storage.LogFT} {
+		recs, err := dev.ReadLog(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			fmt.Fprintf(&b, "%s@%d:%x\n", log, r.Epoch, r.Payload)
+		}
+	}
+	for _, blob := range []string{storage.BlobSnapshot, storage.BlobMeta} {
+		if p, ok, err := dev.ReadBlob(blob); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			fmt.Fprintf(&b, "%s:%x\n", blob, p)
+		}
+	}
+	return b.String()
+}
+
+// adaptiveEngine builds a WAL engine over a fresh Mem device with the given
+// adaptive settings, processes epochs, and returns it with its device.
+func adaptiveEngine(t *testing.T, shape types.RunShape, budget int64, force *adaptive.Strategy, epochs, epochSize int) (*Engine, *storage.Mem) {
+	t.Helper()
+	gen := slGen(42)
+	dev := storage.NewMem()
+	e := newEngine(t, ftapi.WAL, gen, dev, shape.CommitEvery, shape.SnapshotEvery)
+	e.cfg.RunShape = shape
+	// Rebuild through the public constructor so the adaptive wiring runs.
+	cfg := e.cfg
+	cfg.AdaptiveBudget = budget
+	cfg.AdaptiveForce = force
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e2.Close)
+	for i := 0; i < epochs; i++ {
+		if err := e2.ProcessEpoch(workload.Batch(gen, epochSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e2, dev
+}
+
+// TestAdaptiveDurableTranscriptPin: with commit morphing off (zero budget),
+// an adaptive run's durable write sequence is byte-identical to the static
+// run of the same shape — whatever strategies the controller morphed
+// through, the sealed records, group commits, and snapshots must not
+// betray it. This is the invariant that lets adaptivity coexist with
+// crash recovery unchanged.
+func TestAdaptiveDurableTranscriptPin(t *testing.T) {
+	shape := types.RunShape{Workers: 4, CommitEvery: 2, SnapshotEvery: 4}
+
+	static := shape
+	gen := slGen(42)
+	devS := storage.NewMem()
+	eS := newEngine(t, ftapi.WAL, gen, devS, static.CommitEvery, static.SnapshotEvery)
+	cfgS := eS.cfg
+	cfgS.RunShape = static
+	eS, err := New(cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := eS.ProcessEpoch(workload.Batch(gen, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	adaptiveShape := shape
+	adaptiveShape.Adaptive = true
+	eA, devA := adaptiveEngine(t, adaptiveShape, 0, nil, 8, 64)
+
+	if got, want := transcript(t, devA), transcript(t, devS); got != want {
+		t.Fatalf("adaptive durable transcript diverges from static:\nadaptive:\n%s\nstatic:\n%s", got, want)
+	}
+	if !reflect.DeepEqual(eA.Delivered(), eS.Delivered()) {
+		t.Fatal("adaptive delivered outputs diverge from static")
+	}
+	if !eA.Store().Equal(eS.Store()) {
+		t.Fatalf("adaptive final state diverges from static: %v", eA.Store().Diff(eS.Store(), 5))
+	}
+}
+
+// TestAdaptiveDeterminism: two adaptive runs with commit morphing ON are
+// durably identical to each other. Strategy choices may differ run to run
+// (they react to wall-clock feedback), but the commit-granularity rule is
+// a pure function of buffered bytes — so the durable history cannot
+// flutter.
+func TestAdaptiveDeterminism(t *testing.T) {
+	shape := types.RunShape{Workers: 4, CommitEvery: 4, SnapshotEvery: 4, Adaptive: true}
+	_, dev1 := adaptiveEngine(t, shape, 1500, nil, 8, 64)
+	_, dev2 := adaptiveEngine(t, shape, 1500, nil, 8, 64)
+	if t1, t2 := transcript(t, dev1), transcript(t, dev2); t1 != t2 {
+		t.Fatalf("two adaptive runs diverge durably:\nrun1:\n%s\nrun2:\n%s", t1, t2)
+	}
+}
+
+// TestAdaptiveCommitMorph: a tiny budget forces per-epoch commits, a huge
+// budget keeps the configured interval.
+func TestAdaptiveCommitMorph(t *testing.T) {
+	shape := types.RunShape{Workers: 2, CommitEvery: 4, SnapshotEvery: 4, Adaptive: true}
+
+	tight, _ := adaptiveEngine(t, shape, 1, nil, 1, 64)
+	if got := tight.CommittedEpoch(); got != 1 {
+		t.Fatalf("tiny budget: committed epoch %d after epoch 1, want 1 (per-epoch commits)", got)
+	}
+
+	loose, _ := adaptiveEngine(t, shape, 1<<40, nil, 1, 64)
+	if got := loose.CommittedEpoch(); got != 0 {
+		t.Fatalf("huge budget: committed epoch %d after epoch 1, want 0 (configured interval)", got)
+	}
+}
+
+// TestAdaptiveForce: the override pins the controller (and the run still
+// matches the oracle-by-proxy static transcript, since strategy never
+// affects durable bytes).
+func TestAdaptiveForce(t *testing.T) {
+	shape := types.RunShape{Workers: 4, CommitEvery: 2, SnapshotEvery: 4, Adaptive: true}
+	for _, impl := range []string{adaptive.ImplSeq, adaptive.ImplChanRef, adaptive.ImplSteal} {
+		force := &adaptive.Strategy{Impl: impl, Workers: 2}
+		e, _ := adaptiveEngine(t, shape, 0, force, 4, 64)
+		if got := e.Adaptive().Current(); got != *force {
+			t.Fatalf("forced %v, controller reports %v", *force, got)
+		}
+		if n := e.Store().NumRecords(); n == 0 {
+			t.Fatalf("forced %s run left an empty store", impl)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"morphstreamr/internal/adaptive"
 	"morphstreamr/internal/codec"
 	"morphstreamr/internal/ft/ftapi"
 	"morphstreamr/internal/metrics"
@@ -78,6 +79,17 @@ type Config struct {
 	// Requires a mechanism implementing ftapi.AsyncCommitter; others fall
 	// back to synchronous commits.
 	AsyncCommit bool
+	// AdaptiveBudget, when positive and the RunShape's Adaptive knob is on,
+	// enables commit-granularity morphing: the adaptive controller targets
+	// group commits of about this many buffered log bytes, choosing a
+	// divisor of SnapshotEvery as the effective interval each epoch. Zero
+	// keeps the configured CommitEvery — the durable write sequence is then
+	// byte-identical to a non-adaptive run, which the crash-consistency
+	// suite pins.
+	AdaptiveBudget int64
+	// AdaptiveForce pins the adaptive controller to one strategy (tests and
+	// A/B measurement). Nil lets the controller decide.
+	AdaptiveForce *adaptive.Strategy
 	// Bytes receives artifact-size accounting; nil allocates a fresh one.
 	Bytes *metrics.Bytes
 	// Obs, when non-nil, receives epoch/recovery phase spans, throughput
@@ -176,6 +188,20 @@ type Engine struct {
 	// endpoint would race the commit path.
 	commDepth *obs.Gauge
 	buffered  interface{ Buffered() int }
+
+	// Adaptive execution (nil unless Config.Adaptive): ctrl observes each
+	// epoch's structure and feedback and picks the execution strategy; pool
+	// is the persistent worker fleet it resizes (created on first use);
+	// rangesBy caches chain partitions per live worker count. commSize
+	// reads the mechanism's buffered group size for commit-granularity
+	// morphing (nil when disabled or unsupported by the mechanism).
+	ctrl     *adaptive.Controller
+	pool     *scheduler.Pool
+	rangesBy map[int]*partition.Ranges
+	commSize interface {
+		Buffered() int
+		BufferedBytes() int64
+	}
 }
 
 // asyncCommit tracks one background group-commit write.
@@ -196,6 +222,23 @@ func New(cfg Config) (*Engine, error) {
 		builder:     tpg.NewBuilder(),
 	}
 	e.ranges = partition.NewRanges(cfg.App.Tables(), cfg.Workers)
+	if cfg.Adaptive {
+		e.ctrl = adaptive.New(adaptive.Config{
+			MaxWorkers:  cfg.Workers,
+			GroupBudget: cfg.AdaptiveBudget,
+			Force:       cfg.AdaptiveForce,
+			Obs:         cfg.Obs,
+		})
+		e.rangesBy = map[int]*partition.Ranges{cfg.Workers: e.ranges}
+		if cfg.AdaptiveBudget > 0 {
+			if cs, ok := cfg.Mechanism.(interface {
+				Buffered() int
+				BufferedBytes() int64
+			}); ok {
+				e.commSize = cs
+			}
+		}
+	}
 	if reg := cfg.Obs.Registry(); reg != nil {
 		e.sched = &obs.SchedStats{}
 		e.sched.Register(reg)
@@ -294,7 +337,7 @@ func (e *Engine) ProcessEpoch(events []types.Event) error {
 	start := time.Now()
 	e.epoch++
 	if err := e.processEpochAt(e.epoch, events, true, nil); err != nil {
-		e.crashed = true
+		e.markCrashed()
 		return err
 	}
 	e.totalWall += time.Since(start)
@@ -357,7 +400,12 @@ func (e *Engine) persistEpochInput(ep uint64, events []types.Event, persistInput
 		return nil
 	}
 	t0 := time.Now()
-	payload := codec.EncodeEvents(events)
+	// Pooled encode buffer: the device copies the payload on Append, so the
+	// buffer recycles as soon as the write returns.
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	codec.EncodeEventsInto(w, events)
+	payload := w.Bytes()
 	if err := e.cfg.Device.Append(storage.LogInput, storage.Record{Epoch: ep, Payload: payload}); err != nil {
 		return fmt.Errorf("engine: persist input: %w", err)
 	}
@@ -406,10 +454,13 @@ func (e *Engine) reprocessEpoch(ep uint64, events []types.Event, breakdown *metr
 	breakdown.Execute += time.Duration(len(events)) * (costs.Pipeline + costs.Postprocess)
 	prof.SpreadPhase("pipeline", time.Duration(len(events))*(costs.Pipeline+costs.Postprocess))
 
-	// Postprocessing: outputs are buffered until their release marker.
+	// Postprocessing: outputs are buffered until their release marker. One
+	// scratch view serves the whole loop (zero-copy record view — the
+	// Postprocess contract forbids retaining it).
 	outs := make([]types.Output, 0, len(txns))
+	var view types.ExecutedTxn
 	for _, tn := range g.Txns {
-		outs = append(outs, e.cfg.App.Postprocess(tn.Executed()))
+		outs = append(outs, e.cfg.App.Postprocess(tn.ExecutedInto(&view)))
 	}
 	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
 	e.procWall += time.Since(proc)
@@ -458,21 +509,28 @@ func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc
 
 	// Transaction processing phase: real parallel exploration of the graph.
 	sp := e.cfg.Obs.Begin(0, obs.CatEpoch, "execute", ep)
-	_, err := scheduler.Run(g, e.st, scheduler.Options{
-		Workers:  e.cfg.Workers,
-		Assign:   func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
-		FireHook: e.cfg.FireHook,
-		Stats:    e.sched,
-	})
+	var err error
+	if e.ctrl != nil {
+		err = e.executeAdaptive(ep, g)
+	} else {
+		_, err = scheduler.Run(g, e.st, scheduler.Options{
+			Workers:  e.cfg.Workers,
+			Assign:   func(c *tpg.Chain) int { return e.ranges.Of(c.Key) },
+			FireHook: e.cfg.FireHook,
+			Stats:    e.sched,
+		})
+	}
 	sp.End()
 	if err != nil {
 		return fmt.Errorf("engine: epoch %d: %w", ep, err)
 	}
 
-	// Postprocessing: outputs are buffered until their release marker.
+	// Postprocessing: outputs are buffered until their release marker. One
+	// scratch view serves the whole loop (see reprocessEpoch).
 	outs := make([]types.Output, 0, len(g.Txns))
+	var view types.ExecutedTxn
 	for _, tn := range g.Txns {
-		outs = append(outs, e.cfg.App.Postprocess(tn.Executed()))
+		outs = append(outs, e.cfg.App.Postprocess(tn.ExecutedInto(&view)))
 	}
 	e.pending = append(e.pending, epochOutputs{epoch: ep, outs: outs})
 	e.procWall += time.Since(proc)
@@ -486,6 +544,135 @@ func (e *Engine) finishEpoch(ep uint64, events []types.Event, g *tpg.Graph, proc
 		return nil
 	}
 	return e.sealAndMark(ep, events, g)
+}
+
+// executeAdaptive runs one epoch under the adaptive controller: the graph's
+// structural signals pick the strategy (scheduler implementation and worker
+// count), execution feedback trains the controller for later epochs, and —
+// critically — the chain owners are re-labelled to the canonical
+// Config.Workers-way partition before the mechanism seals the epoch, so the
+// durable record order never depends on what strategy happened to execute
+// the epoch. Durable artifacts of an adaptive run are byte-identical to a
+// static run's (commit-granularity morphing, off by default, is the one
+// documented exception).
+func (e *Engine) executeAdaptive(ep uint64, g *tpg.Graph) error {
+	maxChain := 0
+	for _, ch := range g.ChainList {
+		if len(ch.Ops) > maxChain {
+			maxChain = len(ch.Ops)
+		}
+	}
+	strat := e.ctrl.Decide(adaptive.Signals{
+		Epoch:    ep,
+		Ops:      g.NumOps,
+		Chains:   len(g.ChainList),
+		MaxChain: maxChain,
+		Heads:    len(g.Heads()),
+	})
+	impl := strat.Impl
+	if e.cfg.FireHook != nil && impl != adaptive.ImplSteal {
+		// The sequential and chanref paths do not run fire hooks; chaos
+		// injection and supervisor cancellation must not silently lapse, so
+		// hooked engines always execute on the (hook-aware) pool.
+		impl = adaptive.ImplSteal
+	}
+
+	var eps obs.SchedStats
+	t0 := time.Now()
+	var err error
+	switch impl {
+	case adaptive.ImplSeq:
+		_, err = scheduler.RunSequential(g, e.st, false)
+	case adaptive.ImplChanRef:
+		_, err = scheduler.RunChanRef(g, e.st, scheduler.Options{
+			Workers: strat.Workers,
+			Assign:  e.assignFor(strat.Workers),
+			Stats:   &eps,
+		})
+	default:
+		if e.pool == nil {
+			e.pool = scheduler.NewPool(e.cfg.Workers, e.sched)
+		}
+		_, err = e.pool.Run(g, e.st, scheduler.Options{
+			Workers:  strat.Workers,
+			Assign:   e.assignFor(strat.Workers),
+			FireHook: e.cfg.FireHook,
+			Stats:    &eps,
+		})
+	}
+	wall := time.Since(t0)
+
+	// Canonical re-labelling: SealEpoch orders records by chain owner, so
+	// restore the configured partition whatever the strategy assigned.
+	for _, ch := range g.ChainList {
+		ch.Owner = e.ranges.Of(ch.Key)
+	}
+	if err != nil {
+		return err
+	}
+	e.mergeSched(&eps)
+	// Feedback carries the impl that actually executed (a hook-forced pool
+	// run must not be credited to the sequential side's grain EWMA).
+	ran := strat
+	ran.Impl = impl
+	e.ctrl.Feedback(adaptive.Feedback{
+		Epoch:      ep,
+		Strategy:   ran,
+		Wall:       wall,
+		Ops:        g.NumOps,
+		Steals:     eps.Steals.Load(),
+		StealFails: eps.StealFails.Load(),
+		Parks:      eps.Parks.Load(),
+		Stalls:     eps.Stalls.Load(),
+	})
+	return nil
+}
+
+// assignFor returns the chain partitioner for a live worker count, caching
+// the range tables the controller's worker morphs alternate between.
+func (e *Engine) assignFor(w int) func(*tpg.Chain) int {
+	r, ok := e.rangesBy[w]
+	if !ok {
+		r = partition.NewRanges(e.cfg.App.Tables(), w)
+		e.rangesBy[w] = r
+	}
+	return func(c *tpg.Chain) int { return r.Of(c.Key) }
+}
+
+// mergeSched folds one adaptive epoch's scheduler counters into the
+// registry-attached block (the adaptive path needs per-epoch counters for
+// controller feedback, so it cannot hand e.sched to the scheduler
+// directly).
+func (e *Engine) mergeSched(eps *obs.SchedStats) {
+	if e.sched == nil {
+		return
+	}
+	e.sched.Steals.Add(eps.Steals.Load())
+	e.sched.StealFails.Add(eps.StealFails.Load())
+	e.sched.Parks.Add(eps.Parks.Load())
+	e.sched.Wakes.Add(eps.Wakes.Load())
+	e.sched.Stalls.Add(eps.Stalls.Load())
+	e.sched.Panics.Add(eps.Panics.Load())
+}
+
+// Adaptive exposes the engine's adaptive controller (nil unless the
+// Adaptive knob is on); tests and benchmarks read its decision trace.
+func (e *Engine) Adaptive() *adaptive.Controller { return e.ctrl }
+
+// Close releases the engine's background resources — today the adaptive
+// worker pool. It is safe on any engine and idempotent; a crashed or
+// recovered-from engine is closed automatically.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// markCrashed transitions the engine to the crashed state and releases its
+// background resources (a crashed engine never executes again).
+func (e *Engine) markCrashed() {
+	e.crashed = true
+	e.Close()
 }
 
 // sealAndMark records the epoch with the fault-tolerance mechanism and
@@ -512,7 +699,20 @@ func (e *Engine) sealAndMark(ep uint64, events []types.Event, g *tpg.Graph) erro
 	// AsyncCommit the durable write happens on a background goroutine and
 	// the outputs release when it completes (checked at the next marker or
 	// drained at snapshots); without it, both happen here.
-	if ep%uint64(e.commitEvery) == 0 {
+	//
+	// Commit-granularity morphing (adaptive, budgeted): the interval is a
+	// stateless function of the buffered group's byte size, so a recovered
+	// engine reprocessing the tail recomputes the exact pre-crash commit
+	// cadence. Every candidate divides SnapshotEvery, so a snapshot epoch
+	// always commits first.
+	interval := uint64(e.commitEvery)
+	if e.ctrl != nil && e.commSize != nil {
+		if n := e.commSize.Buffered(); n > 0 {
+			perEpoch := e.commSize.BufferedBytes() / int64(n)
+			interval = uint64(e.ctrl.CommitInterval(perEpoch, e.commitEvery, e.cfg.SnapshotEvery))
+		}
+	}
+	if ep%interval == 0 {
 		if err := e.commitMarker(ep); err != nil {
 			return fmt.Errorf("engine: epoch %d: %w", ep, err)
 		}
@@ -648,7 +848,10 @@ func (e *Engine) snapshot(ep uint64) error {
 		}()
 	}
 	t0 := time.Now()
-	payload := encodeSnapshotBlob(ep, e.st.Snapshot())
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	encodeSnapshotBlobInto(w, ep, e.st.Snapshot())
+	payload := w.Bytes()
 	if err := e.cfg.Device.WriteBlob(storage.BlobSnapshot, payload); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -683,24 +886,28 @@ func (e *Engine) snapshot(ep uint64) error {
 // inspectable (its ledger tells tests what had been delivered), but
 // rejects further processing.
 func (e *Engine) Crash() {
-	e.crashed = true
+	e.markCrashed()
 }
 
 // encodeSnapshotBlob frames a snapshot with its covering epoch, making the
 // blob self-describing: recovery learns the restart epoch from the blob
 // itself, so blob and metadata can never disagree.
 func encodeSnapshotBlob(ep uint64, snap *store.Snapshot) []byte {
+	w := codec.NewBuffer(1024)
+	encodeSnapshotBlobInto(w, ep, snap)
+	return w.Bytes()
+}
+
+// encodeSnapshotBlobInto appends the encodeSnapshotBlob framing to w — the
+// snapshot writer's arena pass (the blob is the largest single allocation
+// of the epoch loop, so reusing its buffer matters most).
+func encodeSnapshotBlobInto(w *codec.Buffer, ep uint64, snap *store.Snapshot) {
 	tables := make([]codec.SnapshotTable, 0, len(snap.Tables))
 	for _, t := range snap.Tables {
 		tables = append(tables, codec.SnapshotTable{ID: t.Spec.ID, Init: t.Spec.Init, Vals: t.Vals})
 	}
-	body := codec.EncodeSnapshot(tables)
-	w := codec.NewBuffer(len(body) + 10)
 	w.Uvarint(ep)
-	for _, b := range body {
-		w.Byte(b)
-	}
-	return w.Bytes()
+	codec.EncodeSnapshotInto(w, tables)
 }
 
 // decodeSnapshotBlob parses encodeSnapshotBlob output and restores it into

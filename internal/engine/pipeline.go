@@ -81,7 +81,7 @@ func (e *Engine) ProcessEpochs(batches [][]types.Event) error {
 		e.epoch++
 		err := e.pipelinedEpoch(e.epoch, batches[b.idx], b.g)
 		if err != nil {
-			e.crashed = true
+			e.markCrashed()
 			close(stop)
 			for range built { // unblock and join the builder
 			}

@@ -1,0 +1,74 @@
+package crashtest
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/fttest"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// TestSweepAdaptive: the exhaustive crash-point sweep with the adaptive
+// controller enabled. Adaptivity morphs the execution strategy per epoch
+// but must never change the durable write sequence (commit morphing stays
+// off — zero budget — exactly as the engine defaults it), so every
+// mechanism recovers to oracle-equivalent state from every write site just
+// as in the static sweeps. The recovered engine also runs adaptively
+// (recoverShape preserves the knob), proving a post-recovery incarnation
+// keeps morphing.
+func TestSweepAdaptive(t *testing.T) {
+	shape := DefaultSweepShape()
+	shape.Workers = 4 // give the controller a ladder to morph across
+	shape.Adaptive = true
+	for _, kind := range logBased {
+		for _, mode := range modes {
+			kind, mode := kind, mode
+			t.Run(kind.String()+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				sweep(t, Config{
+					Kind:     kind,
+					NewGen:   func() workload.Generator { return fttest.SLGen(43) },
+					RunShape: shape,
+					Mode:     mode,
+					Continue: true,
+				})
+			})
+		}
+	}
+}
+
+// TestAdaptiveSweepMatchesStatic: the site enumeration of an adaptive run
+// is identical to the static run's — same writes, same order, same
+// targets. A durable-write count or reorder introduced by a morph would
+// shift every later crash point and show up here before any recovery even
+// runs.
+func TestAdaptiveSweepMatchesStatic(t *testing.T) {
+	base := Config{
+		Kind:   logBased[0],
+		NewGen: func() workload.Generator { return fttest.SLGen(44) },
+		Mode:   storage.FailStop,
+	}
+	static := base
+	static.RunShape = types.RunShape{Workers: 4, CommitEvery: 2, SnapshotEvery: 4}
+	adaptiveCfg := base
+	adaptiveCfg.RunShape = static.RunShape
+	adaptiveCfg.Adaptive = true
+
+	sitesS, err := Enumerate(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sitesA, err := Enumerate(adaptiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sitesS) != len(sitesA) {
+		t.Fatalf("adaptive run enumerates %d write sites, static %d", len(sitesA), len(sitesS))
+	}
+	for i := range sitesS {
+		if sitesS[i] != sitesA[i] {
+			t.Fatalf("write site %d diverges: static %v, adaptive %v", i, sitesS[i], sitesA[i])
+		}
+	}
+}

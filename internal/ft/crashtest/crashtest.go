@@ -90,6 +90,7 @@ func (c *Config) normalize() error {
 		shape := DefaultSweepShape()
 		shape.AutoCommit = c.AutoCommit
 		shape.Pipeline = c.Pipeline
+		shape.Adaptive = c.Adaptive
 		c.RunShape = shape
 	}
 	if err := c.RunShape.Normalize(); err != nil {

@@ -68,7 +68,7 @@ func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
 		slices.Sort(in)
 		recs = append(recs, codec.DLRecord{Event: tn.Txn.Event, In: in})
 	}
-	m.Buffer(ep.Epoch, codec.EncodeDL(recs))
+	m.SealInto(ep.Epoch, func(w *codec.Buffer) { codec.EncodeDLInto(w, recs) })
 	m.accountTracker()
 }
 

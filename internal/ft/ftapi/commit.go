@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"morphstreamr/internal/codec"
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/storage"
 )
@@ -38,6 +39,12 @@ type GroupCommitter struct {
 
 	buffered []EpochPayload
 	bufBytes int64
+
+	// owned tracks the pooled encode buffers backing SealInto payloads.
+	// They return to the codec pool when their bytes become durable (the
+	// write closure ran — devices copy payloads on Append) or when Rearm
+	// discards the buffer.
+	owned []*codec.Buffer
 
 	// state is shared with prepared write closures (which may run on
 	// another goroutine): a failed durable write poisons the committer, so
@@ -79,8 +86,27 @@ func (g *GroupCommitter) Buffer(epoch uint64, payload []byte) {
 	g.bytes.Alloc(g.bufCategory, int64(len(payload)))
 }
 
+// SealInto is the arena-reuse variant of Buffer: the mechanism's encoder
+// writes the epoch payload directly into a pooled codec buffer that the
+// committer owns until the group's durable write completes (or Rearm drops
+// it). Steady-state sealing then recycles a handful of grown buffers
+// instead of allocating a fresh payload slice per epoch.
+func (g *GroupCommitter) SealInto(epoch uint64, encode func(*codec.Buffer)) {
+	w := codec.GetBuffer()
+	encode(w)
+	g.buffered = append(g.buffered, EpochPayload{Epoch: epoch, Payload: w.Bytes()})
+	g.owned = append(g.owned, w)
+	g.bufBytes += int64(w.Len())
+	g.bytes.Alloc(g.bufCategory, int64(w.Len()))
+}
+
 // Buffered reports how many sealed epochs await commit.
 func (g *GroupCommitter) Buffered() int { return len(g.buffered) }
+
+// BufferedBytes reports the total encoded size of the epochs awaiting
+// commit. The adaptive controller's commit-granularity rule reads it to
+// decide, from durable bytes alone, whether to commit early.
+func (g *GroupCommitter) BufferedBytes() int64 { return g.bufBytes }
 
 // Commit synchronously persists the buffered group.
 func (g *GroupCommitter) Commit(hi uint64) error {
@@ -110,7 +136,10 @@ func (g *GroupCommitter) Rearm() {
 	if g.bufBytes > 0 {
 		g.bytes.Free(g.bufCategory, g.bufBytes)
 	}
-	g.buffered, g.bufBytes = nil, 0
+	for _, w := range g.owned {
+		codec.PutBuffer(w)
+	}
+	g.buffered, g.bufBytes, g.owned = nil, 0, nil
 }
 
 // PrepareCommit snapshots and frames the buffered group, clears the
@@ -129,15 +158,26 @@ func (g *GroupCommitter) PrepareCommit(hi uint64) (write func() error, ok bool) 
 	if len(g.buffered) == 0 {
 		return nil, false
 	}
-	payload := EncodeGroup(g.buffered)
+	gw := codec.GetBuffer()
+	EncodeGroupInto(gw, g.buffered)
+	payload := gw.Bytes()
 	freed := g.bufBytes
-	g.buffered, g.bufBytes = nil, 0
+	owned := g.owned
+	g.buffered, g.bufBytes, g.owned = nil, 0, nil
 	dev, bytes, bufCat, logCat, state := g.dev, g.bytes, g.bufCategory, g.logCategory, g.state
 	return func() error {
 		// The group left the buffer at prepare time, so its live bytes are
 		// released whether or not the write lands; on failure the payload is
-		// dropped (and the committer poisoned), not retained.
-		defer bytes.Free(bufCat, freed)
+		// dropped (and the committer poisoned), not retained. The device
+		// copies the payload on Append, so the pooled buffers behind the
+		// frame and the sealed epochs recycle here either way.
+		defer func() {
+			bytes.Free(bufCat, freed)
+			codec.PutBuffer(gw)
+			for _, w := range owned {
+				codec.PutBuffer(w)
+			}
+		}()
 		if err := dev.Append(storage.LogFT, storage.Record{Epoch: hi, Payload: payload}); err != nil {
 			state.fail(err)
 			return fmt.Errorf("%s: commit: %w", logCat, err)

@@ -24,6 +24,13 @@ func EncodeGroup(group []EpochPayload) []byte {
 		n += 16 + len(g.Payload)
 	}
 	w := codec.NewBuffer(n)
+	EncodeGroupInto(w, group)
+	return w.Bytes()
+}
+
+// EncodeGroupInto appends the EncodeGroup framing to w (the commit path's
+// arena pass — see GroupCommitter.SealInto).
+func EncodeGroupInto(w *codec.Buffer, group []EpochPayload) {
 	w.Uvarint(uint64(len(group)))
 	for _, g := range group {
 		w.Uvarint(g.Epoch)
@@ -32,7 +39,6 @@ func EncodeGroup(group []EpochPayload) []byte {
 			w.Byte(b)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeGroup parses EncodeGroup output.

@@ -83,7 +83,7 @@ func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
 		// entry is redundant but kept when a dependency demands it anyway.
 		recs = append(recs, codec.LVRecord{Event: tn.Txn.Event, Worker: w, LSN: lsn, Vector: vector})
 	}
-	m.Buffer(ep.Epoch, codec.EncodeLV(recs))
+	m.SealInto(ep.Epoch, func(w *codec.Buffer) { codec.EncodeLVInto(w, recs) })
 	m.accountTracker()
 }
 

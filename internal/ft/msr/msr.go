@@ -147,7 +147,7 @@ func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
 			}
 		}
 	}
-	m.Buffer(ep.Epoch, codec.EncodeMSR(views))
+	m.SealInto(ep.Epoch, func(w *codec.Buffer) { codec.EncodeMSRInto(w, views) })
 }
 
 // GC implements ftapi.Mechanism; views live only until their covering

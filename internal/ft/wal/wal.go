@@ -55,7 +55,7 @@ func (m *Mech) SealEpoch(ep *ftapi.EpochResult) {
 			recs = append(recs, codec.WALRecord{Event: tn.Txn.Event})
 		}
 	}
-	m.Buffer(ep.Epoch, codec.EncodeWAL(recs))
+	m.SealInto(ep.Epoch, func(w *codec.Buffer) { codec.EncodeWALInto(w, recs) })
 }
 
 // GC implements ftapi.Mechanism; the engine truncates the durable log.

@@ -505,6 +505,7 @@ type SchedStats struct {
 	Wakes      atomic.Int64 // times a parked worker was woken
 	Stalls     atomic.Int64 // stall-detector trips
 	Panics     atomic.Int64 // isolated task panics
+	Resizes    atomic.Int64 // worker-pool resizes (adaptive controller morphs)
 }
 
 // Register attaches the stats block to a registry under the "scheduler"
@@ -521,6 +522,7 @@ func (s *SchedStats) Register(r *Registry) {
 			"wakes":       s.Wakes.Load(),
 			"stalls":      s.Stalls.Load(),
 			"panics":      s.Panics.Load(),
+			"resizes":     s.Resizes.Load(),
 		}
 	}))
 }

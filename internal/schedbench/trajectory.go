@@ -1,0 +1,151 @@
+package schedbench
+
+import (
+	"time"
+
+	"morphstreamr/internal/adaptive"
+	"morphstreamr/internal/obs"
+	"morphstreamr/internal/scheduler"
+	"morphstreamr/internal/store"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// A Trajectory is the adaptive benchmark's unit of measurement: a fresh
+// multi-epoch run whose graphs evolve with the stream, unlike the static
+// grid's single ResetExec'd epoch. The controller's value shows up only
+// across epochs — it needs history to morph — so adaptive and static
+// strategies are compared on whole trajectories.
+type Trajectory struct {
+	Name   string
+	NewGen func() workload.Generator
+	Epochs int
+}
+
+// Trajectories returns the adaptive benchmark's workload axis: two steady
+// streams (one parallel-friendly, one hot-keyed and serial) that bound the
+// controller against the best static choice, and the phase-shifting stream
+// where no static choice is right.
+func Trajectories() []Trajectory {
+	return []Trajectory{
+		{Name: "GS-steady-uniform", Epochs: 12, NewGen: func() workload.Generator {
+			p := workload.DefaultGSParams()
+			p.Theta, p.WriteOnly = 0, true
+			return workload.NewGS(p)
+		}},
+		{Name: "GS-steady-hot", Epochs: 12, NewGen: func() workload.Generator {
+			// Two rows: every epoch is a pair of ~1024-op serial chains, the
+			// steady workload where fewer workers (or none) win.
+			p := workload.DefaultGSParams()
+			p.WriteOnly, p.Rows, p.Theta = true, 2, 0
+			return workload.NewGS(p)
+		}},
+		{Name: "GS-phased", Epochs: 32, NewGen: func() workload.Generator {
+			return workload.NewPhased(workload.DefaultPhasedParams())
+		}},
+	}
+}
+
+// TrajectoryResult is one measured trajectory run.
+type TrajectoryResult struct {
+	// Wall is the summed execution wall time (graph construction and event
+	// generation excluded — identical work on every side).
+	Wall time.Duration
+	// Ops is the total operation count across epochs.
+	Ops int
+	// Morphs counts controller strategy changes (adaptive runs only).
+	Morphs int
+}
+
+// runTrajectory drives the epochs of one fresh trajectory through exec,
+// timing only execution.
+func runTrajectory(tr Trajectory, exec func(g *tpg.Graph, st *store.Store) error) (TrajectoryResult, error) {
+	gen := tr.NewGen()
+	app := gen.App()
+	st := store.New(app.Tables())
+	b := tpg.NewBuilder()
+	var res TrajectoryResult
+	for e := 0; e < tr.Epochs; e++ {
+		events := workload.Batch(gen, EpochEvents)
+		txns := make([]*types.Txn, len(events))
+		for i := range events {
+			txn := app.Preprocess(events[i])
+			txns[i] = &txn
+		}
+		g := b.Build(txns)
+		g.CaptureBases(st.Get)
+		t0 := time.Now()
+		err := exec(g, st)
+		res.Wall += time.Since(t0)
+		res.Ops += g.NumOps
+		if err != nil {
+			return res, err
+		}
+		b.Release(g)
+	}
+	return res, nil
+}
+
+// RunTrajectoryStatic executes a trajectory the way a non-adaptive engine
+// would: the work-stealing scheduler at one fixed worker count.
+func RunTrajectoryStatic(tr Trajectory, workers int) (TrajectoryResult, error) {
+	return runTrajectory(tr, func(g *tpg.Graph, st *store.Store) error {
+		_, err := scheduler.Run(g, st, scheduler.Options{Workers: workers})
+		return err
+	})
+}
+
+// RunTrajectoryAdaptive executes a trajectory under the adaptive
+// controller, mirroring the engine's adaptive path: per-epoch structural
+// signals pick the strategy, the persistent pool executes steal runs, and
+// wall/steal feedback trains the controller.
+func RunTrajectoryAdaptive(tr Trajectory, maxWorkers int) (TrajectoryResult, error) {
+	ctrl := adaptive.New(adaptive.Config{MaxWorkers: maxWorkers})
+	pool := scheduler.NewPool(maxWorkers, nil)
+	defer pool.Close()
+	epoch := uint64(0)
+	res, err := runTrajectory(tr, func(g *tpg.Graph, st *store.Store) error {
+		epoch++
+		maxChain := 0
+		for _, ch := range g.ChainList {
+			if len(ch.Ops) > maxChain {
+				maxChain = len(ch.Ops)
+			}
+		}
+		strat := ctrl.Decide(adaptive.Signals{
+			Epoch:    epoch,
+			Ops:      g.NumOps,
+			Chains:   len(g.ChainList),
+			MaxChain: maxChain,
+			Heads:    len(g.Heads()),
+		})
+		var eps obs.SchedStats
+		t0 := time.Now()
+		var err error
+		switch strat.Impl {
+		case adaptive.ImplSeq:
+			_, err = scheduler.RunSequential(g, st, false)
+		case adaptive.ImplChanRef:
+			_, err = scheduler.RunChanRef(g, st, scheduler.Options{Workers: strat.Workers, Stats: &eps})
+		default:
+			_, err = pool.Run(g, st, scheduler.Options{Workers: strat.Workers, Stats: &eps})
+		}
+		if err != nil {
+			return err
+		}
+		ctrl.Feedback(adaptive.Feedback{
+			Epoch:      epoch,
+			Strategy:   strat,
+			Wall:       time.Since(t0),
+			Ops:        g.NumOps,
+			Steals:     eps.Steals.Load(),
+			StealFails: eps.StealFails.Load(),
+			Parks:      eps.Parks.Load(),
+			Stalls:     eps.Stalls.Load(),
+		})
+		return nil
+	})
+	res.Morphs = ctrl.Morphs()
+	return res, err
+}

@@ -1,0 +1,143 @@
+package scheduler
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"morphstreamr/internal/obs"
+	"morphstreamr/internal/tpg"
+	"morphstreamr/internal/workload"
+)
+
+// TestPoolMatchesRun: the pool executes a real epoch correctly (verified
+// against the oracle) and keeps working across ResetExec reruns at varying
+// worker counts — the adaptive engine's usage pattern.
+func TestPoolMatchesRun(t *testing.T) {
+	gen := workload.NewGS(workload.DefaultGSParams())
+	g, st, events := buildEpoch(gen, 512)
+
+	p := NewPool(8, nil)
+	defer p.Close()
+	if _, err := p.Run(g, st, Options{Workers: 8}); err != nil {
+		t.Fatalf("pool run: %v", err)
+	}
+	compareToOracle(t, gen.App(), st, oracleState(gen.App(), events))
+
+	// Schedbench-style reruns across sizes: the store evolves, which is
+	// fine — this exercises deque reuse and per-run seeding, not values.
+	for _, w := range []int{1, 3, 8, 2} {
+		g.ResetExec()
+		if _, err := p.Run(g, st, Options{Workers: w}); err != nil {
+			t.Fatalf("pool rerun w=%d: %v", w, err)
+		}
+	}
+}
+
+// TestPoolResize: resizes take effect, clamp to [1, max], and count into
+// the stats block.
+func TestPoolResize(t *testing.T) {
+	stats := &obs.SchedStats{}
+	p := NewPool(4, stats)
+	defer p.Close()
+	if got := p.Size(); got != 4 {
+		t.Fatalf("initial size %d, want 4", got)
+	}
+	if got := p.Resize(2); got != 2 {
+		t.Fatalf("resize to 2 got %d", got)
+	}
+	if got := p.Resize(0); got != 1 {
+		t.Fatalf("resize clamps low: got %d, want 1", got)
+	}
+	if got := p.Resize(99); got != 4 {
+		t.Fatalf("resize clamps to max: got %d, want 4", got)
+	}
+	if got := stats.Resizes.Load(); got != 3 {
+		t.Fatalf("resize counter %d, want 3", got)
+	}
+	if got := p.Resize(4); got != 4 || stats.Resizes.Load() != 3 {
+		t.Fatalf("no-op resize must not count: size %d, counter %d", got, stats.Resizes.Load())
+	}
+}
+
+// TestPoolClosed: Run after Close fails cleanly.
+func TestPoolClosed(t *testing.T) {
+	p := NewPool(2, nil)
+	p.Close()
+	p.Close() // idempotent
+	gen := workload.NewGS(workload.DefaultGSParams())
+	g, st, _ := buildEpoch(gen, 16)
+	if _, err := p.Run(g, st, Options{Workers: 2}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("run on closed pool: %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolPanicIsolation: an operation panic fails the epoch but leaves the
+// pool's worker goroutines alive for the next one.
+func TestPoolPanicIsolation(t *testing.T) {
+	gen := workload.NewGS(workload.DefaultGSParams())
+	g, st, _ := buildEpoch(gen, 256)
+	p := NewPool(4, nil)
+	defer p.Close()
+
+	var boom atomic.Bool
+	boom.Store(true)
+	_, err := p.Run(g, st, Options{Workers: 4, FireHook: func(n *tpg.OpNode) {
+		if n.Op.TS > 100 && boom.CompareAndSwap(true, false) {
+			panic("chaos")
+		}
+	}})
+	if !errors.Is(err, ErrOpPanic) {
+		t.Fatalf("panicking run: %v, want ErrOpPanic", err)
+	}
+	// The pool must still work — including across a resize.
+	p.Resize(2)
+	g2, st2, events := buildEpoch(workload.NewGS(workload.DefaultGSParams()), 256)
+	if _, err := p.Run(g2, st2, Options{Workers: 2}); err != nil {
+		t.Fatalf("run after panic: %v", err)
+	}
+	compareToOracle(t, gen.App(), st2, oracleState(gen.App(), events))
+}
+
+// TestPoolResizeUnderLoad is the -race stress test for the controller's
+// worker-count morphs: one goroutine hammers Resize with random sizes while
+// the run loop executes epochs back to back, so every interleaving of
+// quiesce-then-resize against dispatch is exercised. The mutex contract
+// means a resize can only land between runs; the race detector verifies no
+// worker state is touched concurrently.
+func TestPoolResizeUnderLoad(t *testing.T) {
+	gen := workload.NewGS(workload.DefaultGSParams())
+	g, st, _ := buildEpoch(gen, 512)
+
+	p := NewPool(8, &obs.SchedStats{})
+	defer p.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Resize(1 + rng.Intn(8))
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		g.ResetExec()
+		w := 1 + rng.Intn(8)
+		if _, err := p.Run(g, st, Options{Workers: w, Stats: &obs.SchedStats{}}); err != nil {
+			t.Fatalf("iteration %d (w=%d): %v", i, w, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -74,17 +74,8 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 	if g.NumOps == 0 {
 		return clocks, nil
 	}
-	assign := opt.Assign
-	if assign == nil {
-		assign = HashAssign(workers)
-	}
-	for _, ch := range g.ChainList {
-		owner := assign(ch)
-		if owner < 0 || owner >= workers {
-			return nil, fmt.Errorf("scheduler: chain %v assigned to worker %d of %d",
-				ch.Key, owner, workers)
-		}
-		ch.Owner = owner
+	if err := assignOwners(g, workers, opt.Assign); err != nil {
+		return nil, err
 	}
 
 	run := &parallelRun{
@@ -130,6 +121,23 @@ func Run(g *tpg.Graph, st *store.Store, opt Options) ([]metrics.WorkerClock, err
 		return clocks, fmt.Errorf("scheduler: %d operations never became ready (dependency cycle?)", n)
 	}
 	return clocks, nil
+}
+
+// assignOwners labels every chain with its owning worker in [0, workers).
+// A nil assign uses the default key-hash partitioning.
+func assignOwners(g *tpg.Graph, workers int, assign func(*tpg.Chain) int) error {
+	if assign == nil {
+		assign = HashAssign(workers)
+	}
+	for _, ch := range g.ChainList {
+		owner := assign(ch)
+		if owner < 0 || owner >= workers {
+			return fmt.Errorf("scheduler: chain %v assigned to worker %d of %d",
+				ch.Key, owner, workers)
+		}
+		ch.Owner = owner
+	}
+	return nil
 }
 
 // spinSweeps is how many full pop+steal sweeps an idle worker performs

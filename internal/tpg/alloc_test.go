@@ -1,0 +1,39 @@
+package tpg
+
+import (
+	"testing"
+
+	"morphstreamr/internal/types"
+)
+
+// TestBuilderBuildAllocBound pins the arena-recycling contract of the
+// epoch-construction hot path: once a graph has been built and released,
+// rebuilding an epoch of the same shape reuses its arenas, slices, and map
+// buckets, so the steady-state allocation count is a small constant — not
+// proportional to the number of transactions or operations.
+func TestBuilderBuildAllocBound(t *testing.T) {
+	txns := make([]*types.Txn, 200)
+	for i := range txns {
+		id := uint64(i + 1)
+		k1 := types.Key{Table: 0, Row: uint32(i % 31)}
+		k2 := types.Key{Table: 0, Row: uint32((i + 7) % 31)}
+		txns[i] = &types.Txn{ID: id, TS: id, Ops: []types.Operation{
+			{TxnID: id, TS: id, Idx: 0, Key: k1, Fn: types.FnAdd, Const: 1},
+			{TxnID: id, TS: id, Idx: 1, Key: k2, Fn: types.FnGuardedAdd, Const: 1, Deps: []types.Key{k1}},
+		}}
+	}
+
+	b := NewBuilder()
+	b.Release(b.Build(txns)) // warm: grow arenas once
+
+	got := testing.AllocsPerRun(50, func() {
+		b.Release(b.Build(txns))
+	})
+	// The pin is deliberately far below one allocation per transaction
+	// (200 txns, 400 ops): a regression that reintroduces per-node or
+	// per-chain allocation jumps past it immediately.
+	const bound = 32
+	if got > bound {
+		t.Fatalf("recycled build: %.1f allocs/op, want <= %d (200 txns would be ~400+ without recycling)", got, bound)
+	}
+}

@@ -110,11 +110,21 @@ func (t *TxnNode) SetAborted() { t.aborted.Store(true) }
 
 // Executed assembles the post-execution view consumed by postprocessing.
 func (t *TxnNode) Executed() *types.ExecutedTxn {
-	res := make([]types.Value, len(t.Ops))
-	for i, op := range t.Ops {
-		res[i] = op.Result
+	return t.ExecutedInto(&types.ExecutedTxn{})
+}
+
+// ExecutedInto fills view with the post-execution state of the transaction
+// and returns it, reusing view's Results slice when it has capacity. The
+// engine's postprocess loop threads one scratch view through all
+// transactions of an epoch — valid because the App.Postprocess contract
+// forbids retaining the view past the call.
+func (t *TxnNode) ExecutedInto(view *types.ExecutedTxn) *types.ExecutedTxn {
+	res := view.Results[:0]
+	for _, op := range t.Ops {
+		res = append(res, op.Result)
 	}
-	return &types.ExecutedTxn{Txn: t.Txn, Results: res, Aborted: t.Aborted()}
+	view.Txn, view.Results, view.Aborted = t.Txn, res, t.Aborted()
+	return view
 }
 
 // Chain is the temporally ordered list of one key's operations.

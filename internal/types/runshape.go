@@ -34,6 +34,16 @@ type RunShape struct {
 	// Pipeline overlaps epoch N+1's stream-processing phase with epoch N's
 	// transaction processing when batches are submitted as one run.
 	Pipeline bool
+	// Adaptive enables the per-epoch scheduling controller
+	// (internal/adaptive): the engine observes each epoch's graph shape and
+	// the previous epoch's scheduler feedback, and morphs the execution
+	// strategy — worker count, work-stealing vs sequential execution, and
+	// log-commit granularity — between epochs. Workers becomes the
+	// controller's parallelism ceiling rather than a fixed degree. Durable
+	// artifacts are unaffected: chains are re-labelled with the canonical
+	// Workers-way partitioning before each epoch is sealed, so the write
+	// sequence is byte-identical to a static run of the same shape.
+	Adaptive bool
 }
 
 // Normalize applies the zero-value defaults in place and validates the

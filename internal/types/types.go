@@ -142,6 +142,9 @@ type App interface {
 	Tables() []TableSpec
 	// Preprocess converts an input event into a state transaction.
 	Preprocess(ev Event) Txn
-	// Postprocess converts an executed transaction into its output.
+	// Postprocess converts an executed transaction into its output. The
+	// view is only valid for the duration of the call: the engine reuses
+	// one scratch ExecutedTxn across the epoch's transactions, so
+	// implementations must not retain t or its Results slice.
 	Postprocess(t *ExecutedTxn) Output
 }

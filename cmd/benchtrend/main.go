@@ -1,6 +1,7 @@
 // Command benchtrend folds the per-run benchmark reports
-// (BENCH_scheduler.json, BENCH_chaos.json, BENCH_recovery.json) into one
-// commit-keyed trend file, BENCH_trend.json. Each invocation appends (or,
+// (BENCH_scheduler.json, BENCH_chaos.json, BENCH_recovery.json,
+// BENCH_shard.json, BENCH_serve.json) into one commit-keyed trend file,
+// BENCH_trend.json. Each invocation appends (or,
 // for a re-run on the same commit, replaces) a point carrying a compact
 // summary of every report that exists; the full reports stay the source of
 // truth, the trend file is what CI charts and regression checks read.
@@ -52,6 +53,7 @@ func main() {
 		chaosPath = flag.String("chaos", "BENCH_chaos.json", "chaos report (skipped if missing)")
 		recPath   = flag.String("recovery", "BENCH_recovery.json", "recovery report (skipped if missing)")
 		shardPath = flag.String("shard", "BENCH_shard.json", "shard report (skipped if missing)")
+		servePath = flag.String("serve", "BENCH_serve.json", "serving-layer report (skipped if missing)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func main() {
 	fold("chaos", *chaosPath, summarizeChaos)
 	fold("recovery", *recPath, summarizeRecovery)
 	fold("shard", *shardPath, summarizeShard)
+	fold("serve", *servePath, summarizeServe)
 
 	if len(pt.Sources) == 0 {
 		fatalf("no benchmark reports found; nothing to fold")
@@ -215,6 +218,41 @@ func summarizeShard(doc map[string]any) map[string]any {
 				out[fmt.Sprintf("recovery_speedup_%dx", int(shards))] = x
 			}
 		}
+	}
+	return out
+}
+
+// summarizeServe keeps the serving layer's headlines: the total violation
+// count across chaos cells (the exactly-once acceptance gate — must stay
+// zero), the worst client-observed MTTR over kill cells, and per-cell p99
+// ack lag.
+func summarizeServe(doc map[string]any) map[string]any {
+	cells := entries(doc, "cells")
+	out := map[string]any{"cells": len(cells)}
+	var violations, heals, evictions float64
+	worstMTTR := 0.0
+	for _, c := range cells {
+		if v, ok := num(c, "violations"); ok {
+			violations += v
+		}
+		if v, ok := num(c, "heals"); ok {
+			heals += v
+		}
+		if v, ok := num(c, "evictions"); ok {
+			evictions += v
+		}
+		if mttr, ok := num(c, "client_mttr_ms"); ok && mttr > worstMTTR {
+			worstMTTR = mttr
+		}
+		if lag, ok := num(c, "p99_ack_lag_ms"); ok {
+			out["p99_ack_lag_ms_"+str(c, "cell")] = lag
+		}
+	}
+	out["violations"] = violations
+	out["heals"] = heals
+	out["evictions"] = evictions
+	if worstMTTR > 0 {
+		out["max_client_mttr_ms"] = worstMTTR
 	}
 	return out
 }

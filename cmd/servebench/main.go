@@ -1,0 +1,122 @@
+// Command servebench measures the network serving layer under chaos: for
+// every internal/serve chaos cell it drives live TCP clients against an
+// ingestion front-end backed by a sharded group, injects the cell's faults
+// (shard kills, reconnect storms, slow consumers, half-open connections),
+// and records client-observed MTTR, ack-lag percentiles, backpressure and
+// eviction counts, and — the acceptance gate — the exactly-once audit
+// verdict across every kill-and-heal. The committed report is the serving
+// layer's record next to the engine-level chaos numbers; regenerate after
+// serve changes with:
+//
+//	go run ./cmd/servebench -o BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/serve"
+)
+
+// Report is the file layout of BENCH_serve.json.
+type Report struct {
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Shards     int                  `json:"shards"`
+	Tenants    int                  `json:"tenants"`
+	Batches    int                  `json:"batches_per_tenant"`
+	Note       string               `json:"note"`
+	Cells      []*serve.ChaosReport `json:"cells"`
+}
+
+// killCells marks the cells whose faults include at least one shard or
+// group kill; these must report a client-observed MTTR.
+var killCells = map[string]bool{
+	serve.CellKillHeal:       true,
+	serve.CellReconnectStorm: true,
+	serve.CellSlowConsumer:   true,
+	serve.CellHalfOpen:       true,
+}
+
+func main() {
+	out := flag.String("o", "BENCH_serve.json", "output path for the JSON report")
+	quick := flag.Bool("quick", false, "smaller stream per tenant (CI smoke)")
+	shards := flag.Int("shards", 2, "shard-group fan-out behind the server")
+	tenants := flag.Int("tenants", 3, "well-behaved tenants driving traffic")
+	batches := flag.Int("batches", 40, "batches per tenant")
+	events := flag.Int("events", 8, "events per batch")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if *quick {
+		*batches = 16
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Shards:     *shards,
+		Tenants:    *tenants,
+		Batches:    *batches,
+		Note: "Each cell is one internal/serve.Chaos run: live TCP clients " +
+			"submit per-tenant batch streams through the ingestion front-end " +
+			"onto a sharded group while the cell's faults fire (shard and " +
+			"group kills at progress gates, connection severs, a rogue " +
+			"never-reading client, half-open handshakes). client_mttr_ms is " +
+			"the worst kill-to-first-observed-ack interval as seen by a " +
+			"client, including reconnect and HelloAck watermark recovery. " +
+			"violations sums duplicate acks, ack-order regressions, and " +
+			"exactly-once audit failures (every acked batch's events applied " +
+			"exactly once across all incarnations); the acceptance gate is " +
+			"violations == 0 in every cell.",
+	}
+
+	failed := false
+	for _, cell := range serve.Cells() {
+		cr, err := serve.Chaos(serve.ChaosConfig{
+			Cell: cell, Seed: *seed, Shards: *shards, Kind: ftapi.WAL,
+			Tenants: *tenants, Batches: *batches, BatchEvents: *events,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %s: %v\n", cell, err)
+			failed = true
+		}
+		if cr == nil {
+			cr = &serve.ChaosReport{Cell: cell, Err: "no report"}
+		}
+		rep.Cells = append(rep.Cells, cr)
+		fmt.Fprintf(os.Stderr, "%-16s acked %3d  kills=%d heals=%d evict=%d reconn=%d  mttr %6.1f ms  p99 lag %6.1f ms  violations=%d\n",
+			cell, cr.AckedBatches, cr.Kills, cr.Heals, cr.Evictions, cr.Reconnects,
+			cr.ClientMTTRMs, cr.P99AckLagMs, cr.Violations)
+		if cr.Violations != 0 {
+			fmt.Fprintf(os.Stderr, "servebench: %s: %d violations (dup=%d order=%d exactly-once=%d)\n",
+				cell, cr.Violations, cr.DupAcks, cr.OrderViol, cr.ExactlyOnce)
+			failed = true
+		}
+		if killCells[cell] && cr.ClientMTTRMs <= 0 {
+			fmt.Fprintf(os.Stderr, "servebench: %s: kill cell reported no client-observed MTTR\n", cell)
+			failed = true
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells)\n", *out, len(rep.Cells))
+	if failed {
+		os.Exit(1)
+	}
+}

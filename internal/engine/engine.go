@@ -128,6 +128,14 @@ type Config struct {
 	// epoch's cross-shard replication delta without diffing snapshots. The
 	// slice is only valid for the duration of the call.
 	OnWriteSet func(epoch uint64, keys []types.Key)
+	// OnCommit, when non-nil, is called each time the engine's durability
+	// gate fires with the highest epoch whose outputs have just been
+	// released downstream: at every commit marker for log-based mechanisms,
+	// at every snapshot for CKPT (whose snapshot is its durability gate).
+	// It also fires during recovery's tail reprocessing, where the markers
+	// re-fire through the normal pipeline. The serving layer keys
+	// exactly-once client acknowledgements to this notification.
+	OnCommit func(epoch uint64)
 }
 
 func (c *Config) normalize() error {
@@ -797,6 +805,9 @@ func (e *Engine) commitVisible(ep uint64) error {
 		e.runtime.IO += time.Since(t0)
 	}
 	e.release(ep)
+	if e.cfg.OnCommit != nil {
+		e.cfg.OnCommit(ep)
+	}
 	return nil
 }
 
@@ -862,6 +873,9 @@ func (e *Engine) snapshot(ep uint64) error {
 	t0 = time.Now()
 	if e.cfg.Mechanism.Kind() == ftapi.CKPT {
 		e.release(ep)
+		if e.cfg.OnCommit != nil {
+			e.cfg.OnCommit(ep)
+		}
 	}
 	e.lastSnap = ep
 	e.runtime.Sync += time.Since(t0)

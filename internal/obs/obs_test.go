@@ -306,6 +306,30 @@ func TestServeEndpoints(t *testing.T) {
 	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
 		t.Fatal("pprof cmdline empty")
 	}
+
+	// /tenants is 404 until a serving layer publishes the view, then serves
+	// whatever the view returns at fetch time.
+	if resp, err := http.Get(srv.URL() + "/tenants"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/tenants without a view: status %d, want 404", resp.StatusCode)
+		}
+	}
+	o.SetView("tenants", func() any {
+		return map[string]any{"committed": 7, "tenants": []string{"alpha"}}
+	})
+	var tv struct {
+		Committed int      `json:"committed"`
+		Tenants   []string `json:"tenants"`
+	}
+	if err := json.Unmarshal(get("/tenants"), &tv); err != nil {
+		t.Fatalf("/tenants not JSON: %v", err)
+	}
+	if tv.Committed != 7 || len(tv.Tenants) != 1 || tv.Tenants[0] != "alpha" {
+		t.Fatalf("/tenants = %+v", tv)
+	}
 }
 
 // TestConcurrentSpansWhileDraining is the -race stress: eight workers emit

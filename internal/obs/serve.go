@@ -25,6 +25,9 @@ type Server struct {
 //	/recovery       the most recent recovery profile (per-worker
 //	                virtual-time decomposition, critical path, top
 //	                stalls), published via SetView("recovery", ...)
+//	/tenants        the serving layer's per-tenant admission state
+//	                (watermarks, queue depths, throttle counters),
+//	                published via SetView("tenants", ...)
 //	/debug/pprof/*  the standard runtime profiles
 //
 // The handler holds only the observer pointer, so metrics published after
@@ -55,6 +58,17 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		v, ok := o.View("recovery")
 		if !ok {
 			http.Error(w, "no recovery profile recorded yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := o.View("tenants")
+		if !ok {
+			http.Error(w, "no serving layer attached", http.StatusNotFound)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

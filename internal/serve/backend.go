@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+)
+
+// Backend is the processing engine behind the server: the pump feeds it one
+// epoch per tick and keys acknowledgements to its committed punctuation
+// frontier. Feed, Heal, Epoch, and Committed are called only from the
+// pump goroutine; Coord and Delivered-style accessors only before start or
+// after Close.
+type Backend interface {
+	// Feed processes one epoch (the events carry server-assigned global
+	// sequences). A failure leaves the backend crashed until Heal.
+	Feed(events []types.Event) error
+	// Epoch is the number of epochs completed; Committed is the durably
+	// committed punctuation frontier acknowledgements key to.
+	Epoch() uint64
+	Committed() uint64
+	// Coord is the coordinator device the ingest manifest lives on.
+	Coord() storage.Device
+	// Heal recovers from a failed Feed using src to re-feed whatever the
+	// mechanisms did not replay. It returns the epoch the backend resumed
+	// from: every fed epoch above it was lost and must be re-fed.
+	Heal(procErr error, src shard.Source) (uint64, error)
+	// Close releases backend resources.
+	Close()
+}
+
+// GroupBackend drives a shard.Group as the server's backend, with
+// fail-stop injection seams for the chaos harness: kills are armed as
+// atomic flags and consumed at the next Feed, so the crash lands on an
+// epoch boundary on the pump goroutine — exactly the fail-stop model the
+// group's recovery protocol is built for (a concurrent Crash mid-epoch
+// would race the engines' own crash bookkeeping).
+type GroupBackend struct {
+	cfg shard.Config
+	g   *shard.Group
+
+	killGroup atomic.Bool
+	killShard atomic.Int64 // shard to crash at next Feed; <0 none
+
+	// banked collects per-shard outputs delivered by abandoned
+	// incarnations across group-wide recoveries; AllDelivered joins them
+	// with the live group's union for exactly-once audits.
+	banked [][]types.Output
+
+	heals int
+}
+
+// NewGroupBackend starts a fresh group. cfg.CoordDev doubles as the ingest
+// manifest device; cfg.OnCommit is preserved and re-armed across heals.
+func NewGroupBackend(cfg shard.Config) (*GroupBackend, error) {
+	g, err := shard.NewGroup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &GroupBackend{cfg: cfg, g: g, banked: make([][]types.Output, g.Shards())}
+	b.killShard.Store(-1)
+	return b, nil
+}
+
+// RecoverGroupBackend cold-starts a backend from surviving devices: the
+// group recovers in parallel from its shard logs, re-feeding alignment
+// epochs from the ingest manifest on cfg.CoordDev.
+func RecoverGroupBackend(cfg shard.Config) (*GroupBackend, error) {
+	// The manifest covers every fed epoch; recovery decides durability, so
+	// the source is built with no durable cutoff (watermarks are cut by the
+	// caller once the recovered frontier is known).
+	src, err := IngestSource(cfg.CoordDev, ^uint64(0))
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := shard.GroupRecover(shard.RecoverConfig{Config: cfg, Source: src})
+	if err != nil {
+		return nil, err
+	}
+	b := &GroupBackend{cfg: cfg, g: g, banked: make([][]types.Output, g.Shards())}
+	b.killShard.Store(-1)
+	return b, nil
+}
+
+// KillGroup arms a whole-group fail-stop at the next Feed.
+func (b *GroupBackend) KillGroup() { b.killGroup.Store(true) }
+
+// KillShard arms a single-shard fail-stop at the next Feed.
+func (b *GroupBackend) KillShard(i int) { b.killShard.Store(int64(i)) }
+
+// Feed implements Backend.
+func (b *GroupBackend) Feed(events []types.Event) error {
+	if b.killGroup.CompareAndSwap(true, false) {
+		b.g.Crash()
+	}
+	if i := b.killShard.Swap(-1); i >= 0 && int(i) < b.g.Shards() {
+		// Crash one engine just before feeding: ProcessEpoch surfaces it
+		// as a *ShardError wrapping engine.ErrCrashed, the single-shard
+		// heal path's entry condition.
+		b.g.Engine(int(i)).Crash()
+	}
+	return b.g.ProcessEpoch(events)
+}
+
+// Epoch implements Backend.
+func (b *GroupBackend) Epoch() uint64 { return b.g.Epoch() }
+
+// Committed implements Backend.
+func (b *GroupBackend) Committed() uint64 { return b.g.Committed() }
+
+// Coord implements Backend.
+func (b *GroupBackend) Coord() storage.Device { return b.cfg.CoordDev }
+
+// Heals returns how many heals the backend has performed.
+func (b *GroupBackend) Heals() int { return b.heals }
+
+// Group exposes the live group for tests.
+func (b *GroupBackend) Group() *shard.Group { return b.g }
+
+// Heal implements Backend: a *ShardError first tries the in-place
+// single-shard heal (survivors keep their state, the interrupted barrier
+// completes); anything else — or a failed shard heal — falls back to a
+// group-wide parallel recovery from the durable logs.
+func (b *GroupBackend) Heal(procErr error, src shard.Source) (uint64, error) {
+	b.heals++
+	var serr *shard.ShardError
+	if errors.As(procErr, &serr) {
+		if _, err := b.g.HealShard(procErr, src); err == nil {
+			// The interrupted epoch completed during the heal; nothing
+			// above the current epoch exists to re-feed.
+			return b.g.Epoch(), nil
+		}
+	}
+	// Group-wide: bank the dead incarnation's delivered outputs (they left
+	// the building; exactly-once accounting must keep them — recovery does
+	// not re-release outputs below each shard's delivery watermark), then
+	// rebuild the group from the surviving devices.
+	for i := 0; i < b.g.Shards(); i++ {
+		b.banked[i] = append(b.banked[i], b.g.DeliveredUnion(i)...)
+	}
+	g, _, err := shard.GroupRecover(shard.RecoverConfig{Config: b.cfg, Source: src})
+	if err != nil {
+		return 0, err
+	}
+	b.g = g
+	return g.Epoch(), nil
+}
+
+// AllDelivered returns every output shard i released across all backend
+// incarnations — the union exactly-once audits run against.
+func (b *GroupBackend) AllDelivered(i int) []types.Output {
+	out := append([]types.Output(nil), b.banked[i]...)
+	return append(out, b.g.DeliveredUnion(i)...)
+}
+
+// Close implements Backend.
+func (b *GroupBackend) Close() {
+	for i := 0; i < b.g.Shards(); i++ {
+		b.g.Engine(i).Close()
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"testing"
+
+	"morphstreamr/internal/ft/ftapi"
+)
+
+func runCell(t *testing.T, cell string) *ChaosReport {
+	t.Helper()
+	rep, err := Chaos(ChaosConfig{
+		Cell: cell, Seed: 42, Shards: 2, Kind: ftapi.WAL,
+		Tenants: 3, Batches: 20, BatchEvents: 6,
+	})
+	if err != nil {
+		t.Fatalf("Chaos(%s): %v (report %+v)", cell, err, rep)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%s: %d violations (dup=%d order=%d exactly-once=%d)",
+			cell, rep.Violations, rep.DupAcks, rep.OrderViol, rep.ExactlyOnce)
+	}
+	want := rep.Tenants * rep.Batches
+	if cell == CellSlowConsumer {
+		want += rep.Batches // the rogue tenant's stream is acked too
+	}
+	if rep.AckedBatches != want {
+		t.Fatalf("%s: acked %d batches, want %d", cell, rep.AckedBatches, want)
+	}
+	if rep.MaxQueue > rep.QueueCap {
+		t.Fatalf("%s: queue depth %d exceeded cap %d", cell, rep.MaxQueue, rep.QueueCap)
+	}
+	return rep
+}
+
+func TestChaosSteady(t *testing.T) {
+	rep := runCell(t, CellSteady)
+	if rep.Heals != 0 {
+		t.Fatalf("steady cell healed %d times", rep.Heals)
+	}
+}
+
+func TestChaosKillHeal(t *testing.T) {
+	rep := runCell(t, CellKillHeal)
+	if rep.Kills != 2 {
+		t.Fatalf("kill-heal: %d kills fired, want 2", rep.Kills)
+	}
+	if rep.Heals < 1 {
+		t.Fatal("kill-heal: no heals recorded")
+	}
+	if rep.ClientMTTRMs <= 0 {
+		t.Fatal("kill-heal: no client-observed MTTR")
+	}
+}
+
+func TestChaosReconnectStorm(t *testing.T) {
+	rep := runCell(t, CellReconnectStorm)
+	if rep.Reconnects == 0 {
+		t.Fatal("reconnect storm produced no reconnects")
+	}
+	if rep.Kills != 1 || rep.Heals < 1 {
+		t.Fatalf("storm: kills=%d heals=%d, want a mid-storm kill and heal", rep.Kills, rep.Heals)
+	}
+}
+
+func TestChaosSlowConsumer(t *testing.T) {
+	rep := runCell(t, CellSlowConsumer)
+	if rep.Evictions == 0 {
+		t.Fatal("slow-consumer cell evicted nothing")
+	}
+	if rep.Heals < 1 {
+		t.Fatal("slow-consumer cell healed nothing")
+	}
+}
+
+func TestChaosHalfOpen(t *testing.T) {
+	rep := runCell(t, CellHalfOpen)
+	if rep.Heals < 1 {
+		t.Fatal("half-open cell healed nothing")
+	}
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"morphstreamr/internal/codec"
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+)
+
+// The ingest manifest is the serving layer's write-ahead record of what it
+// fed the group: one record per fed epoch on the coordinator device,
+// appended *before* the epoch is fed, carrying every batch's identity
+// (tenant, batch sequence, assigned global sequence range) plus the full
+// event payload. It closes the two gaps the engine logs leave open:
+//
+//   - exactly-once across restarts: a cold-started server recovers every
+//     tenant's acked high-watermark from the manifest (a batch is durable
+//     iff its epoch is at or below the recovered frontier, and admission's
+//     contiguity rule makes "highest seen" equal "contiguous prefix"), so a
+//     reconnecting client's re-sent batches are deduplicated, never re-fed;
+//   - group recovery's Source contract: GroupRecover and HealShard re-feed
+//     the alignment epoch from the *global pre-routing batch*, which no
+//     per-shard log retains. The manifest record is exactly that batch.
+//
+// GC runs blob-then-truncate: the tenant watermarks and the next global
+// sequence are checkpointed into BlobIngest, then the log is truncated
+// below the committed frontier. A crash between the two steps only leaves
+// extra log records, which recovery tolerates.
+const (
+	// LogIngest is the per-epoch manifest log on the coordinator device.
+	LogIngest = "ingest"
+	// BlobIngest is the watermark checkpoint blob on the coordinator device.
+	BlobIngest = "ingest.wm"
+)
+
+// ManifestEntry identifies one batch inside a fed epoch.
+type ManifestEntry struct {
+	Tenant   string
+	BatchSeq uint64
+	// FirstSeq is the first assigned global event sequence; the batch
+	// covers [FirstSeq, FirstSeq+Events).
+	FirstSeq uint64
+	Events   uint64
+}
+
+// encodeIngestRecord encodes one fed epoch's manifest entries plus the full
+// (seq-assigned, pre-routing) event batch.
+func encodeIngestRecord(entries []ManifestEntry, events []types.Event) []byte {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		putString(w, e.Tenant)
+		w.Uvarint(e.BatchSeq)
+		w.Uvarint(e.FirstSeq)
+		w.Uvarint(e.Events)
+	}
+	codec.EncodeEventsInto(w, events)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// decodeIngestRecord decodes one manifest record. Counts are validated
+// against the remaining payload before allocation.
+func decodeIngestRecord(b []byte) ([]ManifestEntry, []types.Event, error) {
+	r := codec.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil, nil, fmt.Errorf("%w: ingest record entry count", ErrBadFrame)
+	}
+	entries := make([]ManifestEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e ManifestEntry
+		var ok bool
+		if e.Tenant, ok = readString(r, MaxTenantName); !ok {
+			return nil, nil, fmt.Errorf("%w: ingest record tenant", ErrBadFrame)
+		}
+		e.BatchSeq = r.Uvarint()
+		e.FirstSeq = r.Uvarint()
+		e.Events = r.Uvarint()
+		if r.Err() != nil {
+			return nil, nil, fmt.Errorf("%w: ingest record entry", ErrBadFrame)
+		}
+		entries = append(entries, e)
+	}
+	ne := r.Uvarint()
+	if r.Err() != nil || ne > uint64(r.Remaining()) {
+		return nil, nil, fmt.Errorf("%w: ingest record event count", ErrBadFrame)
+	}
+	events := make([]types.Event, 0, ne)
+	for i := uint64(0); i < ne; i++ {
+		ev := r.Event()
+		if r.Err() != nil {
+			return nil, nil, fmt.Errorf("%w: ingest record event", ErrBadFrame)
+		}
+		events = append(events, ev)
+	}
+	if r.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("%w: ingest record trailing bytes", ErrBadFrame)
+	}
+	return entries, events, nil
+}
+
+// encodeWatermarks encodes the GC checkpoint blob: per-tenant acked
+// high-watermarks plus the next global event sequence.
+func encodeWatermarks(wm map[string]uint64, nextSeq uint64) []byte {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Canonical order keeps the blob deterministic for byte-level tests.
+	names := make([]string, 0, len(wm))
+	for name := range wm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		putString(w, name)
+		w.Uvarint(wm[name])
+	}
+	w.Uvarint(nextSeq)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// decodeWatermarks decodes the GC checkpoint blob.
+func decodeWatermarks(b []byte) (map[string]uint64, uint64, error) {
+	r := codec.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil, 0, fmt.Errorf("%w: watermark blob count", ErrBadFrame)
+	}
+	wm := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		name, ok := readString(r, MaxTenantName)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: watermark blob tenant", ErrBadFrame)
+		}
+		wm[name] = r.Uvarint()
+	}
+	nextSeq := r.Uvarint()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, 0, fmt.Errorf("%w: watermark blob", ErrBadFrame)
+	}
+	return wm, nextSeq, nil
+}
+
+// IngestState is what a restarted server recovers from the manifest.
+type IngestState struct {
+	// Watermarks maps tenant name to the highest batch sequence that is
+	// durably committed (and therefore acked or ackable). Admission's
+	// contiguity rule makes this a contiguous prefix per tenant.
+	Watermarks map[string]uint64
+	// NextSeq is the lowest safe global event sequence: past every
+	// assignment any manifest record ever made, durable or torn.
+	NextSeq uint64
+	// Epochs maps every fed epoch still in the log to its global
+	// pre-routing batch — the shard.Source recovery re-feeds from.
+	Epochs map[uint64][]types.Event
+}
+
+// RecoverIngest rebuilds the ingest state from the coordinator device.
+// durable is the group's recovered punctuation frontier: a batch counts
+// toward a tenant watermark iff its epoch is at or below it (epochs beyond
+// the frontier never survived the crash, so their batches must be re-sent
+// and re-fed). A torn final record — the manifest append that died mid-
+// write — is tolerated and ignored, like the engine's torn input tails.
+func RecoverIngest(dev storage.Device, durable uint64) (IngestState, error) {
+	st := IngestState{
+		Watermarks: map[string]uint64{},
+		NextSeq:    1,
+		Epochs:     map[uint64][]types.Event{},
+	}
+	if blob, ok, err := dev.ReadBlob(BlobIngest); err != nil {
+		return st, fmt.Errorf("serve: read %s: %w", BlobIngest, err)
+	} else if ok {
+		wm, nextSeq, err := decodeWatermarks(blob)
+		if err != nil {
+			return st, fmt.Errorf("serve: %s: %w", BlobIngest, err)
+		}
+		st.Watermarks = wm
+		if nextSeq > st.NextSeq {
+			st.NextSeq = nextSeq
+		}
+	}
+	recs, err := dev.ReadLog(LogIngest)
+	if err != nil {
+		return st, fmt.Errorf("serve: read %s: %w", LogIngest, err)
+	}
+	// Latest record wins per epoch: an incarnation that died between the
+	// manifest append and the feed leaves a record for an epoch it never
+	// processed, and its successor re-appends that epoch number with
+	// whatever it actually feeds there. Only the authoritative (last)
+	// record's batches may count toward watermarks — a superseded batch was
+	// never fed, and acking it would punch a hole in the tenant's stream.
+	// NextSeq, by contrast, folds every record including superseded ones:
+	// skipping sequence numbers is always safe, reusing them never is.
+	latest := map[uint64][]ManifestEntry{}
+	for i, rec := range recs {
+		entries, events, err := decodeIngestRecord(rec.Payload)
+		if err != nil {
+			if i == len(recs)-1 {
+				break // torn tail: the append this record belongs to died
+			}
+			return st, fmt.Errorf("serve: %s epoch %d: %w", LogIngest, rec.Epoch, err)
+		}
+		st.Epochs[rec.Epoch] = events
+		latest[rec.Epoch] = entries
+		for _, e := range entries {
+			if end := e.FirstSeq + e.Events; end > st.NextSeq {
+				st.NextSeq = end
+			}
+		}
+	}
+	for ep, entries := range latest {
+		if ep > durable {
+			continue // never survived the crash: must be re-sent and re-fed
+		}
+		for _, e := range entries {
+			if e.BatchSeq > st.Watermarks[e.Tenant] {
+				st.Watermarks[e.Tenant] = e.BatchSeq
+			}
+		}
+	}
+	return st, nil
+}
+
+// IngestSource builds the group-recovery Source from the coordinator
+// device's manifest: epoch → global pre-routing batch. Epochs GC already
+// truncated are reported unknown, which GroupRecover's counter restoration
+// tolerates; the alignment epoch always sits above the GC horizon because
+// GC never truncates past the committed frontier.
+func IngestSource(dev storage.Device, durable uint64) (shard.Source, error) {
+	st, err := RecoverIngest(dev, durable)
+	if err != nil {
+		return nil, err
+	}
+	return func(epoch uint64) ([]types.Event, bool) {
+		ev, ok := st.Epochs[epoch]
+		return ev, ok
+	}, nil
+}

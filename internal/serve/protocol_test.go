@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/types"
+)
+
+// readOne round-trips one encoded frame through ReadFrame + DecodeFrame.
+func readOne(t *testing.T, wire []byte) Frame {
+	t.Helper()
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire)), DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	f, err := DecodeFrame(payload)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	return f
+}
+
+func testEvents(n int) []types.Event {
+	evs := make([]types.Event, n)
+	for i := range evs {
+		evs[i] = types.Event{
+			Seq:  uint64(100 + i),
+			Kind: 1,
+			Keys: []types.Key{{Row: uint32(i)}, {Table: 1, Row: uint32(i + 7)}},
+			Vals: []types.Value{int64(i * 3)},
+		}
+	}
+	return evs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	if f := readOne(t, EncodeHello("tenant-a")); f.Type != FrameHello || f.Tenant != "tenant-a" {
+		t.Fatalf("hello round trip: %+v", f)
+	}
+	if f := readOne(t, EncodeHelloAck(41, 97)); f.Type != FrameHelloAck || f.Watermark != 41 || f.Epoch != 97 {
+		t.Fatalf("helloack round trip: %+v", f)
+	}
+	evs := testEvents(3)
+	f := readOne(t, EncodeSubmit(7, evs))
+	if f.Type != FrameSubmit || f.BatchSeq != 7 || len(f.Events) != 3 {
+		t.Fatalf("submit round trip: %+v", f)
+	}
+	for i, ev := range f.Events {
+		if ev.Seq != evs[i].Seq || len(ev.Keys) != 2 || ev.Keys[0] != evs[i].Keys[0] {
+			t.Fatalf("submit event %d mangled: %+v vs %+v", i, ev, evs[i])
+		}
+	}
+	if f := readOne(t, EncodeAck(9, 12)); f.Type != FrameAck || f.BatchSeq != 9 || f.Epoch != 12 {
+		t.Fatalf("ack round trip: %+v", f)
+	}
+	f = readOne(t, EncodeSlowdown(5, 250, SlowQueue))
+	if f.Type != FrameSlowdown || f.BatchSeq != 5 || f.RetryAfterMs != 250 || f.Reason != SlowQueue {
+		t.Fatalf("slowdown round trip: %+v", f)
+	}
+	f = readOne(t, EncodeError(errCodeUnknownTenant, "nope"))
+	if f.Type != FrameError || f.Code != errCodeUnknownTenant || f.Msg != "nope" {
+		t.Fatalf("error round trip: %+v", f)
+	}
+	if f := readOne(t, EncodePing()); f.Type != FramePing {
+		t.Fatalf("ping round trip: %+v", f)
+	}
+	if f := readOne(t, EncodePong()); f.Type != FramePong {
+		t.Fatalf("pong round trip: %+v", f)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	evs := testEvents(1)
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"unknown type", []byte{0x7f}},
+		{"trailing bytes", append(append([]byte{}, payloadOf(t, EncodeAck(1, 1))...), 0xaa)},
+		{"truncated submit", payloadOf(t, EncodeSubmit(1, evs))[:4]},
+		{"empty batch", append([]byte{byte(FrameSubmit)}, 1, 0)},
+		{"hostile event count", append([]byte{byte(FrameSubmit)}, 1, 0xff, 0xff, 0xff, 0xff, 0x07)},
+		{"oversized tenant", append([]byte{byte(FrameHello)}, 0xc8)},
+		{"bad slowdown reason", append([]byte{byte(FrameSlowdown)}, 1, 1, 99)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: want ErrBadFrame, got %v", tc.name, err)
+		}
+	}
+
+	// Events with no routing key or the reserved replication kind must be
+	// rejected at decode — the group would refuse them at feed time.
+	keyless := EncodeSubmit(1, []types.Event{{Seq: 1, Kind: 1, Vals: []types.Value{int64(1)}}})
+	if _, err := DecodeFrame(payloadOf(t, keyless)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("keyless event: want ErrBadFrame, got %v", err)
+	}
+	repl := EncodeSubmit(1, []types.Event{{Seq: 1, Kind: shard.KindReplicate, Keys: []types.Key{{Row: 1}}}})
+	if _, err := DecodeFrame(payloadOf(t, repl)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("replicate kind: want ErrBadFrame, got %v", err)
+	}
+}
+
+// payloadOf strips the length prefix off an encoded wire frame.
+func payloadOf(t *testing.T, wire []byte) []byte {
+	t.Helper()
+	n, w := binary.Uvarint(wire)
+	if w <= 0 || int(n) != len(wire)-w {
+		t.Fatalf("bad wire frame: n=%d w=%d len=%d", n, w, len(wire))
+	}
+	return wire[w:]
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// A hostile length prefix is rejected before any payload allocation.
+	big := binary.AppendUvarint(nil, uint64(DefaultMaxFrame)+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(big)), DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize prefix: want ErrFrameTooLarge, got %v", err)
+	}
+	// Zero-length frames are malformed.
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader([]byte{0})), 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero frame: want ErrBadFrame, got %v", err)
+	}
+	// A truncated payload surfaces the transport error.
+	trunc := append(binary.AppendUvarint(nil, 10), 1, 2, 3)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(trunc)), 0); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+	// A frame within a custom limit passes; one over it fails.
+	wire := EncodeHello("abc")
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire)), 2); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("tight limit: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestSlowReasonString(t *testing.T) {
+	for r, want := range map[SlowReason]string{
+		SlowRate: "rate", SlowQueue: "queue", SlowDegraded: "degraded",
+		SlowOrder: "order", SlowReason(9): "reason(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("SlowReason(%d).String() = %q, want %q", byte(r), got, want)
+		}
+	}
+}

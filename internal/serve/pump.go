@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/supervisor"
+	"morphstreamr/internal/types"
+)
+
+// pump is the single feeding goroutine: every tick it gathers admitted
+// batches by tenant priority, assigns global event sequences, appends the
+// epoch's ingest manifest record (write-ahead), feeds the backend, flushes
+// acks for newly committed epochs, and garbage-collects the manifest.
+// Backend failures are healed inline, with the degraded flag raised so
+// admission sheds by priority while the heal runs — the accept loop and
+// the session read loops never stall.
+func (s *Server) pump() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.EpochEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closedCh:
+			return
+		case <-ticker.C:
+			if err := s.tick(); err != nil {
+				s.mu.Lock()
+				s.termErr = err
+				s.mu.Unlock()
+				s.degraded.Store(true) // shed everything; the server is dead
+				return
+			}
+		}
+	}
+}
+
+// errManifest marks a coordinator-device manifest append failure: the
+// epoch was never fed, its batches are already requeued, and the backend
+// is intact — retry next tick rather than heal a healthy group.
+var errManifest = errors.New("serve: ingest manifest append failed")
+
+func (s *Server) tick() error {
+	batches := s.gather()
+	// Feed even with no new batches while epochs are in flight: commit
+	// markers fire on epoch cadence, so pending acks need empty heartbeat
+	// epochs to reach their durability gate during traffic lulls.
+	if len(batches) == 0 && len(s.inflight) == 0 {
+		s.flushAcks()
+		return nil
+	}
+	if err := s.feed(batches); err != nil {
+		if errors.Is(err, errManifest) {
+			s.manifestFails++
+			if s.manifestFails > 8 {
+				return err
+			}
+			return nil
+		}
+		if herr := s.heal(err); herr != nil {
+			return herr
+		}
+	}
+	s.manifestFails = 0
+	s.flushAcks()
+	s.maybeGC()
+	return nil
+}
+
+// gather collects whole batches in feeding order — tenants by priority
+// descending, each tenant's FIFO queue drained in turn — until the epoch
+// event budget is reached. Shed-eligible tenants are skipped while
+// degraded (their queues keep their backlog; only new Submits bounce).
+func (s *Server) gather() []*batch {
+	if len(s.inflight) >= s.cfg.MaxInflightEpochs {
+		return nil // ack debt bound: stop feeding until commits catch up
+	}
+	degraded := s.degraded.Load()
+	room := s.cfg.MaxEpochEvents
+	var out []*batch
+	for _, t := range s.order {
+		if degraded && t.cfg.Priority < s.cfg.ShedBelow {
+			continue
+		}
+		for room > 0 {
+			got := t.take(1)
+			if len(got) == 0 {
+				break
+			}
+			b := got[0]
+			if len(b.ev) > room && len(out) > 0 {
+				// Batch does not fit this epoch: put it back for the next.
+				t.requeue(got)
+				room = 0
+				break
+			}
+			out = append(out, b)
+			room -= len(b.ev)
+		}
+	}
+	return out
+}
+
+// feed assigns sequences, writes the manifest record, and feeds one epoch.
+func (s *Server) feed(batches []*batch) error {
+	ep := s.be.Epoch() + 1
+	var events []types.Event
+	entries := make([]ManifestEntry, 0, len(batches))
+	for _, b := range batches {
+		if !b.seqed {
+			// Assign once; heal requeues keep the assignment so a re-fed
+			// batch replays with identical sequences.
+			b.firstSeq = s.nextSeq
+			s.nextSeq += uint64(len(b.ev))
+			for i := range b.ev {
+				b.ev[i].Seq = b.firstSeq + uint64(i)
+			}
+			b.seqed = true
+		}
+		events = append(events, b.ev...)
+		entries = append(entries, ManifestEntry{
+			Tenant: b.tn.cfg.Name, BatchSeq: b.seq,
+			FirstSeq: b.firstSeq, Events: uint64(len(b.ev)),
+		})
+	}
+	// Requeued batches carry older sequences than freshly gathered ones;
+	// feed the epoch in global sequence order.
+	sort.Slice(events, func(a, b int) bool { return events[a].Seq < events[b].Seq })
+
+	// Record the epoch before feeding it: the manifest is the write-ahead
+	// truth recovery re-feeds from, so it must cover every epoch the
+	// backend might have started. The in-memory mirrors serve the heal
+	// path without a device read.
+	s.inflight[ep] = batches
+	s.fedEpochs[ep] = events
+	if len(events) == 0 {
+		s.fedEpochs[ep] = []types.Event{} // present-but-empty: heartbeat
+	}
+	rec := storage.Record{Epoch: ep, Payload: encodeIngestRecord(entries, events)}
+	if err := s.be.Coord().Append(LogIngest, rec); err != nil {
+		// The epoch was never fed; unwind the mirrors and requeue.
+		delete(s.inflight, ep)
+		delete(s.fedEpochs, ep)
+		s.requeueBatches(batches)
+		return fmt.Errorf("%w: epoch %d: %v", errManifest, ep, err)
+	}
+	if err := s.be.Feed(events); err != nil {
+		return err
+	}
+	s.count("serve.epochs")
+	return nil
+}
+
+// memSource serves group recovery from the pump's in-memory epoch mirror,
+// which matches the durable manifest exactly: both record every fed epoch
+// and both are pruned only below the committed frontier, so any epoch
+// recovery can ask for — the alignment epoch is never below the frontier —
+// is present.
+func (s *Server) memSource() shard.Source {
+	return func(ep uint64) ([]types.Event, bool) {
+		ev, ok := s.fedEpochs[ep]
+		return ev, ok
+	}
+}
+
+// heal recovers the backend after a failed Feed. While it runs, admission
+// sheds tenants below the priority threshold; admitted work is never
+// dropped — batches from epochs the recovery could not preserve are
+// requeued (with their assigned sequences) and re-fed after the heal.
+func (s *Server) heal(procErr error) error {
+	detected := time.Now()
+	cause := supervisor.Classify(procErr)
+	s.degraded.Store(true)
+	defer s.degraded.Store(false)
+	s.heals.Add(1)
+	s.count("serve.heals")
+	if int(s.heals.Load()) > s.cfg.MaxHeals {
+		s.cfg.Health.Record(metrics.Incident{
+			Cause: cause, Err: procErr.Error(), DetectedAt: detected, Healed: false,
+		})
+		return fmt.Errorf("serve: heal budget exhausted (%d): %w", s.cfg.MaxHeals, procErr)
+	}
+
+	recovered, err := s.be.Heal(procErr, s.memSource())
+	if err != nil {
+		s.cfg.Health.Record(metrics.Incident{
+			Cause: cause, Err: procErr.Error(), DetectedAt: detected,
+			MTTR: time.Since(detected), Healed: false,
+		})
+		return fmt.Errorf("serve: heal: %w", err)
+	}
+
+	// Epochs above the recovery point were lost with the crash: requeue
+	// their batches, ascending, at the front of their tenants' queues so
+	// re-feeding preserves per-tenant order and global sequence order.
+	var lost []uint64
+	for ep := range s.inflight {
+		if ep > recovered {
+			lost = append(lost, ep)
+		}
+	}
+	sort.Slice(lost, func(a, b int) bool { return lost[a] > lost[b] })
+	for _, ep := range lost {
+		s.requeueBatches(s.inflight[ep])
+		delete(s.inflight, ep)
+		delete(s.fedEpochs, ep)
+	}
+
+	s.cfg.Health.Record(metrics.Incident{
+		Cause: cause, Err: procErr.Error(), DetectedAt: detected,
+		MTTR: time.Since(detected), RecoveredEpoch: recovered, Healed: true,
+	})
+	if reg := s.cfg.Obs.Registry(); reg != nil {
+		reg.Histogram("serve.heal_seconds").ObserveSince(detected)
+	}
+	return nil
+}
+
+// requeueBatches returns batches to their tenants' queue fronts, grouped
+// per tenant in original order.
+func (s *Server) requeueBatches(batches []*batch) {
+	perTenant := map[*tenant][]*batch{}
+	var order []*tenant
+	for _, b := range batches {
+		if _, seen := perTenant[b.tn]; !seen {
+			order = append(order, b.tn)
+		}
+		perTenant[b.tn] = append(perTenant[b.tn], b)
+	}
+	for _, t := range order {
+		t.requeue(perTenant[t])
+	}
+}
+
+// flushAcks acknowledges every in-flight epoch at or below the committed
+// punctuation frontier: ascending epoch order, batches in fed order, so
+// each tenant's watermark advances contiguously. This — and only this —
+// is where an ack originates; by construction it cannot fire before the
+// covering epoch is durable on every shard.
+func (s *Server) flushAcks() {
+	committed := s.be.Committed()
+	s.committed.Store(committed)
+	var done []uint64
+	for ep := range s.inflight {
+		if ep <= committed {
+			done = append(done, ep)
+		}
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a] < done[b] })
+	for _, ep := range done {
+		for _, b := range s.inflight[ep] {
+			sess := b.tn.ack(b)
+			if s.cfg.AckLog != nil {
+				s.cfg.AckLog(b.tn.cfg.Name, b.seq, b.firstSeq, uint64(len(b.ev)), ep)
+			}
+			s.count("serve.acks")
+			s.observeAckLag(b.submitted)
+			if sess != nil {
+				sess.trySend(EncodeAck(b.seq, ep))
+			}
+		}
+		delete(s.inflight, ep)
+	}
+}
+
+// maybeGC checkpoints tenant watermarks and truncates the ingest manifest
+// below the committed frontier, blob first: a crash between the two steps
+// only leaves extra log records. The in-memory epoch mirror is pruned to
+// the same horizon. Epochs at or above committed are always retained —
+// group recovery's alignment epoch can never sit below the frontier.
+func (s *Server) maybeGC() {
+	committed := s.committed.Load()
+	if committed < 1 || committed-s.lastGC < s.cfg.GCEvery {
+		return
+	}
+	wm := make(map[string]uint64, len(s.order))
+	for _, t := range s.order {
+		wm[t.cfg.Name] = t.Watermark()
+	}
+	if err := s.be.Coord().WriteBlob(BlobIngest, encodeWatermarks(wm, s.nextSeq)); err != nil {
+		return // skip this round; the log still has everything
+	}
+	upTo := committed - 1
+	if err := s.be.Coord().Truncate(LogIngest, upTo); err != nil {
+		return
+	}
+	for ep := range s.fedEpochs {
+		if ep <= upTo {
+			delete(s.fedEpochs, ep)
+		}
+	}
+	s.lastGC = committed
+	s.count("serve.gcs")
+}

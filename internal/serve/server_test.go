@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/shard"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+const testRows = uint32(512)
+
+// newTestShardConfig builds a group config with explicit devices so a test
+// can close the backend and recover a second one from the same storage.
+func newTestShardConfig(shards int) shard.Config {
+	devs := make([]storage.Device, shards)
+	for i := range devs {
+		devs[i] = storage.NewMem()
+	}
+	return shard.Config{
+		GroupShape: types.GroupShape{
+			RunShape: types.RunShape{Workers: 2, CommitEvery: 2, SnapshotEvery: 8},
+			Shards:   shards,
+		},
+		App:      workload.NewGSApp(testRows),
+		Kind:     ftapi.WAL,
+		Devices:  devs,
+		CoordDev: storage.NewMem(),
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config, shardCfg shard.Config) *Server {
+	t.Helper()
+	be, err := NewGroupBackend(shardCfg)
+	if err != nil {
+		t.Fatalf("NewGroupBackend: %v", err)
+	}
+	cfg.Backend = be
+	if cfg.EpochEvery == 0 {
+		cfg.EpochEvery = time.Millisecond
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		be.Close()
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func genBatches(seed int64, n, events int) [][]types.Event {
+	gen := workload.NewGS(workload.GSParams{
+		Seed: seed, Rows: testRows, Partitions: 2,
+		Theta: 0.6, Reads: 2, MultiPartitionRatio: 0.2,
+	})
+	out := make([][]types.Event, n)
+	for b := range out {
+		evs := make([]types.Event, events)
+		for e := range evs {
+			evs[e] = gen.Next()
+		}
+		out[b] = evs
+	}
+	return out
+}
+
+// submitAndDrain submits batches [from..to] and reads frames until every
+// batch is acked (or the deadline passes).
+func submitAndDrain(t *testing.T, c *Client, batches [][]types.Event, from, to uint64) {
+	t.Helper()
+	for seq := from; seq <= to; seq++ {
+		if err := c.Submit(seq, batches[seq-1]); err != nil {
+			t.Fatalf("Submit(%d): %v", seq, err)
+		}
+	}
+	acked := from - 1
+	deadline := time.Now().Add(10 * time.Second)
+	for acked < to && time.Now().Before(deadline) {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatalf("Next: %v (acked %d of %d)", err, acked, to)
+		}
+		if f.Type == FrameAck && f.BatchSeq > acked {
+			acked = f.BatchSeq
+		}
+	}
+	if acked < to {
+		t.Fatalf("timed out: acked %d of %d", acked, to)
+	}
+}
+
+func TestAckFlowEndToEnd(t *testing.T) {
+	srv := newTestServer(t, Config{Tenants: []TenantConfig{{Name: "a"}}}, newTestShardConfig(2))
+	c, err := Dial(srv.Addr(), "a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Watermark != 0 {
+		t.Fatalf("fresh tenant watermark = %d, want 0", c.Watermark)
+	}
+	batches := genBatches(1, 5, 4)
+	submitAndDrain(t, c, batches, 1, 5)
+	if wm, ok := srv.Tenant("a"); !ok || wm != 5 {
+		t.Fatalf("server watermark = %d/%v, want 5", wm, ok)
+	}
+}
+
+func TestDuplicateAckOnReplay(t *testing.T) {
+	srv := newTestServer(t, Config{Tenants: []TenantConfig{{Name: "a"}}}, newTestShardConfig(2))
+	c, err := Dial(srv.Addr(), "a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	batches := genBatches(2, 3, 4)
+	submitAndDrain(t, c, batches, 1, 3)
+
+	// Replaying an acked batch answers an immediate duplicate ack and never
+	// feeds the batch again (the watermark dedupe path).
+	if err := c.Submit(2, batches[1]); err != nil {
+		t.Fatalf("replay Submit: %v", err)
+	}
+	f, err := c.Next()
+	if err != nil {
+		t.Fatalf("Next after replay: %v", err)
+	}
+	if f.Type != FrameAck || f.BatchSeq != 2 {
+		t.Fatalf("replay answer = %+v, want Ack(2)", f)
+	}
+}
+
+func TestOutOfOrderSubmit(t *testing.T) {
+	srv := newTestServer(t, Config{Tenants: []TenantConfig{{Name: "a"}}}, newTestShardConfig(2))
+	c, err := Dial(srv.Addr(), "a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	batches := genBatches(3, 3, 4)
+	if err := c.Submit(3, batches[2]); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	f, err := c.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Type != FrameSlowdown || f.Reason != SlowOrder || f.BatchSeq != 1 {
+		t.Fatalf("gap answer = %+v, want Slowdown(order, resend from 1)", f)
+	}
+}
+
+func TestUnknownTenantRejected(t *testing.T) {
+	srv := newTestServer(t, Config{Tenants: []TenantConfig{{Name: "a"}}}, newTestShardConfig(1))
+	if _, err := Dial(srv.Addr(), "nobody", 2*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "hello rejected") {
+		t.Fatalf("unknown tenant: got %v, want hello rejected", err)
+	}
+}
+
+func TestExplicitBackpressureVerdicts(t *testing.T) {
+	// A pump that effectively never runs keeps admitted batches queued, so
+	// the rate and queue verdicts are deterministic.
+	srv := newTestServer(t, Config{
+		EpochEvery: time.Hour,
+		Tenants: []TenantConfig{
+			{Name: "rated", Rate: 0.001, Burst: 1},
+			{Name: "queued", QueueCap: 1},
+		},
+	}, newTestShardConfig(1))
+	batches := genBatches(4, 3, 2)
+
+	rated, err := Dial(srv.Addr(), "rated", 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial rated: %v", err)
+	}
+	defer rated.Close()
+	if err := rated.Submit(1, batches[0]); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := rated.Submit(2, batches[1]); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	f, err := rated.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Type != FrameSlowdown || f.Reason != SlowRate || f.RetryAfterMs == 0 {
+		t.Fatalf("rate verdict = %+v, want Slowdown(rate) with retry hint", f)
+	}
+
+	queued, err := Dial(srv.Addr(), "queued", 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial queued: %v", err)
+	}
+	defer queued.Close()
+	if err := queued.Submit(1, batches[0]); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := queued.Submit(2, batches[1]); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	f, err = queued.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Type != FrameSlowdown || f.Reason != SlowQueue {
+		t.Fatalf("queue verdict = %+v, want Slowdown(queue)", f)
+	}
+}
+
+func TestHalfOpenConnectionShed(t *testing.T) {
+	srv := newTestServer(t, Config{
+		HelloTimeout: 50 * time.Millisecond,
+		Tenants:      []TenantConfig{{Name: "a"}},
+	}, newTestShardConfig(1))
+
+	// A connection that never says Hello is shed on HelloTimeout.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("half-open connection was not closed")
+	}
+
+	// And the accept loop is still serving real clients.
+	c, err := Dial(srv.Addr(), "a", 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial after half-open shed: %v", err)
+	}
+	c.Close()
+}
+
+func TestNonHelloFirstFrameRejected(t *testing.T) {
+	srv := newTestServer(t, Config{Tenants: []TenantConfig{{Name: "a"}}}, newTestShardConfig(1))
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write(EncodePing()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, err := ReadFrame(bufio.NewReader(raw), DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	f, err := DecodeFrame(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Type != FrameError || f.Code != errCodeHelloFirst {
+		t.Fatalf("answer = %+v, want Error(hello first)", f)
+	}
+}
+
+// TestColdRestartExactlyOnce kills the whole stack and recovers a second
+// server from the surviving devices: the reconnecting client's replays are
+// deduplicated against the recovered watermark, and new batches flow.
+func TestColdRestartExactlyOnce(t *testing.T) {
+	shardCfg := newTestShardConfig(2)
+	type ackKey struct {
+		tenant string
+		seq    uint64
+	}
+	ackCounts := map[ackKey]int{}
+	ackLog := func(tenant string, batchSeq, firstSeq, events, epoch uint64) {
+		ackCounts[ackKey{tenant, batchSeq}]++
+	}
+
+	be, err := NewGroupBackend(shardCfg)
+	if err != nil {
+		t.Fatalf("NewGroupBackend: %v", err)
+	}
+	srv, err := New(Config{
+		Backend: be, EpochEvery: time.Millisecond,
+		Tenants: []TenantConfig{{Name: "a"}},
+		AckLog:  ackLog,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	batches := genBatches(5, 8, 4)
+	c, err := Dial(srv.Addr(), "a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	submitAndDrain(t, c, batches, 1, 6)
+	c.Close()
+	srv.Close() // kills the listener, the pump, and the backend
+
+	// Second incarnation: recover the group from the shard logs and the
+	// ingest manifest, then a fresh server over it.
+	be2, err := RecoverGroupBackend(shardCfg)
+	if err != nil {
+		t.Fatalf("RecoverGroupBackend: %v", err)
+	}
+	srv2, err := New(Config{
+		Backend: be2, EpochEvery: time.Millisecond,
+		Tenants: []TenantConfig{{Name: "a"}},
+		AckLog:  ackLog,
+	})
+	if err != nil {
+		t.Fatalf("New (recovered): %v", err)
+	}
+	defer srv2.Close()
+
+	c2, err := Dial(srv2.Addr(), "a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial (recovered): %v", err)
+	}
+	defer c2.Close()
+	if c2.Watermark != 6 {
+		t.Fatalf("recovered watermark = %d, want 6", c2.Watermark)
+	}
+	// A replayed survivor is answered with a duplicate ack, not re-fed.
+	if err := c2.Submit(4, batches[3]); err != nil {
+		t.Fatalf("replay Submit: %v", err)
+	}
+	f, err := c2.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Type != FrameAck || f.BatchSeq != 4 {
+		t.Fatalf("replay answer = %+v, want Ack(4)", f)
+	}
+	// New traffic continues from the watermark.
+	submitAndDrain(t, c2, batches, 7, 8)
+
+	// The server-side audit trail saw each batch acked exactly once across
+	// both incarnations (the duplicate ack above bypasses AckLog by design).
+	for k, n := range ackCounts {
+		if n != 1 {
+			t.Errorf("batch %+v acked %d times across incarnations", k, n)
+		}
+	}
+	if len(ackCounts) != 8 {
+		t.Errorf("acked %d distinct batches, want 8", len(ackCounts))
+	}
+}
+
+func TestRecoverIngestLatestRecordWins(t *testing.T) {
+	dev := storage.NewMem()
+	evs := genBatches(6, 1, 2)[0]
+	// First incarnation appends epoch 1 claiming batch (a,1) with seqs 1..2,
+	// then dies before feeding it. The second incarnation re-appends epoch 1
+	// empty (it had nothing to feed there).
+	rec1 := encodeIngestRecord([]ManifestEntry{{Tenant: "a", BatchSeq: 1, FirstSeq: 1, Events: 2}}, evs)
+	if err := dev.Append(LogIngest, storage.Record{Epoch: 1, Payload: rec1}); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := encodeIngestRecord(nil, nil)
+	if err := dev.Append(LogIngest, storage.Record{Epoch: 1, Payload: rec2}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverIngest(dev, 1)
+	if err != nil {
+		t.Fatalf("RecoverIngest: %v", err)
+	}
+	// The superseded record's batch was never fed: it must NOT count toward
+	// the watermark, or the tenant's stream would have a hole.
+	if st.Watermarks["a"] != 0 {
+		t.Fatalf("watermark from superseded record: %d, want 0", st.Watermarks["a"])
+	}
+	// But its sequence assignment is burned: NextSeq must skip it.
+	if st.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3 (superseded seqs are never reused)", st.NextSeq)
+	}
+	// The latest record is the authoritative epoch batch for recovery.
+	if got := st.Epochs[1]; len(got) != 0 {
+		t.Fatalf("epoch 1 batch = %d events, want 0 (latest record wins)", len(got))
+	}
+}
+
+func TestRecoverIngestTornTail(t *testing.T) {
+	dev := storage.NewMem()
+	evs := genBatches(7, 1, 2)[0]
+	rec := encodeIngestRecord([]ManifestEntry{{Tenant: "a", BatchSeq: 1, FirstSeq: 1, Events: 2}}, evs)
+	if err := dev.Append(LogIngest, storage.Record{Epoch: 1, Payload: rec}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn final record — the append that died mid-write — is ignored.
+	if err := dev.Append(LogIngest, storage.Record{Epoch: 2, Payload: []byte{0xff, 0x01, 0x02}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverIngest(dev, 2)
+	if err != nil {
+		t.Fatalf("RecoverIngest with torn tail: %v", err)
+	}
+	if st.Watermarks["a"] != 1 || st.NextSeq != 3 {
+		t.Fatalf("state = %+v, want watermark 1, next 3", st)
+	}
+	// The same corruption anywhere else in the log is a hard error.
+	if err := dev.Append(LogIngest, storage.Record{Epoch: 3, Payload: rec}); err != nil {
+		t.Fatal(err)
+	}
+	// Log is now: good(1), torn(2), good(3) — the torn record is no longer
+	// the tail, so recovery must refuse rather than silently skip an epoch.
+	if _, err := RecoverIngest(dev, 3); err == nil {
+		t.Fatal("mid-log corruption: want error")
+	}
+}
+
+func TestRecoverIngestFromBlob(t *testing.T) {
+	dev := storage.NewMem()
+	if err := dev.WriteBlob(BlobIngest, encodeWatermarks(map[string]uint64{"a": 7, "b": 2}, 42)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverIngest(dev, 100)
+	if err != nil {
+		t.Fatalf("RecoverIngest: %v", err)
+	}
+	if st.Watermarks["a"] != 7 || st.Watermarks["b"] != 2 || st.NextSeq != 42 {
+		t.Fatalf("blob state = %+v", st)
+	}
+}

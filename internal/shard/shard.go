@@ -105,6 +105,13 @@ type Config struct {
 	// RecordRouting retains the shard assignment of every routed event
 	// (the determinism test's routed-event transcript).
 	RecordRouting bool
+	// OnCommit, when non-nil, is called after a completed barrier whenever
+	// the group's committed punctuation frontier (see Committed) advances,
+	// with the new frontier. Epochs at or below the frontier have durably
+	// committed on every shard and released their outputs, so this is the
+	// signal the serving layer keys exactly-once client acks to. Called on
+	// the coordinator's feeding goroutine.
+	OnCommit func(frontier uint64)
 }
 
 func (c *Config) normalize() error {
@@ -208,6 +215,10 @@ type Group struct {
 	// whose mechanism-replayed epochs have no captured write sets).
 	lastDeltas []codec.ShardDelta
 	fullSync   bool
+
+	// notified is the last frontier surfaced through Config.OnCommit, so
+	// the hook fires only on advancement.
+	notified uint64
 
 	stats  []EpochStat
 	routes [][]int
@@ -476,6 +487,12 @@ func (g *Group) completeBarrier(ep uint64) error {
 		reg.Counter("group.barriers").Inc()
 		reg.Gauge("group.epoch").Set(int64(ep))
 	}
+	if g.cfg.OnCommit != nil {
+		if f := g.Committed(); f > g.notified {
+			g.notified = f
+			g.cfg.OnCommit(f)
+		}
+	}
 	return nil
 }
 
@@ -551,6 +568,22 @@ func (g *Group) DeliveredUnion(i int) []types.Output {
 	s := g.shards[i]
 	out := append([]types.Output(nil), s.banked...)
 	return append(out, s.eng.Delivered()...)
+}
+
+// Committed returns the group's committed punctuation frontier: the
+// highest epoch durably committed on every shard (the minimum of the
+// committed vector). Every epoch at or below it has released its outputs
+// on every shard, so an acknowledgement covering it can never be revoked
+// by a crash — the exactly-once gate the serving layer acks against.
+func (g *Group) Committed() uint64 {
+	var frontier uint64
+	for i, s := range g.shards {
+		c := s.eng.CommittedEpoch()
+		if i == 0 || c < frontier {
+			frontier = c
+		}
+	}
+	return frontier
 }
 
 // CommittedVector returns each shard's punctuation frontier — the highest

@@ -37,6 +37,13 @@ var ErrRetryExhausted = errors.New("storage: retry budget exhausted")
 // with more retries only delays the supervisor's verdict.
 var ErrCircuitOpen = errors.New("storage: circuit breaker open")
 
+// ErrRetryCanceled is surfaced by a Retrying wrapper that was Closed: an
+// in-flight backoff sleep is interrupted immediately and subsequent
+// operations fail fast without touching the device. It is deliberately not
+// ErrTransient-classified — a canceled wrapper belongs to a shutdown or an
+// abandoned incarnation, and nothing above it should retry.
+var ErrRetryCanceled = errors.New("storage: retry canceled")
+
 // RetryPolicy tunes a Retrying wrapper. The zero value selects defaults
 // suitable for the in-memory and throttled devices used in tests and
 // benchmarks; production File devices want larger deadlines.
@@ -130,6 +137,12 @@ type Retrying struct {
 	Inner Device
 	pol   RetryPolicy
 
+	// done is closed by Close; customSleep holds a caller-supplied Sleep
+	// seam (nil when the interruptible default timer is in use).
+	done        chan struct{}
+	closeOnce   sync.Once
+	customSleep func(time.Duration)
+
 	mu        sync.Mutex
 	rng       uint64
 	consec    int
@@ -141,8 +154,48 @@ type Retrying struct {
 
 // NewRetrying wraps inner under the given policy (zero fields default).
 func NewRetrying(inner Device, pol RetryPolicy) *Retrying {
+	custom := pol.Sleep
 	p := pol.withDefaults()
-	return &Retrying{Inner: inner, pol: p, rng: p.JitterSeed}
+	return &Retrying{Inner: inner, pol: p, rng: p.JitterSeed,
+		done: make(chan struct{}), customSleep: custom}
+}
+
+// Close cancels the wrapper: an in-flight backoff sleep is interrupted and
+// the operation surfaces ErrRetryCanceled promptly; later operations fail
+// fast the same way. Close is idempotent and safe to race with operations.
+// A fatal shutdown no longer has to wait out a full backoff window — the
+// fence makes the zombie's writes harmless, Close makes them finish now.
+func (r *Retrying) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+}
+
+// canceled reports whether Close has been called.
+func (r *Retrying) canceled() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep blocks for d or until Close, whichever is first; it returns false
+// when the wrapper was canceled. A caller-supplied Sleep seam runs to
+// completion (tests depend on its exact call count) and the cancellation
+// check happens after it returns.
+func (r *Retrying) sleep(d time.Duration) bool {
+	if r.customSleep != nil {
+		r.customSleep(d)
+		return !r.canceled()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.done:
+		return false
+	}
 }
 
 // Stats returns a snapshot of the wrapper's counters.
@@ -154,6 +207,9 @@ func (r *Retrying) Stats() RetryStats {
 
 // do runs one operation under the retry loop.
 func (r *Retrying) do(op string, fn func() error) error {
+	if r.canceled() {
+		return fmt.Errorf("storage: %s: %w", op, ErrRetryCanceled)
+	}
 	if err := r.preflight(); err != nil {
 		return err
 	}
@@ -182,7 +238,13 @@ func (r *Retrying) do(op string, fn func() error) error {
 		r.mu.Lock()
 		r.stats.Retries++
 		r.mu.Unlock()
-		r.pol.Sleep(r.jitter(backoff))
+		if !r.sleep(r.jitter(backoff)) {
+			r.mu.Lock()
+			r.stats.Fatal++
+			r.mu.Unlock()
+			return fmt.Errorf("storage: %s: %w during backoff after %d attempts: %v",
+				op, ErrRetryCanceled, attempt, err)
+		}
 		backoff *= 2
 		if backoff > r.pol.MaxBackoff {
 			backoff = r.pol.MaxBackoff

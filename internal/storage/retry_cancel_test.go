@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCloseInterruptsBackoffSleep (satellite: cancellable retries): closing
+// a Retrying wrapper mid-backoff interrupts the sleep promptly — tearing a
+// stack down never waits out a multi-second backoff ladder.
+func TestCloseInterruptsBackoffSleep(t *testing.T) {
+	flaky := NewFlaky(NewMem())
+	flaky.AddStorm(0, 1<<20) // every write fails transiently, forever
+	r := NewRetrying(flaky, RetryPolicy{
+		MaxAttempts: 1 << 20,
+		BaseBackoff: 30 * time.Second,
+		MaxBackoff:  time.Minute,
+		OpDeadline:  time.Hour,
+	})
+	errCh := make(chan error, 1)
+	started := time.Now()
+	go func() {
+		errCh <- r.Append("log", Record{Epoch: 1, Payload: []byte("a")})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the op enter its first backoff
+	r.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrRetryCanceled) {
+			t.Fatalf("want ErrRetryCanceled, got %v", err)
+		}
+		// A canceled operation is a shutdown artifact, not a device fault:
+		// it must not read as transient or the callers' fault taxonomy
+		// would count teardowns as storms.
+		if errors.Is(err, ErrTransient) || errors.Is(err, ErrRetryExhausted) {
+			t.Fatalf("canceled error misclassified: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the backoff sleep")
+	}
+	if waited := time.Since(started); waited > 2*time.Second {
+		t.Fatalf("interrupt took %v; the 30s backoff was waited out", waited)
+	}
+}
+
+// TestClosedRetryingFailsFast: operations after Close never touch the
+// device, and Close is idempotent.
+func TestClosedRetryingFailsFast(t *testing.T) {
+	mem := NewMem()
+	r := NewRetrying(mem, RetryPolicy{})
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Append("log", Record{Epoch: 1, Payload: []byte("a")}); !errors.Is(err, ErrRetryCanceled) {
+		t.Fatalf("Append after Close: want ErrRetryCanceled, got %v", err)
+	}
+	if _, err := r.ReadLog("log"); !errors.Is(err, ErrRetryCanceled) {
+		t.Fatalf("ReadLog after Close: want ErrRetryCanceled, got %v", err)
+	}
+	if recs, _ := mem.ReadLog("log"); len(recs) != 0 {
+		t.Fatalf("closed wrapper reached the device: %d records", len(recs))
+	}
+}
+
+// TestStackCloseCancelsRetry: the stack-level Close reaches the Retrying
+// layer, and is a safe no-op on retry-less stacks.
+func TestStackCloseCancelsRetry(t *testing.T) {
+	st := NewStack(NewMem()).WithFlaky().WithRetry(RetryPolicy{
+		MaxAttempts: 1 << 20,
+		BaseBackoff: 30 * time.Second,
+		OpDeadline:  time.Hour,
+	})
+	dev, err := st.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Flaky.AddStorm(0, 1<<20)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- dev.Append("log", Record{Epoch: 1, Payload: []byte("a")})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	st.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrRetryCanceled) {
+			t.Fatalf("want ErrRetryCanceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stack.Close did not interrupt the in-flight retry")
+	}
+	st.Close() // idempotent
+
+	// A stack without a retry layer closes as a no-op.
+	NewStack(NewMem()).Close()
+}
+
+// TestCustomSleepStillCounts: the fake-clock seam used across the retry
+// tests runs each scheduled sleep to completion (call counts stay exact)
+// and honors cancellation only at the attempt boundary.
+func TestCustomSleepStillCounts(t *testing.T) {
+	flaky := NewFlaky(NewMem())
+	flaky.AddStorm(0, 100)
+	r, clk := newTestRetrying(flaky, RetryPolicy{MaxAttempts: 4})
+	if err := r.Append("log", Record{Epoch: 1, Payload: []byte("a")}); !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("want ErrRetryExhausted, got %v", err)
+	}
+	if len(clk.sleeps) != 3 {
+		t.Fatalf("custom sleep called %d times, want 3", len(clk.sleeps))
+	}
+	r.Close()
+	if err := r.Append("log", Record{Epoch: 2, Payload: []byte("b")}); !errors.Is(err, ErrRetryCanceled) {
+		t.Fatalf("want ErrRetryCanceled after Close, got %v", err)
+	}
+	if len(clk.sleeps) != 3 {
+		t.Fatalf("closed wrapper slept again: %d", len(clk.sleeps))
+	}
+}

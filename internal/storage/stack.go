@@ -177,6 +177,16 @@ func (s *Stack) Build() (Device, error) {
 	return s.dev, nil
 }
 
+// Close cancels the stack's Retrying layer, if one was applied: an
+// in-flight backoff sleep is interrupted and the operation surfaces
+// ErrRetryCanceled promptly. Other layers hold no background resources.
+// Idempotent; a no-op on retry-less stacks.
+func (s *Stack) Close() {
+	if s.Retrying != nil {
+		s.Retrying.Close()
+	}
+}
+
 // MustBuild is Build for call sites whose layer sequence is statically
 // correct (no conditional wrapping); an ordering error there is a
 // programming bug, not a runtime condition.

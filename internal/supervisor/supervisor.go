@@ -143,6 +143,14 @@ type Config struct {
 	PollInterval time.Duration
 	// MaxRecoveries bounds in-process heals before giving up (default 4).
 	MaxRecoveries int
+	// OnState, when non-nil, observes every state transition as it
+	// happens, including the lock-free Degraded dips on the retry path and
+	// the Recovering window of an in-process heal. It is invoked from
+	// supervisor and engine goroutines, so implementations must be
+	// concurrency-safe and fast (a gauge store, a channel send). The
+	// serving layer uses the Recovering notification to shed load by
+	// tenant priority while a heal is in flight.
+	OnState func(State)
 	// OnStall, when non-nil, runs after the fence advances during a stall
 	// heal. It is the cancellation hook that un-wedges the stuck operation
 	// (chaos tests park an op on a channel; production hooks would cancel
@@ -342,7 +350,11 @@ func (s *Supervisor) Run() error {
 		if over {
 			s.recordIncident(fail, 0, false)
 			s.setState(Failed)
-			return fmt.Errorf("%w (%d heals): last failure %s: %v",
+			// %w on the last failure keeps the underlying identity
+			// (ErrPoisoned, ErrRetryExhausted, ...) matchable through the
+			// budget error, so callers can still classify what kept killing
+			// the engine.
+			return fmt.Errorf("%w (%d heals): last failure %s: %w",
 				ErrRecoveryBudget, s.cfg.MaxRecoveries, fail.cause, fail.err)
 		}
 		healed, report, err := s.heal(fail)
@@ -390,12 +402,16 @@ func (s *Supervisor) stack() (storage.Device, *storage.Retrying) {
 }
 
 // observeTransition accounts a state change that bypassed setState (the
-// lock-free Degraded dips on the retry and epoch paths).
+// lock-free Degraded dips on the retry and epoch paths) and notifies the
+// configured state listener.
 func (s *Supervisor) observeTransition(st State) {
 	if reg := s.cfg.Obs.Registry(); reg != nil {
 		reg.Gauge("supervisor.state").Set(int64(st))
 		reg.Counter("supervisor.transitions").Inc()
 		reg.Counter("supervisor.to_" + st.String()).Inc()
+	}
+	if s.cfg.OnState != nil {
+		s.cfg.OnState(st)
 	}
 }
 
@@ -550,6 +566,16 @@ func (s *Supervisor) heal(fail failure) (*engine.Engine, *engine.RecoveryReport,
 	// remains and none can land later, so the device content is stable
 	// for recovery to read.
 	s.fence.Advance()
+	// The fence already rejects the zombie's next attempt; cancelling its
+	// retry wrapper additionally interrupts an in-flight backoff sleep, so
+	// an abandoned goroutine parked mid-backoff drains promptly instead of
+	// waiting out the window.
+	s.mu.Lock()
+	zombie := s.retry
+	s.mu.Unlock()
+	if zombie != nil {
+		zombie.Close()
+	}
 	if fail.cause == "stall" && s.cfg.OnStall != nil {
 		// Un-wedge the stuck operation now that its writes are fenced: the
 		// zombie incarnation drains into ErrFenced instead of leaking.

@@ -54,6 +54,7 @@ func main() {
 		recPath   = flag.String("recovery", "BENCH_recovery.json", "recovery report (skipped if missing)")
 		shardPath = flag.String("shard", "BENCH_shard.json", "shard report (skipped if missing)")
 		servePath = flag.String("serve", "BENCH_serve.json", "serving-layer report (skipped if missing)")
+		storePath = flag.String("store", "BENCH_store.json", "segment-store report (skipped if missing)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 	fold("recovery", *recPath, summarizeRecovery)
 	fold("shard", *shardPath, summarizeShard)
 	fold("serve", *servePath, summarizeServe)
+	fold("store", *storePath, summarizeStore)
 
 	if len(pt.Sources) == 0 {
 		fatalf("no benchmark reports found; nothing to fold")
@@ -253,6 +255,44 @@ func summarizeServe(doc map[string]any) map[string]any {
 	out["evictions"] = evictions
 	if worstMTTR > 0 {
 		out["max_client_mttr_ms"] = worstMTTR
+	}
+	return out
+}
+
+// summarizeStore keeps the bounded-log headlines: the gate verdicts (replay
+// flat and within the segment budget, incremental checkpoints below full),
+// the worst replay volume and segment high-water mark, and the delta/base
+// byte ratio per table size — the curve a trend chart plots.
+func summarizeStore(doc map[string]any) map[string]any {
+	out := map[string]any{
+		"replay_cells":      len(entries(doc, "replay")),
+		"incremental_cells": len(entries(doc, "incremental")),
+	}
+	if checks, ok := doc["checks"].(map[string]any); ok {
+		for _, k := range []string{
+			"replay_flat_pass", "replay_within_budget_pass",
+			"segments_bounded_pass", "incremental_below_full_pass",
+			"ratio_tracks_dirty_fraction_pass",
+		} {
+			if v, ok := checks[k].(bool); ok {
+				out[k] = v
+			}
+		}
+		for _, k := range []string{
+			"max_events_replayed", "replay_budget_events",
+			"max_live_segments", "segment_budget", "max_delta_over_base",
+		} {
+			if v, ok := num(checks, k); ok {
+				out[k] = v
+			}
+		}
+	}
+	for _, c := range entries(doc, "incremental") {
+		if rows, ok := num(c, "rows"); ok {
+			if r, ok := num(c, "delta_over_base"); ok {
+				out[fmt.Sprintf("delta_over_base_rows_%d", int(rows))] = r
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,339 @@
+// Command storebench measures the bounded segment store: that recovery
+// replay stays flat as the run length grows (the checkpoint-GC-release
+// cycle bounds the live log to a fixed segment budget, so replay cost is a
+// function of the snapshot interval, never of history length), and that
+// incremental checkpoints shrink durable snapshot bytes in proportion to
+// the dirty fraction. The committed report, BENCH_store.json, carries the
+// acceptance gates CI reads with jq; the tool exits non-zero when a gate
+// fails. Regenerate after storage or checkpoint changes with:
+//
+//	go run ./cmd/storebench -o BENCH_store.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"morphstreamr/internal/core"
+	"morphstreamr/internal/engine"
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/ft/msr"
+	"morphstreamr/internal/metrics"
+	"morphstreamr/internal/storage"
+	"morphstreamr/internal/types"
+	"morphstreamr/internal/workload"
+)
+
+// Run shape shared by every replay cell: commit markers every 2 epochs,
+// snapshots (and therefore segment releases) every 4.
+const (
+	commitEvery   = 2
+	snapshotEvery = 4
+	// tailEpochs pushes each run past its last snapshot so the recovery has
+	// a real tail to replay — the same 2-epoch window at every run length.
+	tailEpochs = 2
+)
+
+// ReplayCell is one (mechanism, run length) measurement.
+type ReplayCell struct {
+	Kind   string `json:"kind"`
+	Epochs int    `json:"epochs"`
+	Events int    `json:"events_total"`
+	// EventsReplayed is the recovery's replay volume: inputs reloaded above
+	// the snapshot frontier. Bounded replay means this number is identical
+	// across run lengths.
+	EventsReplayed int    `json:"events_replayed"`
+	SnapshotEpoch  uint64 `json:"snapshot_epoch"`
+	LastEpoch      uint64 `json:"last_epoch"`
+	// LiveSegments is the max live (unreleased) segment count over the
+	// input, ft, and checkpoint logs at the crash point; SegmentBudget is
+	// the device's configured per-log cap, which the run ran under without
+	// ever hitting ErrSegmentBudget.
+	LiveSegments     int `json:"live_segments"`
+	ReleasedSegments int `json:"released_segments"`
+	SegmentBudget    int `json:"segment_budget"`
+}
+
+// IncCell is one dirty-fraction measurement of incremental checkpoints.
+type IncCell struct {
+	Rows       uint32  `json:"rows"`
+	EpochSize  int     `json:"epoch_size"`
+	BaseCount  int     `json:"base_count"`
+	DeltaCount int     `json:"delta_count"`
+	AvgBase    float64 `json:"avg_base_bytes"`
+	AvgDelta   float64 `json:"avg_delta_bytes"`
+	// Ratio is avg delta bytes over avg base bytes — the incremental
+	// saving; it must stay below 1 and shrink as the table grows (the
+	// per-interval dirty fraction falls).
+	Ratio float64 `json:"delta_over_base"`
+}
+
+// Report is the file layout of BENCH_store.json.
+type Report struct {
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"num_cpu"`
+	Note        string         `json:"note"`
+	Replay      []ReplayCell   `json:"replay"`
+	Incremental []IncCell      `json:"incremental"`
+	Checks      map[string]any `json:"checks"`
+}
+
+var mechanisms = []ftapi.Kind{ftapi.CKPT, ftapi.WAL, ftapi.DL, ftapi.LV, ftapi.MSR}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_store.json", "output path for the JSON report")
+		quick     = flag.Bool("quick", false, "smaller cells (CI smoke)")
+		epochSize = flag.Int("events", 24, "events per epoch")
+		segBytes  = flag.Int("segbytes", 2048, "segment payload cap in bytes")
+		segBudget = flag.Int("segments", 24, "per-log live-segment budget (MaxSegments)")
+		seed      = flag.Int64("seed", 41, "workload seed")
+	)
+	flag.Parse()
+
+	runLengths := []int{12, 24, 48}
+	if *quick {
+		runLengths = []int{12, 24}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Checks:     map[string]any{},
+		Note: "replay: each cell runs the seeded SL workload on the bounded " +
+			"segment store (MaxSegments enforced by the device) for the given " +
+			"run length plus a 2-epoch tail, crashes, and recovers; " +
+			"events_replayed is the input volume reloaded above the snapshot " +
+			"frontier. Bounded replay means events_replayed and live_segments " +
+			"are flat across run lengths — replay cost is set by the snapshot " +
+			"interval and the segment budget, never by history length. " +
+			"incremental: delta-over-base is the durable byte ratio of delta " +
+			"checkpoints to full base snapshots as the table (and so the " +
+			"clean fraction) grows; the gate is ratio < 1 everywhere, " +
+			"shrinking with the dirty fraction.",
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "storebench: "+format+"\n", args...)
+		failed = true
+	}
+
+	// --- Bounded replay across run lengths -------------------------------
+	replayBudget := snapshotEvery * *epochSize
+	perKindReplay := map[string][]int{}
+	maxReplayed, maxLive := 0, 0
+	for _, kind := range mechanisms {
+		for _, n := range runLengths {
+			cell, err := replayCell(kind, n, *epochSize, *segBytes, *segBudget, *seed)
+			if err != nil {
+				fail("%v epochs=%d: %v", kind, n, err)
+				continue
+			}
+			rep.Replay = append(rep.Replay, *cell)
+			perKindReplay[cell.Kind] = append(perKindReplay[cell.Kind], cell.EventsReplayed)
+			if cell.EventsReplayed > maxReplayed {
+				maxReplayed = cell.EventsReplayed
+			}
+			if cell.LiveSegments > maxLive {
+				maxLive = cell.LiveSegments
+			}
+			fmt.Fprintf(os.Stderr, "%-4s epochs=%2d  replayed %3d events  snap=%2d last=%2d  live=%2d released=%2d\n",
+				cell.Kind, n, cell.EventsReplayed, cell.SnapshotEpoch, cell.LastEpoch,
+				cell.LiveSegments, cell.ReleasedSegments)
+		}
+	}
+	replayFlat := true
+	for kind, rs := range perKindReplay {
+		for _, r := range rs[1:] {
+			if r != rs[0] {
+				replayFlat = false
+				fail("%s: replay grows with run length: %v", kind, rs)
+			}
+		}
+	}
+	withinBudget := maxReplayed <= replayBudget && maxReplayed > 0
+	if !withinBudget {
+		fail("max replay %d events outside budget %d (snapshot interval x epoch size)", maxReplayed, replayBudget)
+	}
+	segmentsBounded := maxLive <= *segBudget && maxLive > 0
+	if !segmentsBounded {
+		fail("live segments %d outside budget %d", maxLive, *segBudget)
+	}
+	rep.Checks["replay_budget_events"] = replayBudget
+	rep.Checks["max_events_replayed"] = maxReplayed
+	rep.Checks["replay_flat_pass"] = replayFlat
+	rep.Checks["replay_within_budget_pass"] = withinBudget
+	rep.Checks["segment_budget"] = *segBudget
+	rep.Checks["max_live_segments"] = maxLive
+	rep.Checks["segments_bounded_pass"] = segmentsBounded
+
+	// --- Incremental checkpoint bytes vs dirty fraction ------------------
+	incRows := []uint32{512, 2048, 8192}
+	if *quick {
+		incRows = []uint32{512, 2048}
+	}
+	maxRatio, prevRatio := 0.0, 0.0
+	ratioShrinks := true
+	for i, rows := range incRows {
+		cell, err := incrementalCell(rows, *epochSize, *seed)
+		if err != nil {
+			fail("incremental rows=%d: %v", rows, err)
+			continue
+		}
+		rep.Incremental = append(rep.Incremental, *cell)
+		if cell.Ratio > maxRatio {
+			maxRatio = cell.Ratio
+		}
+		if i > 0 && cell.Ratio >= prevRatio {
+			ratioShrinks = false
+		}
+		prevRatio = cell.Ratio
+		fmt.Fprintf(os.Stderr, "inc rows=%5d  bases=%d deltas=%d  avg base %7.0f B  avg delta %7.0f B  ratio %.3f\n",
+			rows, cell.BaseCount, cell.DeltaCount, cell.AvgBase, cell.AvgDelta, cell.Ratio)
+	}
+	incBelowFull := maxRatio > 0 && maxRatio < 1
+	if !incBelowFull {
+		fail("incremental checkpoint ratio %.3f not below 1", maxRatio)
+	}
+	if !ratioShrinks {
+		fail("delta-over-base ratio does not shrink as the dirty fraction falls")
+	}
+	rep.Checks["max_delta_over_base"] = maxRatio
+	rep.Checks["incremental_below_full_pass"] = incBelowFull
+	rep.Checks["ratio_tracks_dirty_fraction_pass"] = ratioShrinks
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d replay cells, %d incremental cells)\n",
+		*out, len(rep.Replay), len(rep.Incremental))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func slGen(seed int64, rows uint32) workload.Generator {
+	p := workload.DefaultSLParams()
+	p.Seed, p.Rows = seed, rows
+	return workload.NewSL(p)
+}
+
+// replayCell runs one mechanism for n epochs plus the tail on the bounded
+// segment store, crashes, recovers, and measures the replay volume and the
+// live-segment high-water mark.
+func replayCell(kind ftapi.Kind, n, epochSize, segBytes, segBudget int, seed int64) (*ReplayCell, error) {
+	seg := storage.NewSegStore(storage.SegConfig{SegmentBytes: segBytes, MaxSegments: segBudget})
+	gen := slGen(seed, 512)
+	shape := types.RunShape{Workers: 2, CommitEvery: commitEvery, SnapshotEvery: snapshotEvery}
+	bytes := metrics.NewBytes()
+	e, err := engine.New(engine.Config{
+		App: gen.App(), Device: seg, RunShape: shape, Bytes: bytes,
+		Mechanism: core.NewMechanism(kind, seg, bytes, msr.Default()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i := 0; i < n+tailEpochs; i++ {
+		batch := workload.Batch(gen, epochSize)
+		total += len(batch)
+		if err := e.ProcessEpoch(batch); err != nil {
+			return nil, err
+		}
+	}
+	live := 0
+	for _, log := range []string{storage.LogInput, storage.LogFT, storage.LogCkpt} {
+		if s := seg.Segments(log); s > live {
+			live = s
+		}
+	}
+	released := seg.Released(storage.LogInput) + seg.Released(storage.LogFT) + seg.Released(storage.LogCkpt)
+	e.Crash()
+
+	b2 := metrics.NewBytes()
+	_, report, err := engine.Recover(engine.Config{
+		App: gen.App(), Device: seg, RunShape: shape, Bytes: b2,
+		Mechanism: core.NewMechanism(kind, seg, b2, msr.Default()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	return &ReplayCell{
+		Kind:             kind.String(),
+		Epochs:           n + tailEpochs,
+		Events:           total,
+		EventsReplayed:   report.EventsReplayed,
+		SnapshotEpoch:    report.SnapshotEpoch,
+		LastEpoch:        report.LastEpoch,
+		LiveSegments:     live,
+		ReleasedSegments: released,
+		SegmentBudget:    segBudget,
+	}, nil
+}
+
+// incrementalCell runs the WAL mechanism with incremental checkpoints
+// (snapshots every 2 epochs, a full base every 4th snapshot) over tables of
+// the given size and reports the durable byte ratio of deltas to bases.
+func incrementalCell(rows uint32, epochSize int, seed int64) (*IncCell, error) {
+	const (
+		snapEvery = 2
+		snapBase  = 4
+		epochs    = 16
+	)
+	dev := storage.NewSegStore(storage.SegConfig{SegmentBytes: 4096})
+	gen := slGen(seed, rows)
+	bytes := metrics.NewBytes()
+	e, err := engine.New(engine.Config{
+		App: gen.App(), Device: dev, Bytes: bytes,
+		Mechanism: core.NewMechanism(ftapi.WAL, dev, bytes, msr.Default()),
+		RunShape:  types.RunShape{Workers: 2, CommitEvery: 2, SnapshotEvery: snapEvery, SnapshotBase: snapBase},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < epochs; i++ {
+		if err := e.ProcessEpoch(workload.Batch(gen, epochSize)); err != nil {
+			return nil, err
+		}
+	}
+	// The device's byte counters accumulate every write: total base bytes
+	// land under the snapshot blob, total delta bytes under the checkpoint
+	// log. The marker schedule fixes the counts: snapshots at every
+	// snapEvery epochs, a base when the snapshot ordinal divides snapBase.
+	written := dev.BytesWritten()
+	snapshots := epochs / snapEvery
+	bases := 0
+	for ord := 1; ord <= snapshots; ord++ {
+		if ord%snapBase == 0 {
+			bases++
+		}
+	}
+	deltas := snapshots - bases
+	if bases == 0 || deltas == 0 {
+		return nil, fmt.Errorf("degenerate schedule: %d bases, %d deltas", bases, deltas)
+	}
+	avgBase := float64(written[storage.BlobSnapshot]) / float64(bases)
+	avgDelta := float64(written[storage.LogCkpt]) / float64(deltas)
+	return &IncCell{
+		Rows:       rows,
+		EpochSize:  epochSize,
+		BaseCount:  bases,
+		DeltaCount: deltas,
+		AvgBase:    avgBase,
+		AvgDelta:   avgDelta,
+		Ratio:      avgDelta / avgBase,
+	}, nil
+}

@@ -23,7 +23,6 @@
 package engine
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -230,6 +229,12 @@ func New(cfg Config) (*Engine, error) {
 		builder:     tpg.NewBuilder(),
 	}
 	e.ranges = partition.NewRanges(cfg.App.Tables(), cfg.Workers)
+	if cfg.SnapshotBase > 1 {
+		// Incremental checkpoints: track written partitions per snapshot
+		// interval. Enabled before any processing (and before recovery
+		// replay), so the dirty map covers every post-marker write.
+		e.st.EnableDirtyTracking()
+	}
 	if cfg.Adaptive {
 		e.ctrl = adaptive.New(adaptive.Config{
 			MaxWorkers:  cfg.Workers,
@@ -797,9 +802,8 @@ func (e *Engine) commitVisible(ep uint64) error {
 	}
 	if e.cfg.AsyncCommit {
 		t0 := time.Now()
-		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], ep)
-		if err := e.cfg.Device.WriteBlob(storage.BlobMeta, buf[:]); err != nil {
+		m := storage.Manifest{Kind: manifestKindDelivery, Epoch: ep}
+		if err := e.cfg.Device.WriteBlob(storage.BlobMeta, m.Encode()); err != nil {
 			return fmt.Errorf("delivery watermark: %w", err)
 		}
 		e.runtime.IO += time.Since(t0)
@@ -861,12 +865,29 @@ func (e *Engine) snapshot(ep uint64) error {
 	t0 := time.Now()
 	w := codec.GetBuffer()
 	defer codec.PutBuffer(w)
-	encodeSnapshotBlobInto(w, ep, e.st.Snapshot())
-	payload := w.Bytes()
-	if err := e.cfg.Device.WriteBlob(storage.BlobSnapshot, payload); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
+	if e.snapshotIsBase(ep) {
+		encodeSnapshotBlobInto(w, ep, e.st.Snapshot())
+		payload := w.Bytes()
+		if err := e.cfg.Device.WriteBlob(storage.BlobSnapshot, payload); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		e.cfg.Bytes.Written("snapshot", int64(len(payload)))
+	} else {
+		// Incremental marker: persist only the partitions written since the
+		// previous marker, appended to the checkpoint log at this epoch.
+		encodeDeltaInto(w, e.st)
+		payload := w.Bytes()
+		if err := e.cfg.Device.Append(storage.LogCkpt, storage.Record{Epoch: ep, Payload: payload}); err != nil {
+			return fmt.Errorf("snapshot delta: %w", err)
+		}
+		e.cfg.Bytes.Written("snapshot-delta", int64(len(payload)))
 	}
-	e.cfg.Bytes.Written("snapshot", int64(len(payload)))
+	if e.st.DirtyTracking() {
+		// The marker is durable: the next interval starts clean. (On write
+		// failure the engine crashes with bits intact, which only over-
+		// includes the next delta — never under.)
+		e.st.ResetDirty()
+	}
 	e.runtime.IO += time.Since(t0)
 
 	// CKPT releases outputs only here: the snapshot is its durability gate.
@@ -884,10 +905,20 @@ func (e *Engine) snapshot(ep uint64) error {
 	// snapshot are dead (Figure 10: "deleted upon the completion of the
 	// current checkpoint").
 	t0 = time.Now()
-	if err := e.cfg.Device.Truncate(storage.LogInput, ep); err != nil {
+	if e.snapshotIsBase(ep) {
+		// Deltas at or below the base are composed into it; their segments
+		// release through the single GC path. This (like all GC) runs only
+		// after outputs released: the blob write is the marker's one atomic
+		// commit point, and no device write may come between it and the
+		// release for CKPT, whose snapshot is the durability gate.
+		if err := storage.Release(e.cfg.Device, storage.LogCkpt, ep); err != nil {
+			return fmt.Errorf("snapshot gc: %w", err)
+		}
+	}
+	if err := storage.Release(e.cfg.Device, storage.LogInput, ep); err != nil {
 		return fmt.Errorf("snapshot gc: %w", err)
 	}
-	if err := e.cfg.Device.Truncate(storage.LogFT, ep); err != nil {
+	if err := storage.Release(e.cfg.Device, storage.LogFT, ep); err != nil {
 		return fmt.Errorf("snapshot gc: %w", err)
 	}
 	e.cfg.Mechanism.GC(ep)

@@ -99,23 +99,26 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: recover: %w", err)
 	}
-	inputRecs, err := e.cfg.Device.ReadLog(storage.LogInput)
-	if err != nil {
-		return nil, nil, fmt.Errorf("engine: recover inputs: %w", err)
-	}
 	// Under asynchronous commit, mechanism replay must not cross the
 	// delivery watermark: a commit record may be durable whose outputs
 	// never released; those epochs reprocess through the tail path.
 	commitLimit := uint64(1<<63 - 1)
 	if e.cfg.AsyncCommit {
-		if wm, wok, err := e.cfg.Device.ReadBlob(storage.BlobMeta); err != nil {
+		wm, wok, err := e.cfg.Device.ReadBlob(storage.BlobMeta)
+		if err != nil {
 			return nil, nil, fmt.Errorf("engine: recover watermark: %w", err)
-		} else if wok && len(wm) == 8 {
-			commitLimit = binary.BigEndian.Uint64(wm)
-		} else {
-			// Async engine that never released anything yet; the clamp
-			// below raises this to the snapshot epoch.
-			commitLimit = 0
+		}
+		// Async engine that never released anything yet reads as zero; the
+		// clamp below raises it to the snapshot epoch.
+		commitLimit = 0
+		if wok {
+			if m, merr := storage.DecodeManifestKind(wm, manifestKindDelivery); merr == nil {
+				commitLimit = m.Epoch
+			} else if len(wm) == 8 {
+				// Pre-manifest watermark blob (a device written by an older
+				// build): a bare big-endian epoch.
+				commitLimit = binary.BigEndian.Uint64(wm)
+			}
 		}
 	}
 	readStop()
@@ -134,29 +137,61 @@ func Recover(cfg Config) (*Engine, *RecoveryReport, error) {
 		prof.SerialPhase("snapshot-restore", time.Duration(e.st.NumRecords())*costs.Compare)
 	}
 
-	// Reload input events after the snapshot (Figure 7 step 4). A decode
-	// failure on the log's final record is a torn tail: the device died
-	// mid-append, the epoch never processed to completion and nothing
+	// Compose the delta chain on top of the base (or on the initial state
+	// when no base committed yet): each checkpoint-log record above the base
+	// epoch restores its partitions and advances the snapshot frontier. A
+	// decode failure on the final record is a torn delta append — that
+	// marker never completed, nothing downstream (GC included) acted on it,
+	// so it is logically truncated like any torn tail.
+	snapEpoch, restored, err := e.composeDeltas(snapEpoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if restored > 0 {
+		metrics.ChargeSerial(&report.Breakdown.Reload,
+			time.Duration(restored)*costs.Compare, e.cfg.Workers)
+		prof.SerialPhase("delta-restore", time.Duration(restored)*costs.Compare)
+	}
+
+	// Reload input events after the snapshot frontier (Figure 7 step 4),
+	// streamed through the log cursor: the segment store seeks past the
+	// checkpoint-covered prefix instead of materialising the whole log. A
+	// decode failure on the log's final record is a torn tail: the device
+	// died mid-append, the epoch never processed to completion and nothing
 	// downstream can reference it, so it is logically truncated here.
 	// Failures anywhere earlier are real corruption.
-	inputs := make([]ftapi.EpochEvents, 0, len(inputRecs))
+	inCur, err := storage.ReadFrom(e.cfg.Device, storage.LogInput, snapEpoch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: recover inputs: %w", err)
+	}
+	var inputs []ftapi.EpochEvents
 	nEvents := 0
 	tornInput := uint64(0)
-	for i, rec := range inputRecs {
-		if rec.Epoch <= snapEpoch {
-			continue // covered by the snapshot (GC may lag a crash)
+	rec, okNext, err := inCur.Next()
+	if err != nil {
+		inCur.Close()
+		return nil, nil, fmt.Errorf("engine: recover inputs: %w", err)
+	}
+	for okNext {
+		next, nok, nerr := inCur.Next()
+		if nerr != nil {
+			inCur.Close()
+			return nil, nil, fmt.Errorf("engine: recover inputs: %w", nerr)
 		}
-		events, err := codec.DecodeEvents(rec.Payload)
-		if err != nil {
-			if i == len(inputRecs)-1 {
+		events, derr := codec.DecodeEvents(rec.Payload)
+		if derr != nil {
+			if !nok {
 				tornInput = rec.Epoch
-				continue
+				break
 			}
-			return nil, nil, fmt.Errorf("engine: recover inputs epoch %d: %w", rec.Epoch, err)
+			inCur.Close()
+			return nil, nil, fmt.Errorf("engine: recover inputs epoch %d: %w", rec.Epoch, derr)
 		}
 		inputs = append(inputs, ftapi.EpochEvents{Epoch: rec.Epoch, Events: events})
 		nEvents += len(events)
+		rec, okNext = next, nok
 	}
+	inCur.Close()
 	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Epoch < inputs[j].Epoch })
 	report.Breakdown.Reload += time.Duration(nEvents) * costs.Record
 	prof.SpreadPhase("input-decode", time.Duration(nEvents)*costs.Record)

@@ -68,6 +68,15 @@ type Config struct {
 	// Continue additionally processes one post-recovery epoch and checks
 	// the state again, proving the recovered engine is live, not a husk.
 	Continue bool
+	// Store selects the base medium under the fault wrappers: "mem" (the
+	// default flat in-memory device) or "seg", the bounded segment store —
+	// whose durable write sites (seals, index pops, segment reuse) the
+	// sweep then crosses exactly like any other.
+	Store string
+	// SegmentBytes sets the segment payload cap when Store is "seg"; small
+	// values force records across segment seals so torn writes land inside
+	// and astride sealed segments. Zero keeps the SegStore default.
+	SegmentBytes int
 }
 
 // DefaultSweepShape is the run shape the sweep uses when the caller left
@@ -96,7 +105,23 @@ func (c *Config) normalize() error {
 	if err := c.RunShape.Normalize(); err != nil {
 		return fmt.Errorf("crashtest: %w", err)
 	}
+	switch c.Store {
+	case "":
+		c.Store = "mem"
+	case "mem", "seg":
+	default:
+		return fmt.Errorf("crashtest: unknown store %q (want \"mem\" or \"seg\")", c.Store)
+	}
 	return nil
+}
+
+// newBase builds the configured base medium. Every pass — enumeration,
+// oracle, and each crash replay — uses a fresh one so runs stay identical.
+func newBase(cfg *Config) storage.Device {
+	if cfg.Store == "seg" {
+		return storage.NewSegStore(storage.SegConfig{SegmentBytes: cfg.SegmentBytes})
+	}
+	return storage.NewMem()
 }
 
 // Failure records one crash point whose recovery diverged.
@@ -273,7 +298,7 @@ func Enumerate(cfg Config) ([]storage.WriteSite, error) {
 }
 
 func enumerate(cfg *Config, ref *oracleRef) ([]storage.WriteSite, error) {
-	st := storage.NewStack(storage.NewMem()).WithTrace()
+	st := storage.NewStack(newBase(cfg)).WithTrace()
 	trace := st.Trace
 	gen := cfg.NewGen()
 	e, err := newEngine(cfg, st.MustBuild(), gen)
@@ -329,7 +354,7 @@ func Sweep(cfg Config) (*Result, error) {
 // runOne executes one crash-recover-verify cycle with the device dying at
 // the k-th (target-matching) write.
 func runOne(cfg *Config, ref *oracleRef, k int) error {
-	inner := storage.NewMem()
+	inner := newBase(cfg)
 	dev := storage.NewStack(inner).WithFaulty(k, cfg.Mode, cfg.Target).MustBuild()
 	gen := cfg.NewGen()
 	e, err := newEngine(cfg, dev, gen)
@@ -392,7 +417,7 @@ func BoundaryStores(cfg Config, kinds []ftapi.Kind) (map[ftapi.Kind]*engine.Engi
 	for _, kind := range kinds {
 		kcfg := cfg
 		kcfg.Kind = kind
-		dev := storage.NewMem()
+		dev := newBase(&kcfg)
 		gen := kcfg.NewGen()
 		e, err := newEngine(&kcfg, dev, gen)
 		if err != nil {

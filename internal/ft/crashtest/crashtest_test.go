@@ -35,7 +35,7 @@ func sweep(t *testing.T, cfg Config) {
 		for _, s := range res.Sites {
 			ops[s.Op+":"+s.Name] = true
 		}
-		want := []string{"append:" + storage.LogInput, "blob:" + storage.BlobSnapshot, "truncate:" + storage.LogInput}
+		want := []string{"append:" + storage.LogInput, "blob:" + storage.BlobSnapshot, "release:" + storage.LogInput}
 		if cfg.Kind != ftapi.CKPT {
 			want = append(want, "append:"+storage.LogFT)
 		}

@@ -35,6 +35,9 @@ type CommitGroup[T any] struct {
 // record.
 //
 // A limit of zero means no cap.
+//
+// DecodeCommitted is the slice-shaped shim kept for tests and materialised
+// callers; recovery paths stream through DecodeCommittedCursor instead.
 func DecodeCommitted[T any](recs []storage.Record, snapEpoch, limit uint64,
 	decode func(epoch uint64, payload []byte) (T, error)) (groups []CommitGroup[T], committed uint64, torn bool, err error) {
 
@@ -80,6 +83,76 @@ func DecodeCommitted[T any](recs []storage.Record, snapEpoch, limit uint64,
 		if cg.Hi > committed {
 			committed = cg.Hi
 		}
+	}
+	return groups, committed, false, nil
+}
+
+// DecodeCommittedCursor is DecodeCommitted over a streaming log cursor —
+// the shape every mechanism's recovery path uses against the bounded
+// segment store, where the cursor has already seeked past the checkpoint-
+// covered prefix. Decode memory is bounded by one commit group at a time
+// plus the decoded results; the raw log is never materialised.
+//
+// Torn-tail detection needs to know whether a failing record is the log's
+// final one, which a stream learns by one-record lookahead: the cursor is
+// always one record ahead of the group being decoded. The cursor is closed
+// before returning.
+func DecodeCommittedCursor[T any](cur storage.Cursor, snapEpoch, limit uint64,
+	decode func(epoch uint64, payload []byte) (T, error)) (groups []CommitGroup[T], committed uint64, torn bool, err error) {
+
+	defer cur.Close()
+	committed = snapEpoch
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
+	rec, ok, err := cur.Next()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("log read: %w", err)
+	}
+	for i := 0; ok; i++ {
+		next, nok, nerr := cur.Next()
+		if nerr != nil {
+			return nil, 0, false, fmt.Errorf("log read after record %d: %w", i, nerr)
+		}
+		tail := !nok
+		if rec.Epoch <= snapEpoch || rec.Epoch > limit {
+			rec, ok = next, nok
+			continue
+		}
+		eps, err := DecodeGroup(rec.Payload)
+		if err != nil {
+			if tail {
+				return groups, committed, true, nil
+			}
+			return nil, 0, false, fmt.Errorf("log record %d (epoch %d): %w", i, rec.Epoch, err)
+		}
+		cg := CommitGroup[T]{}
+		good := true
+		for _, ep := range eps {
+			rs, err := decode(ep.Epoch, ep.Payload)
+			if err != nil {
+				if tail {
+					good = false // torn inside the group: drop it whole
+					break
+				}
+				return nil, 0, false, fmt.Errorf("log record %d epoch %d: %w", i, ep.Epoch, err)
+			}
+			cg.Epochs = append(cg.Epochs, DecodedEpoch[T]{Epoch: ep.Epoch, Recs: rs})
+			if cg.Lo == 0 || ep.Epoch < cg.Lo {
+				cg.Lo = ep.Epoch
+			}
+			if ep.Epoch > cg.Hi {
+				cg.Hi = ep.Epoch
+			}
+		}
+		if !good {
+			return groups, committed, true, nil
+		}
+		groups = append(groups, cg)
+		if cg.Hi > committed {
+			committed = cg.Hi
+		}
+		rec, ok = next, nok
 	}
 	return groups, committed, false, nil
 }

@@ -116,14 +116,14 @@ type replayRec struct {
 func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	raw, err := rc.Device.ReadLog(storage.LogFT)
+	cur, err := storage.ReadFrom(rc.Device, storage.LogFT, rc.SnapshotEpoch)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("lsnvector: recover: %w", err)
 	}
 	// A torn tail record — the group commit the device died inside — is
 	// discarded; its epochs reprocess through the uncommitted-tail path.
-	groups, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+	groups, committed, _, err := ftapi.DecodeCommittedCursor(cur, rc.SnapshotEpoch, rc.CommitLimit,
 		func(_ uint64, payload []byte) ([]codec.LVRecord, error) { return codec.DecodeLV(payload) })
 	if err != nil {
 		return 0, fmt.Errorf("lsnvector: recover: %w", err)

@@ -31,7 +31,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// Reload the view log.
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	raw, err := rc.Device.ReadLog(storage.LogFT)
+	cur, err := storage.ReadFrom(rc.Device, storage.LogFT, rc.SnapshotEpoch)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("msr: recover: %w", err)
@@ -44,7 +44,7 @@ func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	// VI-B trades against runtime overhead. A torn tail record (the group
 	// commit the device died inside) is discarded whole; its epochs
 	// reprocess through the engine's uncommitted-tail path.
-	decoded, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+	decoded, committed, _, err := ftapi.DecodeCommittedCursor(cur, rc.SnapshotEpoch, rc.CommitLimit,
 		func(_ uint64, payload []byte) (codec.MSRViews, error) { return codec.DecodeMSR(payload) })
 	if err != nil {
 		return 0, fmt.Errorf("msr: recover: %w", err)

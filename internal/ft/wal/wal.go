@@ -69,12 +69,12 @@ func (m *Mech) GC(uint64) {}
 func (m *Mech) Recover(rc *ftapi.RecoveryContext) (uint64, error) {
 	costs := vtime.Calibrate()
 	readStop := metrics.SerialTimer(&rc.Breakdown.Reload, rc.Workers)
-	raw, err := rc.Device.ReadLog(storage.LogFT)
+	cur, err := storage.ReadFrom(rc.Device, storage.LogFT, rc.SnapshotEpoch)
 	readStop()
 	if err != nil {
 		return 0, fmt.Errorf("wal: recover: %w", err)
 	}
-	groups, committed, _, err := ftapi.DecodeCommitted(raw, rc.SnapshotEpoch, rc.CommitLimit,
+	groups, committed, _, err := ftapi.DecodeCommittedCursor(cur, rc.SnapshotEpoch, rc.CommitLimit,
 		func(_ uint64, payload []byte) ([]codec.WALRecord, error) { return codec.DecodeWAL(payload) })
 	if err != nil {
 		return 0, fmt.Errorf("wal: recover: %w", err)

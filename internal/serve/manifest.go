@@ -25,15 +25,24 @@ import (
 //     the alignment epoch from the *global pre-routing batch*, which no
 //     per-shard log retains. The manifest record is exactly that batch.
 //
-// GC runs blob-then-truncate: the tenant watermarks and the next global
-// sequence are checkpointed into BlobIngest, then the log is truncated
-// below the committed frontier. A crash between the two steps only leaves
-// extra log records, which recovery tolerates.
+// GC runs blob-then-release: the tenant watermarks and the next global
+// sequence are checkpointed into BlobIngest, then the log's segments are
+// reclaimed below the committed frontier through storage.Release. A crash
+// between the two steps only leaves extra log records, which recovery
+// tolerates — as does the segment store's conservative retention of a
+// straddling segment.
 const (
 	// LogIngest is the per-epoch manifest log on the coordinator device.
 	LogIngest = "ingest"
 	// BlobIngest is the watermark checkpoint blob on the coordinator device.
 	BlobIngest = "ingest.wm"
+
+	// Both durable shapes ride the shared storage.Manifest codec; the kinds
+	// keep an ingest record from ever being misread as a watermark blob (or
+	// either as another layer's metadata).
+	manifestKindIngest   = "ingest"
+	manifestKindIngestWM = "ingest-wm"
+	fieldNextSeq         = "next_seq"
 )
 
 // ManifestEntry identifies one batch inside a fed epoch.
@@ -47,102 +56,77 @@ type ManifestEntry struct {
 }
 
 // encodeIngestRecord encodes one fed epoch's manifest entries plus the full
-// (seq-assigned, pre-routing) event batch.
+// (seq-assigned, pre-routing) event batch: a storage.Manifest with one
+// entry per batch (named by tenant, values [batchSeq, firstSeq, events])
+// and the encoded event batch as the opaque payload.
 func encodeIngestRecord(entries []ManifestEntry, events []types.Event) []byte {
+	m := storage.Manifest{Kind: manifestKindIngest}
+	for _, e := range entries {
+		m.Entries = append(m.Entries, storage.ManifestEntry{
+			Name: e.Tenant, Vals: []uint64{e.BatchSeq, e.FirstSeq, e.Events},
+		})
+	}
 	w := codec.GetBuffer()
 	defer codec.PutBuffer(w)
-	w.Uvarint(uint64(len(entries)))
-	for _, e := range entries {
-		putString(w, e.Tenant)
-		w.Uvarint(e.BatchSeq)
-		w.Uvarint(e.FirstSeq)
-		w.Uvarint(e.Events)
-	}
 	codec.EncodeEventsInto(w, events)
-	return append([]byte(nil), w.Bytes()...)
+	m.Payload = append([]byte(nil), w.Bytes()...)
+	return m.Encode()
 }
 
-// decodeIngestRecord decodes one manifest record. Counts are validated
-// against the remaining payload before allocation.
+// decodeIngestRecord decodes one manifest record.
 func decodeIngestRecord(b []byte) ([]ManifestEntry, []types.Event, error) {
-	r := codec.NewReader(b)
-	n := r.Uvarint()
-	if r.Err() != nil || n > uint64(r.Remaining()) {
-		return nil, nil, fmt.Errorf("%w: ingest record entry count", ErrBadFrame)
+	m, err := storage.DecodeManifestKind(b, manifestKindIngest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: ingest record: %v", ErrBadFrame, err)
 	}
-	entries := make([]ManifestEntry, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var e ManifestEntry
-		var ok bool
-		if e.Tenant, ok = readString(r, MaxTenantName); !ok {
-			return nil, nil, fmt.Errorf("%w: ingest record tenant", ErrBadFrame)
-		}
-		e.BatchSeq = r.Uvarint()
-		e.FirstSeq = r.Uvarint()
-		e.Events = r.Uvarint()
-		if r.Err() != nil {
+	entries := make([]ManifestEntry, 0, len(m.Entries))
+	for _, e := range m.Entries {
+		if len(e.Name) > MaxTenantName || len(e.Vals) != 3 {
 			return nil, nil, fmt.Errorf("%w: ingest record entry", ErrBadFrame)
 		}
-		entries = append(entries, e)
+		entries = append(entries, ManifestEntry{
+			Tenant: e.Name, BatchSeq: e.Vals[0], FirstSeq: e.Vals[1], Events: e.Vals[2],
+		})
 	}
-	ne := r.Uvarint()
-	if r.Err() != nil || ne > uint64(r.Remaining()) {
-		return nil, nil, fmt.Errorf("%w: ingest record event count", ErrBadFrame)
-	}
-	events := make([]types.Event, 0, ne)
-	for i := uint64(0); i < ne; i++ {
-		ev := r.Event()
-		if r.Err() != nil {
-			return nil, nil, fmt.Errorf("%w: ingest record event", ErrBadFrame)
-		}
-		events = append(events, ev)
-	}
-	if r.Remaining() != 0 {
-		return nil, nil, fmt.Errorf("%w: ingest record trailing bytes", ErrBadFrame)
+	events, err := codec.DecodeEvents(m.Payload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: ingest record events: %v", ErrBadFrame, err)
 	}
 	return entries, events, nil
 }
 
 // encodeWatermarks encodes the GC checkpoint blob: per-tenant acked
-// high-watermarks plus the next global event sequence.
+// high-watermarks (one manifest entry each, in canonical order so the blob
+// stays deterministic for byte-level tests) plus the next global event
+// sequence as a named field.
 func encodeWatermarks(wm map[string]uint64, nextSeq uint64) []byte {
-	w := codec.GetBuffer()
-	defer codec.PutBuffer(w)
-	// Canonical order keeps the blob deterministic for byte-level tests.
+	m := storage.Manifest{Kind: manifestKindIngestWM}
+	m.SetField(fieldNextSeq, nextSeq)
 	names := make([]string, 0, len(wm))
 	for name := range wm {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	w.Uvarint(uint64(len(names)))
 	for _, name := range names {
-		putString(w, name)
-		w.Uvarint(wm[name])
+		m.Entries = append(m.Entries, storage.ManifestEntry{Name: name, Vals: []uint64{wm[name]}})
 	}
-	w.Uvarint(nextSeq)
-	return append([]byte(nil), w.Bytes()...)
+	return m.Encode()
 }
 
 // decodeWatermarks decodes the GC checkpoint blob.
 func decodeWatermarks(b []byte) (map[string]uint64, uint64, error) {
-	r := codec.NewReader(b)
-	n := r.Uvarint()
-	if r.Err() != nil || n > uint64(r.Remaining()) {
-		return nil, 0, fmt.Errorf("%w: watermark blob count", ErrBadFrame)
+	m, err := storage.DecodeManifestKind(b, manifestKindIngestWM)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: watermark blob: %v", ErrBadFrame, err)
 	}
-	wm := make(map[string]uint64, n)
-	for i := uint64(0); i < n; i++ {
-		name, ok := readString(r, MaxTenantName)
-		if !ok {
+	wm := make(map[string]uint64, len(m.Entries))
+	for _, e := range m.Entries {
+		if len(e.Name) > MaxTenantName || len(e.Vals) != 1 {
 			return nil, 0, fmt.Errorf("%w: watermark blob tenant", ErrBadFrame)
 		}
-		wm[name] = r.Uvarint()
+		wm[e.Name] = e.Vals[0]
 	}
-	nextSeq := r.Uvarint()
-	if r.Err() != nil || r.Remaining() != 0 {
-		return nil, 0, fmt.Errorf("%w: watermark blob", ErrBadFrame)
-	}
-	return wm, nextSeq, nil
+	return wm, m.Field(fieldNextSeq), nil
 }
 
 // IngestState is what a restarted server recovers from the manifest.
@@ -183,10 +167,11 @@ func RecoverIngest(dev storage.Device, durable uint64) (IngestState, error) {
 			st.NextSeq = nextSeq
 		}
 	}
-	recs, err := dev.ReadLog(LogIngest)
+	cur, err := storage.ReadFrom(dev, LogIngest, 0)
 	if err != nil {
 		return st, fmt.Errorf("serve: read %s: %w", LogIngest, err)
 	}
+	defer cur.Close()
 	// Latest record wins per epoch: an incarnation that died between the
 	// manifest append and the feed leaves a record for an epoch it never
 	// processed, and its successor re-appends that epoch number with
@@ -195,14 +180,24 @@ func RecoverIngest(dev storage.Device, durable uint64) (IngestState, error) {
 	// never fed, and acking it would punch a hole in the tenant's stream.
 	// NextSeq, by contrast, folds every record including superseded ones:
 	// skipping sequence numbers is always safe, reusing them never is.
+	// The log streams through a cursor with one record of lookahead: a
+	// record that fails to decode is a torn tail only when nothing follows.
 	latest := map[uint64][]ManifestEntry{}
-	for i, rec := range recs {
-		entries, events, err := decodeIngestRecord(rec.Payload)
-		if err != nil {
-			if i == len(recs)-1 {
+	rec, ok, err := cur.Next()
+	if err != nil {
+		return st, fmt.Errorf("serve: read %s: %w", LogIngest, err)
+	}
+	for ok {
+		next, nok, nerr := cur.Next()
+		if nerr != nil {
+			return st, fmt.Errorf("serve: read %s: %w", LogIngest, nerr)
+		}
+		entries, events, derr := decodeIngestRecord(rec.Payload)
+		if derr != nil {
+			if !nok {
 				break // torn tail: the append this record belongs to died
 			}
-			return st, fmt.Errorf("serve: %s epoch %d: %w", LogIngest, rec.Epoch, err)
+			return st, fmt.Errorf("serve: %s epoch %d: %w", LogIngest, rec.Epoch, derr)
 		}
 		st.Epochs[rec.Epoch] = events
 		latest[rec.Epoch] = entries
@@ -211,6 +206,7 @@ func RecoverIngest(dev storage.Device, durable uint64) (IngestState, error) {
 				st.NextSeq = end
 			}
 		}
+		rec, ok = next, nok
 	}
 	for ep, entries := range latest {
 		if ep > durable {

@@ -268,11 +268,12 @@ func (s *Server) flushAcks() {
 	}
 }
 
-// maybeGC checkpoints tenant watermarks and truncates the ingest manifest
-// below the committed frontier, blob first: a crash between the two steps
-// only leaves extra log records. The in-memory epoch mirror is pruned to
-// the same horizon. Epochs at or above committed are always retained —
-// group recovery's alignment epoch can never sit below the frontier.
+// maybeGC checkpoints tenant watermarks and releases the ingest manifest's
+// segments below the committed frontier, blob first: a crash between the
+// two steps only leaves extra log records. The in-memory epoch mirror is
+// pruned to the same horizon. Epochs at or above committed are always
+// retained — group recovery's alignment epoch can never sit below the
+// frontier, and storage.Release only ever under-reclaims.
 func (s *Server) maybeGC() {
 	committed := s.committed.Load()
 	if committed < 1 || committed-s.lastGC < s.cfg.GCEvery {
@@ -286,7 +287,7 @@ func (s *Server) maybeGC() {
 		return // skip this round; the log still has everything
 	}
 	upTo := committed - 1
-	if err := s.be.Coord().Truncate(LogIngest, upTo); err != nil {
+	if err := storage.Release(s.be.Coord(), LogIngest, upTo); err != nil {
 		return
 	}
 	for ep := range s.fedEpochs {

@@ -262,27 +262,44 @@ func (g *Group) alignmentReplication(ep uint64, src Source) ([][]types.Event, er
 // full-sync deltas under the current epoch so a future recovery never
 // depends on a record lost to a coordinator-device crash.
 func (g *Group) frontierDeltas(epoch uint64) ([]codec.ShardDelta, bool, error) {
-	recs, err := g.coord.ReadLog(LogFrontier)
+	cur, err := storage.ReadFrom(g.coord, LogFrontier, 0)
 	if err != nil {
 		return nil, false, fmt.Errorf("shard: frontier log: %w", err)
 	}
-	for i := len(recs) - 1; i >= 0; i-- {
-		if recs[i].Epoch != epoch {
-			continue
-		}
-		deltas, err := codec.DecodeShardDeltas(recs[i].Payload)
-		if err != nil {
-			if i == len(recs)-1 {
-				return nil, false, nil
-			}
-			return nil, false, fmt.Errorf("shard: frontier record epoch %d: %w", epoch, err)
-		}
-		if len(deltas) != len(g.shards) {
-			return nil, false, fmt.Errorf("shard: frontier record epoch %d has %d shards, group has %d", epoch, len(deltas), len(g.shards))
-		}
-		return deltas, true, nil
+	defer cur.Close()
+	// Stream with one record of lookahead, keeping the latest record for the
+	// requested epoch and whether it closed the log (only then may a decode
+	// failure read as a torn tail).
+	var payload []byte
+	found, foundIsTail := false, false
+	rec, ok, err := cur.Next()
+	if err != nil {
+		return nil, false, fmt.Errorf("shard: frontier log: %w", err)
 	}
-	return nil, false, nil
+	for ok {
+		next, nok, nerr := cur.Next()
+		if nerr != nil {
+			return nil, false, fmt.Errorf("shard: frontier log: %w", nerr)
+		}
+		if rec.Epoch == epoch {
+			payload, found, foundIsTail = rec.Payload, true, !nok
+		}
+		rec, ok = next, nok
+	}
+	if !found {
+		return nil, false, nil
+	}
+	deltas, err := codec.DecodeShardDeltas(payload)
+	if err != nil {
+		if foundIsTail {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("shard: frontier record epoch %d: %w", epoch, err)
+	}
+	if len(deltas) != len(g.shards) {
+		return nil, false, fmt.Errorf("shard: frontier record epoch %d has %d shards, group has %d", epoch, len(deltas), len(g.shards))
+	}
+	return deltas, true, nil
 }
 
 // restoreCounters reconstructs the routed-event counters and the sequence

@@ -603,7 +603,12 @@ func (g *Group) EpochStats() []EpochStat { return g.stats }
 // entry [e][j] is the shard of the e+1-th epoch's j-th event.
 func (g *Group) RouteLog() [][]int { return g.routes }
 
-// FrontierRecords reads the coordinator's durable frontier log.
+// FrontierRecords reads the coordinator's durable frontier log through the
+// streaming cursor API (materialised, for inspection and tests).
 func (g *Group) FrontierRecords() ([]storage.Record, error) {
-	return g.coord.ReadLog(LogFrontier)
+	cur, err := storage.ReadFrom(g.coord, LogFrontier, 0)
+	if err != nil {
+		return nil, err
+	}
+	return storage.ReadAll(cur)
 }

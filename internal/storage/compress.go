@@ -138,6 +138,43 @@ func (c *Compressed) Truncate(log string, upTo uint64) error {
 	return c.Inner.Truncate(log, upTo)
 }
 
+// ReleaseThrough implements Releaser; GC carries no payload to compress.
+func (c *Compressed) ReleaseThrough(log string, epoch uint64) error {
+	return Release(c.Inner, log, epoch)
+}
+
+// ReadFrom implements LogReader: the inner cursor streams compressed
+// records, each unpacked as it is yielded, so streaming recovery keeps its
+// bounded-memory property through the compression layer.
+func (c *Compressed) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	cur, err := ReadFrom(c.Inner, log, fromEpoch)
+	if err != nil {
+		return nil, err
+	}
+	return &unpackCursor{inner: cur, log: log}, nil
+}
+
+type unpackCursor struct {
+	inner Cursor
+	log   string
+	i     int
+}
+
+func (u *unpackCursor) Next() (Record, bool, error) {
+	rec, ok, err := u.inner.Next()
+	if err != nil || !ok {
+		return Record{}, false, err
+	}
+	payload, err := unpack(rec.Payload)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("storage: log %q record %d: %w", u.log, u.i, err)
+	}
+	u.i++
+	return Record{Epoch: rec.Epoch, Payload: payload}, true, nil
+}
+
+func (u *unpackCursor) Close() error { return u.inner.Close() }
+
 // BytesWritten implements Device; sizes are post-compression.
 func (c *Compressed) BytesWritten() map[string]int64 { return c.Inner.BytesWritten() }
 

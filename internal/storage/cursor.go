@@ -1,0 +1,109 @@
+package storage
+
+// Cursor streams one log's records in append order, record at a time.
+// Recovery paths read through cursors so replay memory is bounded by one
+// record, not one log: the old whole-log ReadLog slurp made recovery cost
+// proportional to run length even when a checkpoint covered almost all of
+// it. Next returns ok=false once the log is exhausted; Close releases any
+// segment pins the cursor holds and is idempotent.
+type Cursor interface {
+	// Next returns the next record with Epoch > the cursor's fromEpoch.
+	// ok=false means exhaustion (err stays nil); a non-nil error is a read
+	// failure and ends the iteration.
+	Next() (rec Record, ok bool, err error)
+	// Close releases the cursor's resources. Safe to call more than once.
+	Close() error
+}
+
+// LogReader is implemented by devices (and wrappers) that can seek a log
+// by epoch instead of materialising it. The SegStore implements it with an
+// O(log n) binary search over its sealed-segment index; wrappers forward
+// it so the capability survives the stack.
+type LogReader interface {
+	// ReadFrom returns a cursor over the records of log with Epoch >
+	// fromEpoch, in append order. fromEpoch 0 reads the whole log.
+	ReadFrom(log string, fromEpoch uint64) (Cursor, error)
+}
+
+// Releaser is implemented by devices with segment-granular garbage
+// collection: ReleaseThrough reclaims whole storage segments fully covered
+// by epoch without rewriting bytes, and may conservatively retain records
+// at or below epoch (callers read through epoch-filtered cursors, so
+// retained dead records are invisible). Truncate remains the exact-
+// semantics fallback for devices without segments.
+type Releaser interface {
+	// ReleaseThrough reclaims storage fully covered by epoch. Unlike
+	// Truncate it is allowed to retain records with Epoch <= epoch.
+	ReleaseThrough(log string, epoch uint64) error
+}
+
+// ReadFrom returns a streaming cursor over log's records with Epoch >
+// fromEpoch. Devices implementing LogReader seek natively; for the rest
+// the cursor is a filtered view over one ReadLog call — same records,
+// same order, so call sites migrate without a semantics change.
+func ReadFrom(dev Device, log string, fromEpoch uint64) (Cursor, error) {
+	if lr, ok := dev.(LogReader); ok {
+		return lr.ReadFrom(log, fromEpoch)
+	}
+	recs, err := dev.ReadLog(log)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceCursor(recs, fromEpoch), nil
+}
+
+// Release routes one garbage-collection request through the single
+// segment-release path: devices with segment-granular reclamation
+// (Releaser) reclaim whole segments, everything else truncates exactly.
+// All GC call sites — checkpoint commit, MSR view GC, the serving layer's
+// manifest GC — go through here, so no caller can strand a segment by
+// byte-truncating a segmented log or double-free one by mixing paths.
+func Release(dev Device, log string, upTo uint64) error {
+	if r, ok := dev.(Releaser); ok {
+		return r.ReleaseThrough(log, upTo)
+	}
+	return dev.Truncate(log, upTo)
+}
+
+// NewSliceCursor wraps an already-materialised record slice as a Cursor
+// filtering to Epoch > fromEpoch. It backs the ReadFrom fallback and lets
+// slice-shaped tests drive cursor-based decoders.
+func NewSliceCursor(recs []Record, fromEpoch uint64) Cursor {
+	return &sliceCursor{recs: recs, from: fromEpoch}
+}
+
+type sliceCursor struct {
+	recs []Record
+	from uint64
+	pos  int
+}
+
+func (c *sliceCursor) Next() (Record, bool, error) {
+	for c.pos < len(c.recs) {
+		rec := c.recs[c.pos]
+		c.pos++
+		if rec.Epoch > c.from {
+			return rec, true, nil
+		}
+	}
+	return Record{}, false, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// ReadAll drains a cursor into a slice and closes it — the shim ReadLog
+// implementations and tests use it; production recovery paths iterate.
+func ReadAll(c Cursor) ([]Record, error) {
+	defer c.Close()
+	var out []Record
+	for {
+		rec, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import "testing"
+
+// TestSliceCursorFilters: the fallback cursor yields exactly the records
+// with Epoch > fromEpoch, preserving append order.
+func TestSliceCursorFilters(t *testing.T) {
+	recs := []Record{{Epoch: 1}, {Epoch: 3}, {Epoch: 2}, {Epoch: 5}}
+	cur := NewSliceCursor(recs, 2)
+	out, err := ReadAll(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Epoch != 3 || out[1].Epoch != 5 {
+		t.Fatalf("filtered = %+v", out)
+	}
+}
+
+// TestReadFromFallback: a plain Device without LogReader still serves
+// cursors through the package helper, with identical record contents.
+func TestReadFromFallback(t *testing.T) {
+	dev := NewMem()
+	for ep := uint64(1); ep <= 5; ep++ {
+		dev.Append("log", Record{Epoch: ep, Payload: []byte{byte(ep)}})
+	}
+	cur, err := ReadFrom(dev, "log", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(cur)
+	if err != nil || len(out) != 3 || out[0].Epoch != 3 {
+		t.Fatalf("fallback cursor: %+v, %v", out, err)
+	}
+}
+
+// TestReleaseFallback: Release on a non-Releaser device truncates exactly.
+func TestReleaseFallback(t *testing.T) {
+	dev := NewMem()
+	for ep := uint64(1); ep <= 4; ep++ {
+		dev.Append("log", Record{Epoch: ep})
+	}
+	if err := Release(dev, "log", 2); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := dev.ReadLog("log")
+	if len(recs) != 2 || recs[0].Epoch != 3 {
+		t.Fatalf("fallback release: %+v", recs)
+	}
+}
+
+// TestReadAllClosesOnError: an erroring cursor is still closed.
+func TestReadAllClosesOnError(t *testing.T) {
+	ec := &errCursor{}
+	if _, err := ReadAll(ec); err == nil {
+		t.Fatal("expected error")
+	}
+	if !ec.closed {
+		t.Fatal("cursor not closed on error")
+	}
+}
+
+type errCursor struct{ closed bool }
+
+func (c *errCursor) Next() (Record, bool, error) {
+	return Record{}, false, ErrInjected
+}
+func (c *errCursor) Close() error { c.closed = true; return nil }
+
+// TestCursorThroughCompression: records stream decompressed one at a time.
+func TestCursorThroughCompression(t *testing.T) {
+	dev := NewCompressed(NewSegStore(SegConfig{SegmentBytes: 64}))
+	payload := []byte("abcabcabcabcabcabcabcabcabcabc")
+	for ep := uint64(1); ep <= 6; ep++ {
+		if err := dev.Append("log", Record{Epoch: ep, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := ReadFrom(dev, "log", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(cur)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("compressed cursor: %d recs, %v", len(out), err)
+	}
+	for _, rec := range out {
+		if string(rec.Payload) != string(payload) {
+			t.Fatalf("payload corrupted: %q", rec.Payload)
+		}
+	}
+}

@@ -52,7 +52,8 @@ type WriteSite struct {
 	// Seq is the 0-based index of the write in the device's write order
 	// (counting only writes the wrapper observed).
 	Seq int
-	// Op is the write kind: "append", "blob", or "truncate".
+	// Op is the write kind: "append", "blob", "truncate", or "release"
+	// (segment-granular GC through the Releaser path).
 	Op string
 	// Name is the log or blob written.
 	Name string
@@ -68,6 +69,8 @@ func (s WriteSite) String() string {
 	switch s.Op {
 	case "truncate":
 		return fmt.Sprintf("write %d: truncate[%s] upTo=%d", s.Seq, s.Name, s.Epoch)
+	case "release":
+		return fmt.Sprintf("write %d: release[%s] upTo=%d", s.Seq, s.Name, s.Epoch)
 	case "blob":
 		return fmt.Sprintf("write %d: blob[%s] (%dB)", s.Seq, s.Name, s.Bytes)
 	default:
@@ -200,6 +203,21 @@ func (f *Faulty) Truncate(log string, upTo uint64) error {
 		return ErrInjected
 	}
 	return f.Inner.Truncate(log, upTo)
+}
+
+// ReleaseThrough implements Releaser. Segment release updates the index
+// before touching any slab (the SegStore contract), so like truncation it
+// is atomic under every fault mode: it fail-stops.
+func (f *Faulty) ReleaseThrough(log string, epoch uint64) error {
+	if inject, _ := f.spend(WriteSite{Op: "release", Name: log, Epoch: epoch}); inject {
+		return ErrInjected
+	}
+	return Release(f.Inner, log, epoch)
+}
+
+// ReadFrom implements LogReader; reads keep working on a dead device.
+func (f *Faulty) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	return ReadFrom(f.Inner, log, fromEpoch)
 }
 
 // ReadLog implements Device.

@@ -97,6 +97,18 @@ func (v *fencedView) Truncate(log string, upTo uint64) error {
 	return v.guard("truncate["+log+"]", func() error { return v.inner.Truncate(log, upTo) })
 }
 
+// ReleaseThrough implements Releaser. Segment release mutates the medium,
+// so it is fenced like truncation: a zombie incarnation must not reclaim
+// segments the live incarnation's recovery is about to read.
+func (v *fencedView) ReleaseThrough(log string, epoch uint64) error {
+	return v.guard("release["+log+"]", func() error { return Release(v.inner, log, epoch) })
+}
+
+// ReadFrom implements LogReader; reads are not fenced (see Fence doc).
+func (v *fencedView) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	return ReadFrom(v.inner, log, fromEpoch)
+}
+
 // ReadLog implements Device.
 func (v *fencedView) ReadLog(log string) ([]Record, error) { return v.inner.ReadLog(log) }
 

@@ -167,6 +167,20 @@ func (f *Flaky) Truncate(log string, upTo uint64) error {
 	return f.Inner.Truncate(log, upTo)
 }
 
+// ReleaseThrough implements Releaser; segment release is a write arrival
+// like truncation, counted against the same script windows.
+func (f *Flaky) ReleaseThrough(log string, epoch uint64) error {
+	if err, _ := f.decide(); err != nil {
+		return err
+	}
+	return Release(f.Inner, log, epoch)
+}
+
+// ReadFrom implements LogReader; reads always succeed (see type comment).
+func (f *Flaky) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	return ReadFrom(f.Inner, log, fromEpoch)
+}
+
 // ReadLog implements Device.
 func (f *Flaky) ReadLog(log string) ([]Record, error) { return f.Inner.ReadLog(log) }
 

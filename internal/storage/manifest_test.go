@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestManifestRoundTrip: every field class survives encode/decode.
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Kind:  "ingest",
+		Epoch: 42,
+		Entries: []ManifestEntry{
+			{Name: "tenant-a", Vals: []uint64{1, 2, 3}},
+			{Name: "tenant-b", Vals: nil},
+		},
+		Payload: []byte("opaque body"),
+	}
+	m.SetField("next_seq", 99)
+	m.SetField("alpha", 7)
+
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "ingest" || got.Epoch != 42 {
+		t.Fatalf("header = %q/%d", got.Kind, got.Epoch)
+	}
+	if got.Field("next_seq") != 99 || got.Field("alpha") != 7 {
+		t.Fatalf("fields = %v", got.Fields)
+	}
+	if !reflect.DeepEqual(got.Entries, m.Entries) {
+		t.Fatalf("entries = %+v", got.Entries)
+	}
+	if string(got.Payload) != "opaque body" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+// TestManifestEmpty: the zero manifest round-trips.
+func TestManifestEmpty(t *testing.T) {
+	m := &Manifest{}
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "" || got.Epoch != 0 || len(got.Fields) != 0 ||
+		len(got.Entries) != 0 || len(got.Payload) != 0 {
+		t.Fatalf("zero manifest = %+v", got)
+	}
+}
+
+// TestManifestDeterministic: field-map iteration order must not leak into
+// the bytes — the byte-determinism harness pins manifest encodings.
+func TestManifestDeterministic(t *testing.T) {
+	build := func() []byte {
+		m := &Manifest{Kind: "delivery", Epoch: 7}
+		for _, name := range []string{"z", "a", "m", "q", "b"} {
+			m.SetField(name, uint64(len(name)))
+		}
+		return m.Encode()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(first, build()) {
+			t.Fatal("encoding depends on map order")
+		}
+	}
+}
+
+// TestManifestKindCheck: a blob written by one layer cannot be misread by
+// another.
+func TestManifestKindCheck(t *testing.T) {
+	m := &Manifest{Kind: "ingest-wm", Epoch: 3}
+	if _, err := DecodeManifestKind(m.Encode(), "ingest-wm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeManifestKind(m.Encode(), "delivery"); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("kind mismatch = %v", err)
+	}
+}
+
+// TestManifestRejectsCorruption: truncations, bit flips, and trailing
+// garbage all surface ErrBadManifest — never a panic or a silent misparse.
+func TestManifestRejectsCorruption(t *testing.T) {
+	m := &Manifest{Kind: "ingest", Epoch: 9,
+		Entries: []ManifestEntry{{Name: "t", Vals: []uint64{1, 2}}},
+		Payload: []byte("body")}
+	m.SetField("f", 5)
+	good := m.Encode()
+
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeManifest(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeManifest(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeManifest(bad); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("bad magic = %v", err)
+	}
+}
+
+// FuzzDecodeManifest hammers the one decoder every recovery layer now
+// shares: any input must either decode to a manifest that re-encodes
+// losslessly or fail with ErrBadManifest — no panics, no allocations
+// proportional to claimed (not actual) sizes.
+func FuzzDecodeManifest(f *testing.F) {
+	seed := &Manifest{Kind: "ingest", Epoch: 42,
+		Entries: []ManifestEntry{{Name: "tenant", Vals: []uint64{1, 9}}},
+		Payload: []byte("events")}
+	seed.SetField("next_seq", 7)
+	f.Add(seed.Encode())
+	f.Add((&Manifest{}).Encode())
+	f.Add([]byte("MSM1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("decode error not ErrBadManifest: %v", err)
+			}
+			return
+		}
+		// Accepted input must round-trip through the canonical encoding.
+		again, err := DecodeManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != m.Kind || again.Epoch != m.Epoch ||
+			!reflect.DeepEqual(again.Fields, m.Fields) ||
+			!reflect.DeepEqual(again.Entries, m.Entries) ||
+			!bytes.Equal(again.Payload, m.Payload) {
+			t.Fatalf("round trip diverged: %+v vs %+v", m, again)
+		}
+	})
+}

@@ -323,6 +323,24 @@ func (r *Retrying) Truncate(log string, upTo uint64) error {
 	return r.do("truncate["+log+"]", func() error { return r.Inner.Truncate(log, upTo) })
 }
 
+// ReleaseThrough implements Releaser; GC retries like truncation does.
+func (r *Retrying) ReleaseThrough(log string, epoch uint64) error {
+	return r.do("release["+log+"]", func() error { return Release(r.Inner, log, epoch) })
+}
+
+// ReadFrom implements LogReader. Cursor acquisition retries like any read;
+// Next() itself is not retried — segment cursors read immutable snapshots,
+// so a mid-stream error is corruption, not a transient fault.
+func (r *Retrying) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	var out Cursor
+	err := r.do("readfrom["+log+"]", func() error {
+		var e error
+		out, e = ReadFrom(r.Inner, log, fromEpoch)
+		return e
+	})
+	return out, err
+}
+
 // ReadLog implements Device; recovery reads retry like writes do.
 func (r *Retrying) ReadLog(log string) ([]Record, error) {
 	var out []Record

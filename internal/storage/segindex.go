@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadSegIndex tags segment-index decode failures.
+var ErrBadSegIndex = errors.New("storage: bad segment index")
+
+// SegMeta is one segment's index entry, exported for diagnostics and for
+// durable index externalisation (a File-backed segment store persists the
+// index beside the slabs; the in-memory store exposes it for the fuzz
+// corpus and the store bench).
+type SegMeta struct {
+	// Seq is the segment's monotone seal sequence.
+	Seq uint64
+	// Lo and Hi are the minimum and maximum record epochs in the segment.
+	Lo, Hi uint64
+	// SeekHi is the prefix-maximum of Hi through this segment — the
+	// monotone key the epoch seek binary-searches.
+	SeekHi uint64
+	// Records and Bytes size the segment.
+	Records uint64
+	Bytes   uint64
+}
+
+// Index returns the named log's current segment index (sealed entries in
+// order, then the active segment if it holds records).
+func (s *SegStore) Index(name string) []SegMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lg := s.logs[name]
+	if lg == nil {
+		return nil
+	}
+	out := make([]SegMeta, 0, len(lg.sealed)+1)
+	for _, sg := range lg.sealed {
+		out = append(out, segMeta(sg))
+	}
+	if lg.active != nil && lg.active.n > 0 {
+		m := segMeta(lg.active)
+		if n := len(out); n > 0 && out[n-1].SeekHi > m.SeekHi {
+			m.SeekHi = out[n-1].SeekHi
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func segMeta(sg *segment) SegMeta {
+	seek := sg.seekHi
+	if sg.hi > seek {
+		seek = sg.hi // active segment: seal has not stamped the prefix max yet
+	}
+	return SegMeta{
+		Seq: sg.seq, Lo: sg.lo, Hi: sg.hi, SeekHi: seek,
+		Records: uint64(sg.n), Bytes: uint64(len(sg.buf)),
+	}
+}
+
+// segIndexMagic opens every encoded index; the version gates layout.
+const (
+	segIndexMagic   = "MSI1"
+	segIndexVersion = 1
+)
+
+// EncodeSegIndex serialises a segment index.
+func EncodeSegIndex(metas []SegMeta) []byte {
+	b := make([]byte, 0, 16+len(metas)*16)
+	b = append(b, segIndexMagic...)
+	b = binary.AppendUvarint(b, segIndexVersion)
+	b = binary.AppendUvarint(b, uint64(len(metas)))
+	for _, m := range metas {
+		b = binary.AppendUvarint(b, m.Seq)
+		b = binary.AppendUvarint(b, m.Lo)
+		b = binary.AppendUvarint(b, m.Hi)
+		b = binary.AppendUvarint(b, m.SeekHi)
+		b = binary.AppendUvarint(b, m.Records)
+		b = binary.AppendUvarint(b, m.Bytes)
+	}
+	return b
+}
+
+// DecodeSegIndex parses an encoded segment index and validates its
+// invariants: entry count bounded by the input, Lo <= Hi per segment,
+// monotone Seq, and monotone SeekHi that never falls below the segment's
+// own Hi. A decoder that accepted an index violating these would send an
+// epoch seek to the wrong segment, which is why the fuzz target hammers
+// exactly this routine.
+func DecodeSegIndex(b []byte) ([]SegMeta, error) {
+	if len(b) < len(segIndexMagic) || string(b[:len(segIndexMagic)]) != segIndexMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadSegIndex)
+	}
+	d := manifestReader{b: b[len(segIndexMagic):]}
+	if v := d.uvarint(); d.err == nil && v != segIndexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSegIndex, v)
+	}
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.off) {
+		return nil, fmt.Errorf("%w: entry count %d", ErrBadSegIndex, n)
+	}
+	metas := make([]SegMeta, 0, n)
+	var prevSeq, prevSeek uint64
+	for i := uint64(0); i < n; i++ {
+		m := SegMeta{
+			Seq: d.uvarint(), Lo: d.uvarint(), Hi: d.uvarint(),
+			SeekHi: d.uvarint(), Records: d.uvarint(), Bytes: d.uvarint(),
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadSegIndex, i, d.err)
+		}
+		if m.Lo > m.Hi {
+			return nil, fmt.Errorf("%w: entry %d: lo %d > hi %d", ErrBadSegIndex, i, m.Lo, m.Hi)
+		}
+		if i > 0 && m.Seq <= prevSeq {
+			return nil, fmt.Errorf("%w: entry %d: seq %d not increasing", ErrBadSegIndex, i, m.Seq)
+		}
+		if m.SeekHi < m.Hi || m.SeekHi < prevSeek {
+			return nil, fmt.Errorf("%w: entry %d: seekHi %d not a prefix max", ErrBadSegIndex, i, m.SeekHi)
+		}
+		prevSeq, prevSeek = m.Seq, m.SeekHi
+		metas = append(metas, m)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSegIndex, len(d.b)-d.off)
+	}
+	return metas, nil
+}

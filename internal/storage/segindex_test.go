@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestSegIndexRoundTrip: a real store's index encodes and decodes
+// losslessly.
+func TestSegIndexRoundTrip(t *testing.T) {
+	s := NewSegStore(SegConfig{SegmentBytes: 32})
+	for ep := uint64(1); ep <= 10; ep++ {
+		s.Append("log", Record{Epoch: ep, Payload: []byte("0123456789")})
+	}
+	idx := s.Index("log")
+	got, err := DecodeSegIndex(EncodeSegIndex(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Fatalf("round trip: %+v vs %+v", got, idx)
+	}
+}
+
+// TestSegIndexRejectsInvariantViolations: an index that would misroute an
+// epoch seek must not decode.
+func TestSegIndexRejectsInvariantViolations(t *testing.T) {
+	cases := map[string][]SegMeta{
+		"lo>hi":          {{Seq: 1, Lo: 5, Hi: 3, SeekHi: 5}},
+		"seq not incr":   {{Seq: 2, Lo: 1, Hi: 2, SeekHi: 2}, {Seq: 2, Lo: 3, Hi: 4, SeekHi: 4}},
+		"seekHi<hi":      {{Seq: 1, Lo: 1, Hi: 5, SeekHi: 4}},
+		"seekHi not max": {{Seq: 1, Lo: 1, Hi: 9, SeekHi: 9}, {Seq: 2, Lo: 2, Hi: 3, SeekHi: 3}},
+	}
+	for name, metas := range cases {
+		if _, err := DecodeSegIndex(EncodeSegIndex(metas)); !errors.Is(err, ErrBadSegIndex) {
+			t.Errorf("%s: err = %v, want ErrBadSegIndex", name, err)
+		}
+	}
+}
+
+// FuzzDecodeSegIndex seeds the fuzzer with an index produced by a real
+// engine-shaped run (multiple logs, seals, releases) and requires every
+// accepted input to satisfy the seek invariants and round-trip.
+func FuzzDecodeSegIndex(f *testing.F) {
+	s := NewSegStore(SegConfig{SegmentBytes: 48})
+	for ep := uint64(1); ep <= 40; ep++ {
+		s.Append("ft", Record{Epoch: ep, Payload: []byte("group-commit-payload")})
+		if ep%8 == 0 {
+			s.ReleaseThrough("ft", ep-8)
+		}
+	}
+	f.Add(EncodeSegIndex(s.Index("ft")))
+	f.Add(EncodeSegIndex(nil))
+	f.Add([]byte("MSI1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		metas, err := DecodeSegIndex(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSegIndex) {
+				t.Fatalf("decode error not ErrBadSegIndex: %v", err)
+			}
+			return
+		}
+		var prevSeek uint64
+		for i, m := range metas {
+			if m.Lo > m.Hi || m.SeekHi < m.Hi || m.SeekHi < prevSeek {
+				t.Fatalf("accepted invalid entry %d: %+v", i, m)
+			}
+			prevSeek = m.SeekHi
+		}
+		again, err := DecodeSegIndex(EncodeSegIndex(metas))
+		if err != nil || !reflect.DeepEqual(again, metas) {
+			t.Fatalf("round trip diverged: %v", err)
+		}
+	})
+}

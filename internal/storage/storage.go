@@ -54,8 +54,9 @@ type Device interface {
 const (
 	LogInput = "input" // persisted input events, one record per epoch
 	LogFT    = "ft"    // mechanism-specific records (WAL/DL/LV/MSR views)
+	LogCkpt  = "ckpt"  // incremental checkpoint deltas (dirty partitions)
 
-	BlobSnapshot = "snapshot" // latest committed state snapshot
+	BlobSnapshot = "snapshot" // latest committed base snapshot
 	BlobMeta     = "meta"     // recovery metadata (watermarks, config echo)
 )
 

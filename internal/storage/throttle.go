@@ -100,5 +100,39 @@ func (t *Throttled) Truncate(log string, upTo uint64) error {
 	return t.Inner.Truncate(log, upTo)
 }
 
+// ReleaseThrough implements Releaser; like Truncate, it charges only the
+// operation latency — segment reclamation moves no bytes.
+func (t *Throttled) ReleaseThrough(log string, epoch uint64) error {
+	t.charge(0, 0)
+	return Release(t.Inner, log, epoch)
+}
+
+// ReadFrom implements LogReader: each record is charged as it streams, so
+// a seek that skips most of the log is charged for what it reads, not for
+// the run length — the device-side benefit of the segment index.
+func (t *Throttled) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	t.charge(0, 0)
+	cur, err := ReadFrom(t.Inner, log, fromEpoch)
+	if err != nil {
+		return nil, err
+	}
+	return &throttledCursor{inner: cur, t: t}, nil
+}
+
+type throttledCursor struct {
+	inner Cursor
+	t     *Throttled
+}
+
+func (c *throttledCursor) Next() (Record, bool, error) {
+	rec, ok, err := c.inner.Next()
+	if ok {
+		c.t.charge(int64(len(rec.Payload)), c.t.ReadBytesPerSec)
+	}
+	return rec, ok, err
+}
+
+func (c *throttledCursor) Close() error { return c.inner.Close() }
+
 // BytesWritten implements Device.
 func (t *Throttled) BytesWritten() map[string]int64 { return t.Inner.BytesWritten() }

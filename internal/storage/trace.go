@@ -52,6 +52,19 @@ func (t *Trace) Truncate(log string, upTo uint64) error {
 	return t.Inner.Truncate(log, upTo)
 }
 
+// ReleaseThrough implements Releaser. Segment release is a durable write
+// too — it is recorded as its own site kind so the crash sweep dies on it
+// like on any truncation.
+func (t *Trace) ReleaseThrough(log string, epoch uint64) error {
+	t.record(WriteSite{Op: "release", Name: log, Epoch: epoch})
+	return Release(t.Inner, log, epoch)
+}
+
+// ReadFrom implements LogReader.
+func (t *Trace) ReadFrom(log string, fromEpoch uint64) (Cursor, error) {
+	return ReadFrom(t.Inner, log, fromEpoch)
+}
+
 // ReadLog implements Device.
 func (t *Trace) ReadLog(log string) ([]Record, error) { return t.Inner.ReadLog(log) }
 

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"morphstreamr/internal/types"
+)
+
+// DirtyPartitionRows is the row granularity of dirty tracking: each table is
+// divided into fixed partitions of this many rows, and one write anywhere in
+// a partition marks the whole partition dirty for the current snapshot
+// interval. Coarser than per-row tracking, it keeps the hot-path cost to one
+// atomic load (and rarely a store) per Set while still letting incremental
+// checkpoints skip the cold bulk of a skewed workload's state.
+const DirtyPartitionRows = 64
+
+// dirtyMap is the per-table dirty-partition bitmap. Partitions are marked
+// with an idempotent Load-check-then-Store on atomic.Bool: concurrent
+// markers race benignly (both write true), and the load-first fast path
+// avoids cache-line ping-pong when a hot partition is marked repeatedly
+// within one interval.
+type dirtyMap struct {
+	parts []atomic.Bool
+}
+
+func (d *dirtyMap) mark(row uint32) {
+	p := int(row) / DirtyPartitionRows
+	if !d.parts[p].Load() {
+		d.parts[p].Store(true)
+	}
+}
+
+// EnableDirtyTracking switches on partition-grain write tracking. It is a
+// one-way switch, called by the engine before processing starts when the
+// run shape asks for incremental checkpoints; a store created for a legacy
+// full-snapshot run never pays the tracking branch.
+func (s *Store) EnableDirtyTracking() {
+	for _, t := range s.tables {
+		if t == nil || t.dirty != nil {
+			continue
+		}
+		n := (len(t.rows) + DirtyPartitionRows - 1) / DirtyPartitionRows
+		t.dirty = &dirtyMap{parts: make([]atomic.Bool, n)}
+	}
+}
+
+// DirtyTracking reports whether EnableDirtyTracking has been called.
+func (s *Store) DirtyTracking() bool {
+	for _, t := range s.tables {
+		if t != nil {
+			return t.dirty != nil
+		}
+	}
+	return false
+}
+
+// PartitionRef names one dirty partition: a table and the partition's index
+// within it (rows [Part*DirtyPartitionRows, ...)).
+type PartitionRef struct {
+	Table types.TableID
+	Part  uint32
+}
+
+// DirtyPartitions returns the partitions written since the last ResetDirty,
+// sorted by (table, partition) so delta encodings are deterministic.
+func (s *Store) DirtyPartitions() []PartitionRef {
+	var out []PartitionRef
+	for _, sp := range s.specs {
+		t := s.tables[sp.ID]
+		if t.dirty == nil {
+			continue
+		}
+		for p := range t.dirty.parts {
+			if t.dirty.parts[p].Load() {
+				out = append(out, PartitionRef{Table: sp.ID, Part: uint32(p)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// ResetDirty clears every dirty bit, opening the next snapshot interval.
+// The engine calls it at the epoch barrier right after encoding a delta (or
+// a base), when no workers are mutating state.
+func (s *Store) ResetDirty() {
+	for _, t := range s.tables {
+		if t == nil || t.dirty == nil {
+			continue
+		}
+		for p := range t.dirty.parts {
+			t.dirty.parts[p].Store(false)
+		}
+	}
+}
+
+// PartitionVals copies one partition's current values (short final
+// partitions yield short slices). Like Snapshot, it is only called at epoch
+// barriers, so the copy is transaction-consistent.
+func (s *Store) PartitionVals(ref PartitionRef) []types.Value {
+	t := s.lookup(ref.Table)
+	if t == nil {
+		return nil
+	}
+	lo := int(ref.Part) * DirtyPartitionRows
+	if lo >= len(t.rows) {
+		return nil
+	}
+	hi := lo + DirtyPartitionRows
+	if hi > len(t.rows) {
+		hi = len(t.rows)
+	}
+	out := make([]types.Value, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = t.rows[i].Load()
+	}
+	return out
+}
+
+// RestorePartition overwrites one partition from a delta during recovery
+// composition. Values beyond the table's end are rejected by length: the
+// caller decoded them against the same specs, so a mismatch is corruption.
+func (s *Store) RestorePartition(ref PartitionRef, vals []types.Value) bool {
+	t := s.lookup(ref.Table)
+	if t == nil {
+		return false
+	}
+	lo := int(ref.Part) * DirtyPartitionRows
+	if lo >= len(t.rows) || lo+len(vals) > len(t.rows) {
+		return false
+	}
+	for i, v := range vals {
+		t.rows[lo+i].Store(v)
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"morphstreamr/internal/types"
+)
+
+func bigTables() []types.TableSpec {
+	return []types.TableSpec{
+		{ID: 0, Rows: 4 * DirtyPartitionRows, Init: 100},
+		{ID: 1, Rows: DirtyPartitionRows + 10},
+	}
+}
+
+// TestDirtyTrackingMarksPartitions: writes mark exactly their partitions,
+// in deterministic sorted order.
+func TestDirtyTrackingMarksPartitions(t *testing.T) {
+	s := New(bigTables())
+	if s.DirtyTracking() {
+		t.Fatal("tracking on before enable")
+	}
+	s.Set(types.Key{Table: 0, Row: 1}, 1) // not tracked yet
+	s.EnableDirtyTracking()
+	if !s.DirtyTracking() {
+		t.Fatal("tracking off after enable")
+	}
+	if got := s.DirtyPartitions(); len(got) != 0 {
+		t.Fatalf("pre-enable write tracked: %v", got)
+	}
+
+	s.Set(types.Key{Table: 0, Row: 0}, 5)
+	s.Set(types.Key{Table: 0, Row: DirtyPartitionRows - 1}, 6) // same partition
+	s.Set(types.Key{Table: 0, Row: 3 * DirtyPartitionRows}, 7) // partition 3
+	s.Set(types.Key{Table: 1, Row: DirtyPartitionRows + 2}, 8) // table 1 partition 1
+	got := s.DirtyPartitions()
+	want := []PartitionRef{{Table: 0, Part: 0}, {Table: 0, Part: 3}, {Table: 1, Part: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", got, want)
+		}
+	}
+
+	s.ResetDirty()
+	if got := s.DirtyPartitions(); len(got) != 0 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+// TestPartitionValsRoundTrip: a partition copies out and restores into a
+// second store, short tail partitions included.
+func TestPartitionValsRoundTrip(t *testing.T) {
+	a := New(bigTables())
+	for r := uint32(0); r < DirtyPartitionRows+10; r++ {
+		a.Set(types.Key{Table: 1, Row: r}, types.Value(r)*3)
+	}
+	b := New(bigTables())
+	for _, part := range []uint32{0, 1} {
+		ref := PartitionRef{Table: 1, Part: part}
+		vals := a.PartitionVals(ref)
+		if part == 1 && len(vals) != 10 {
+			t.Fatalf("tail partition len = %d, want 10", len(vals))
+		}
+		if !b.RestorePartition(ref, vals) {
+			t.Fatalf("restore partition %d failed", part)
+		}
+	}
+	if !a.Equal(b) {
+		t.Fatalf("stores differ after partition restore: %v", a.Diff(b, 5))
+	}
+}
+
+// TestRestorePartitionRejectsBadShapes: out-of-range partitions and
+// overlong value slices are refused, not silently clipped.
+func TestRestorePartitionRejectsBadShapes(t *testing.T) {
+	s := New(bigTables())
+	if s.RestorePartition(PartitionRef{Table: 9, Part: 0}, []types.Value{1}) {
+		t.Fatal("unknown table accepted")
+	}
+	if s.RestorePartition(PartitionRef{Table: 1, Part: 5}, []types.Value{1}) {
+		t.Fatal("out-of-range partition accepted")
+	}
+	long := make([]types.Value, DirtyPartitionRows)
+	if s.RestorePartition(PartitionRef{Table: 1, Part: 1}, long) {
+		t.Fatal("overlong tail restore accepted")
+	}
+	if s.PartitionVals(PartitionRef{Table: 1, Part: 7}) != nil {
+		t.Fatal("out-of-range partition vals not nil")
+	}
+}
+
+// TestDirtyTrackingConcurrent: concurrent writers marking the same and
+// different partitions race benignly (exercised under -race in CI).
+func TestDirtyTrackingConcurrent(t *testing.T) {
+	s := New(bigTables())
+	s.EnableDirtyTracking()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				row := uint32((w*37 + i) % (4 * DirtyPartitionRows))
+				s.Set(types.Key{Table: 0, Row: row}, types.Value(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.DirtyPartitions(); len(got) != 4 {
+		t.Fatalf("dirty partitions = %v, want all 4 of table 0", got)
+	}
+}

@@ -31,6 +31,10 @@ type Store struct {
 type table struct {
 	spec types.TableSpec
 	rows []atomic.Int64
+	// dirty is the partition-grain write bitmap behind incremental
+	// checkpoints; nil until EnableDirtyTracking (legacy full-snapshot runs
+	// never pay the branch).
+	dirty *dirtyMap
 }
 
 // New creates a store with the given tables, each record initialised to the
@@ -66,9 +70,23 @@ func (s *Store) Get(k types.Key) types.Value {
 	return s.row(k).Load()
 }
 
-// Set overwrites the value of key.
+// Set overwrites the value of key, marking its partition dirty when
+// tracking is enabled (replayed mechanism writes and tail reprocessing also
+// land here, which is what keeps the dirty map consistent across recovery:
+// every post-checkpoint write is re-marked by the replay that redoes it).
 func (s *Store) Set(k types.Key, v types.Value) {
-	s.row(k).Store(v)
+	if int(k.Table) >= len(s.tables) || s.tables[k.Table] == nil {
+		panic(fmt.Sprintf("store: unknown table %d", k.Table))
+	}
+	t := s.tables[k.Table]
+	if k.Row >= uint32(len(t.rows)) {
+		panic(fmt.Sprintf("store: row %d out of range for table %d (%d rows)",
+			k.Row, k.Table, len(t.rows)))
+	}
+	t.rows[k.Row].Store(v)
+	if t.dirty != nil {
+		t.dirty.mark(k.Row)
+	}
 }
 
 func (s *Store) row(k types.Key) *atomic.Int64 {

@@ -28,6 +28,14 @@ type RunShape struct {
 	CommitEvery int
 	// SnapshotEvery is the checkpoint interval in epochs. Zero means 8.
 	SnapshotEvery int
+	// SnapshotBase is the incremental-checkpoint cadence: every SnapshotBase-th
+	// snapshot marker persists a full base snapshot, the markers between them
+	// persist only the partitions written since the previous marker (a delta
+	// appended to the checkpoint log). Zero or 1 means every marker is a full
+	// snapshot — the legacy behaviour. The cadence is positional (snapshot
+	// ordinal modulo SnapshotBase), so a recovered incarnation computes the
+	// same schedule without any carried state.
+	SnapshotBase int
 	// AutoCommit lets an advisor mechanism (MSR) pick CommitEvery from the
 	// first epoch's profile instead of the configured value.
 	AutoCommit bool
@@ -58,6 +66,9 @@ func (s *RunShape) Normalize() error {
 	}
 	if s.SnapshotEvery <= 0 {
 		s.SnapshotEvery = 8
+	}
+	if s.SnapshotBase <= 0 {
+		s.SnapshotBase = 1
 	}
 	if s.SnapshotEvery%s.CommitEvery != 0 {
 		return fmt.Errorf("types: SnapshotEvery (%d) must be a multiple of CommitEvery (%d)",

@@ -12,22 +12,22 @@ func TestRunShapeNormalize(t *testing.T) {
 		{
 			name: "zero value gets the documented defaults",
 			in:   RunShape{},
-			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 8},
+			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 8, SnapshotBase: 1},
 		},
 		{
 			name: "negative knobs are treated as unset",
-			in:   RunShape{Workers: -3, CommitEvery: -1, SnapshotEvery: -8},
-			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 8},
+			in:   RunShape{Workers: -3, CommitEvery: -1, SnapshotEvery: -8, SnapshotBase: -2},
+			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 8, SnapshotBase: 1},
 		},
 		{
 			name: "explicit values survive untouched",
-			in:   RunShape{Workers: 8, CommitEvery: 2, SnapshotEvery: 4, AutoCommit: true, Pipeline: true},
-			want: RunShape{Workers: 8, CommitEvery: 2, SnapshotEvery: 4, AutoCommit: true, Pipeline: true},
+			in:   RunShape{Workers: 8, CommitEvery: 2, SnapshotEvery: 4, SnapshotBase: 4, AutoCommit: true, Pipeline: true},
+			want: RunShape{Workers: 8, CommitEvery: 2, SnapshotEvery: 4, SnapshotBase: 4, AutoCommit: true, Pipeline: true},
 		},
 		{
 			name: "commit interval defaulted against explicit snapshot interval",
 			in:   RunShape{SnapshotEvery: 6},
-			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 6},
+			want: RunShape{Workers: 1, CommitEvery: 1, SnapshotEvery: 6, SnapshotBase: 1},
 		},
 		{
 			name:    "commit interval must divide snapshot interval",
@@ -42,7 +42,7 @@ func TestRunShapeNormalize(t *testing.T) {
 		{
 			name: "commit equal to snapshot is legal",
 			in:   RunShape{CommitEvery: 4, SnapshotEvery: 4},
-			want: RunShape{Workers: 1, CommitEvery: 4, SnapshotEvery: 4},
+			want: RunShape{Workers: 1, CommitEvery: 4, SnapshotEvery: 4, SnapshotBase: 1},
 		},
 	}
 	for _, tc := range cases {

@@ -55,6 +55,7 @@ func main() {
 		shardPath = flag.String("shard", "BENCH_shard.json", "shard report (skipped if missing)")
 		servePath = flag.String("serve", "BENCH_serve.json", "serving-layer report (skipped if missing)")
 		storePath = flag.String("store", "BENCH_store.json", "segment-store report (skipped if missing)")
+		jrnyPath  = flag.String("journey", "BENCH_journey.json", "journey-tracing report (skipped if missing)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 	fold("shard", *shardPath, summarizeShard)
 	fold("serve", *servePath, summarizeServe)
 	fold("store", *storePath, summarizeStore)
+	fold("journey", *jrnyPath, summarizeJourney)
 
 	if len(pt.Sources) == 0 {
 		fatalf("no benchmark reports found; nothing to fold")
@@ -291,6 +293,96 @@ func summarizeStore(doc map[string]any) map[string]any {
 		if rows, ok := num(c, "rows"); ok {
 			if r, ok := num(c, "delta_over_base"); ok {
 				out[fmt.Sprintf("delta_over_base_rows_%d", int(rows))] = r
+			}
+		}
+	}
+	return out
+}
+
+// summarizeJourney keeps the tracing headlines: the invariant verdicts
+// (decomposition exact and complete, server/client cross-check, sampling-off
+// overhead ≤2%) aggregated across every cell, the worst per-stage p99 over
+// all cells (the stage-decomposition curve a trend chart plots), the worst
+// SLO burn-rate peak, and the overhead percentages.
+func summarizeJourney(doc map[string]any) map[string]any {
+	cells := entries(doc, "cells")
+	out := map[string]any{"cells": len(cells)}
+	decompOK, xcheckOK, recoveryAll := true, true, true
+	var journeys, recovered, ackViolations, exOnceNonCKPT float64
+	maxDecompErr, peakBurn := 0.0, 0.0
+	stageP99 := map[string]float64{}
+	for _, c := range cells {
+		if ok, has := c["decomposition_ok"].(bool); has && !ok {
+			decompOK = false
+		}
+		if ok, has := c["crosscheck_ok"].(bool); has && !ok {
+			xcheckOK = false
+		}
+		if ok, has := c["recovery_observed"].(bool); has && !ok {
+			recoveryAll = false
+		}
+		if v, ok := num(c, "journeys"); ok {
+			journeys += v
+		}
+		if v, ok := num(c, "recovered"); ok {
+			recovered += v
+		}
+		if v, ok := num(c, "dup_acks"); ok {
+			ackViolations += v
+		}
+		if v, ok := num(c, "ack_order_violations"); ok {
+			ackViolations += v
+		}
+		// CKPT's output-union duplicates are by design (checkpoint replay
+		// re-delivers); only the other mechanisms gate on them.
+		if v, ok := num(c, "exactly_once_violations"); ok && str(c, "kind") != "CKPT" {
+			exOnceNonCKPT += v
+		}
+		if v, ok := num(c, "max_decomp_err_ms"); ok && v > maxDecompErr {
+			maxDecompErr = v
+		}
+		if v, ok := num(c, "slo_peak_burn"); ok && v > peakBurn {
+			peakBurn = v
+		}
+		if stages, ok := c["stages"].(map[string]any); ok {
+			for st, raw := range stages {
+				if s, ok := raw.(map[string]any); ok {
+					if p99, ok := num(s, "p99_ms"); ok && p99 > stageP99[st] {
+						stageP99[st] = p99
+					}
+				}
+			}
+		}
+	}
+	out["decomposition_ok"] = decompOK
+	out["crosscheck_ok"] = xcheckOK
+	out["recovery_observed"] = recoveryAll
+	out["journeys"] = journeys
+	out["recovered"] = recovered
+	out["ack_violations"] = ackViolations
+	out["exactly_once_violations_non_ckpt"] = exOnceNonCKPT
+	out["max_decomp_err_ms"] = maxDecompErr
+	out["slo_peak_burn"] = peakBurn
+	stages := make([]string, 0, len(stageP99))
+	for st := range stageP99 {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		out["p99_ms_"+strings.ToLower(st)] = stageP99[st]
+	}
+	if oh, ok := doc["overhead"].(map[string]any); ok {
+		if v, ok := oh["ok"].(bool); ok {
+			out["overhead_ok"] = v
+		}
+		if off, ok := oh["sampling_off"].(map[string]any); ok {
+			if v, ok := num(off, "overhead_pct"); ok {
+				out["sampling_off_overhead_pct"] = v
+			}
+		}
+		if full, ok := oh["full_tracing"].(map[string]any); ok {
+			if v, ok := num(full, "overhead_pct"); ok {
+				out["full_tracing_overhead_pct"] = v
 			}
 		}
 	}

@@ -1,0 +1,468 @@
+// Package journey is the end-to-end event tracing layer: a lightweight
+// per-batch trace context attached to a sampled fraction of Submit frames
+// and propagated through every serving stage — admission (including
+// token-bucket waits across retries), tenant queue residency, routing and
+// sequence assignment, epoch execution, commit punctuation, ack flush —
+// each stage stamping a monotonic timestamp into a per-event journey
+// record.
+//
+// Journeys of in-flight batches are stitched across engine incarnations:
+// the pump brackets a heal with RecoveryBegin/RecoveryEnd, and any part of
+// a journey spent inside such a window is attributed to the explicit
+// RECOVERY stage instead of the stage it would otherwise fall into, so a
+// batch that lived through a kill-and-heal shows the outage as a stage in
+// its own timeline rather than as unexplained queue or commit time.
+//
+// The decomposition invariant: for every completed journey, the per-stage
+// durations sum exactly to End−Start (the client-observed ack lag as seen
+// from the server side). The package follows the repo's nil-object
+// pattern — a nil *Recorder samples nothing and a nil *J is inert, so the
+// serving hot path pays one nil check with tracing off.
+package journey
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage labels one segment of a journey. The value of a stamp's stage is
+// "the segment ending at this stamp belongs to this stage".
+type Stage string
+
+const (
+	// StageAdmission: first Submit arrival (including rejected attempts
+	// that were throttled or shed) to admission into the tenant queue.
+	StageAdmission Stage = "admission"
+	// StageQueue: admitted to gathered by the pump.
+	StageQueue Stage = "queue"
+	// StageRoute: gathered to sequenced + manifest-recorded + routed.
+	StageRoute Stage = "route"
+	// StageExecute: fed to the epoch's TPG execution completing.
+	StageExecute Stage = "execute"
+	// StageCommit: executed to the commit punctuation frontier covering
+	// the batch's epoch.
+	StageCommit Stage = "commit"
+	// StageAck: commit to the ack frame leaving the server.
+	StageAck Stage = "ack"
+	// StageRecovery: time spent inside a heal window, attributed
+	// explicitly regardless of which stage the batch was in.
+	StageRecovery Stage = "RECOVERY"
+)
+
+// Stages returns the canonical stage order (RECOVERY last).
+func Stages() []Stage {
+	return []Stage{StageAdmission, StageQueue, StageRoute, StageExecute, StageCommit, StageAck, StageRecovery}
+}
+
+// Record is one completed journey.
+type Record struct {
+	Tenant string `json:"tenant"`
+	Seq    uint64 `json:"seq"`
+	// Epoch is the backend epoch the batch was fed into (the last one, if
+	// a heal re-fed it); Shards the distinct shards it routed to.
+	Epoch  uint64 `json:"epoch"`
+	Shards []int  `json:"shards,omitempty"`
+	// Shed marks a journey terminated without an ack (server shutdown or
+	// terminal failure); its decomposition still sums to Total.
+	Shed bool `json:"shed"`
+	// Heals is how many recovery windows the journey lived through;
+	// Recovered is Heals > 0.
+	Heals     int  `json:"heals"`
+	Recovered bool `json:"recovered"`
+
+	Start time.Time     `json:"start"`
+	End   time.Time     `json:"end"`
+	Total time.Duration `json:"total"`
+	// StageDurs maps each stage to the time attributed to it. The sum of
+	// all values equals Total exactly.
+	StageDurs map[Stage]time.Duration `json:"stages"`
+}
+
+// stamp is one stage boundary inside an active journey.
+type stamp struct {
+	at    time.Time
+	stage Stage
+}
+
+// window is one recovery interval a journey overlapped.
+type window struct{ begin, end time.Time }
+
+// J is one active journey. All mutation goes through the owning
+// Recorder's mutex; a nil *J (unsampled batch) is inert.
+type J struct {
+	rec    *Recorder
+	tenant string
+	seq    uint64
+
+	first   time.Time
+	stamps  []stamp
+	epoch   uint64
+	shards  []int
+	heals   int
+	recOpen time.Time // open recovery window begin (zero when none)
+	windows []window
+	done    bool
+}
+
+// Config shapes a Recorder.
+type Config struct {
+	// SampleEvery samples every Nth batch sequence per tenant (seq %
+	// SampleEvery == 0); 0 disables server-side sampling (client-flagged
+	// batches are still traced).
+	SampleEvery uint64
+	// MaxDone bounds the completed-journey buffer (default 8192; oldest
+	// dropped first, counted).
+	MaxDone int
+	// MaxFirsts bounds the rejected-first-attempt map (default 4096).
+	MaxFirsts int
+}
+
+// Recorder owns every active and completed journey. A nil *Recorder is
+// the disabled recorder: ShouldSample is false, Start returns nil, and
+// every other method is a no-op.
+type Recorder struct {
+	cfg Config
+
+	mu          sync.Mutex
+	active      map[journeyKey]*J
+	firsts      map[journeyKey]time.Time // earliest rejected attempt per key
+	done        []Record
+	droppedDone uint64
+	recovering  bool
+	recBegan    time.Time
+	incarnation int
+	doubleDone  uint64
+}
+
+type journeyKey struct {
+	tenant string
+	seq    uint64
+}
+
+// NewRecorder creates a recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.MaxDone <= 0 {
+		cfg.MaxDone = 8192
+	}
+	if cfg.MaxFirsts <= 0 {
+		cfg.MaxFirsts = 4096
+	}
+	return &Recorder{
+		cfg:    cfg,
+		active: map[journeyKey]*J{},
+		firsts: map[journeyKey]time.Time{},
+	}
+}
+
+// ShouldSample decides whether the batch with this sequence is traced:
+// the client asked (flag bit on the Submit frame) or the server-side
+// modulus selects it. Nil-safe (false).
+func (r *Recorder) ShouldSample(seq uint64, clientFlag bool) bool {
+	if r == nil {
+		return false
+	}
+	if clientFlag {
+		return true
+	}
+	return r.cfg.SampleEvery > 0 && seq%r.cfg.SampleEvery == 0
+}
+
+// NoteRejected records the arrival time of a sampled Submit that admission
+// rejected (throttle, shed, queue-full): when a later retry is admitted,
+// the journey's clock starts at the first attempt, so token-bucket wait
+// shows up as admission time. Nil-safe.
+func (r *Recorder) NoteRejected(tenant string, seq uint64) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	k := journeyKey{tenant, seq}
+	r.mu.Lock()
+	if _, seen := r.firsts[k]; !seen && len(r.firsts) < r.cfg.MaxFirsts {
+		r.firsts[k] = now
+	}
+	r.mu.Unlock()
+}
+
+// Start opens a journey for an admitted batch, stamping the admission
+// boundary now. If a rejected first attempt was noted for the same key,
+// the journey's clock starts there. Starting a key that is already active
+// returns the existing journey (reconnect replays). Nil-safe (nil).
+func (r *Recorder) Start(tenant string, seq uint64) *J {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	k := journeyKey{tenant, seq}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.active[k]; ok {
+		return j
+	}
+	first := now
+	if t, ok := r.firsts[k]; ok {
+		first = t
+		delete(r.firsts, k)
+	}
+	j := &J{rec: r, tenant: tenant, seq: seq, first: first}
+	if r.recovering {
+		j.recOpen = now
+	}
+	j.stamps = append(j.stamps, stamp{at: now, stage: StageAdmission})
+	r.active[k] = j
+	return j
+}
+
+// Stamp marks a stage boundary now. Nil-safe.
+func (j *J) Stamp(stage Stage) {
+	if j == nil {
+		return
+	}
+	j.rec.mu.Lock()
+	j.stampLocked(time.Now(), stage)
+	j.rec.mu.Unlock()
+}
+
+// StampAt marks a stage boundary at a given time (the commit boundary
+// uses the frontier-advance time recorded by the shard group). Times
+// before the previous stamp are clamped — stamps stay monotonic so the
+// decomposition stays exact. Nil-safe.
+func (j *J) StampAt(stage Stage, at time.Time) {
+	if j == nil {
+		return
+	}
+	j.rec.mu.Lock()
+	j.stampLocked(at, stage)
+	j.rec.mu.Unlock()
+}
+
+func (j *J) stampLocked(at time.Time, stage Stage) {
+	if j.done {
+		return
+	}
+	if n := len(j.stamps); n > 0 && at.Before(j.stamps[n-1].at) {
+		at = j.stamps[n-1].at
+	}
+	if at.Before(j.first) {
+		at = j.first
+	}
+	j.stamps = append(j.stamps, stamp{at: at, stage: stage})
+}
+
+// SetRoute records which epoch the batch was fed into and the distinct
+// shards it routed to. Nil-safe.
+func (j *J) SetRoute(epoch uint64, shards []int) {
+	if j == nil {
+		return
+	}
+	j.rec.mu.Lock()
+	j.epoch = epoch
+	j.shards = shards
+	j.rec.mu.Unlock()
+}
+
+// Complete stamps the ack boundary and finalizes the journey. Nil-safe;
+// completing twice is counted (DoubleCompletes) and otherwise ignored.
+func (j *J) Complete() {
+	j.finish(false)
+}
+
+// Shed finalizes the journey without an ack (terminal server failure or
+// shutdown with the batch still in flight). Nil-safe.
+func (j *J) Shed() {
+	j.finish(true)
+}
+
+func (j *J) finish(shed bool) {
+	if j == nil {
+		return
+	}
+	now := time.Now()
+	r := j.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j.done {
+		r.doubleDone++
+		return
+	}
+	delete(r.active, journeyKey{j.tenant, j.seq})
+	j.stampLocked(now, StageAck)
+	j.done = true
+	if !j.recOpen.IsZero() {
+		j.windows = append(j.windows, window{begin: j.recOpen, end: now})
+		j.recOpen = time.Time{}
+	}
+	rec := j.finalizeLocked(shed)
+	if len(r.done) >= r.cfg.MaxDone {
+		copy(r.done, r.done[1:])
+		r.done = r.done[:len(r.done)-1]
+		r.droppedDone++
+	}
+	r.done = append(r.done, rec)
+}
+
+// finalizeLocked walks the stamps and attributes each inter-stamp segment
+// to the stage of the segment's closing stamp — except the portion of the
+// segment overlapping a recovery window, which goes to RECOVERY. The sum
+// of all attributed durations equals End−Start exactly by construction.
+func (j *J) finalizeLocked(shed bool) Record {
+	stages := make(map[Stage]time.Duration, len(Stages()))
+	cursor := j.first
+	for _, st := range j.stamps {
+		seg := st.at.Sub(cursor)
+		if seg < 0 {
+			seg = 0
+		}
+		recPart := overlap(cursor, st.at, j.windows)
+		if recPart > seg {
+			recPart = seg
+		}
+		if recPart > 0 {
+			stages[StageRecovery] += recPart
+		}
+		stages[st.stage] += seg - recPart
+		cursor = st.at
+	}
+	return Record{
+		Tenant:    j.tenant,
+		Seq:       j.seq,
+		Epoch:     j.epoch,
+		Shards:    j.shards,
+		Shed:      shed,
+		Heals:     j.heals,
+		Recovered: j.heals > 0 || len(j.windows) > 0,
+		Start:     j.first,
+		End:       cursor,
+		Total:     cursor.Sub(j.first),
+		StageDurs: stages,
+	}
+}
+
+// overlap sums the intersection of [a, b] with the windows.
+func overlap(a, b time.Time, windows []window) time.Duration {
+	var d time.Duration
+	for _, w := range windows {
+		lo, hi := w.begin, w.end
+		if lo.Before(a) {
+			lo = a
+		}
+		if hi.After(b) {
+			hi = b
+		}
+		if hi.After(lo) {
+			d += hi.Sub(lo)
+		}
+	}
+	return d
+}
+
+// RecoveryBegin opens a recovery window: every active journey — and any
+// journey started before the matching RecoveryEnd — has the window's span
+// attributed to the RECOVERY stage. Nested begins are flattened. Nil-safe.
+func (r *Recorder) RecoveryBegin() {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recovering {
+		return
+	}
+	r.recovering = true
+	r.recBegan = now
+	for _, j := range r.active {
+		if j.recOpen.IsZero() {
+			j.recOpen = now
+		}
+	}
+}
+
+// RecoveryEnd closes the open recovery window and advances the recorder's
+// incarnation — journeys alive across the edge are the stitched ones.
+// Nil-safe.
+func (r *Recorder) RecoveryEnd() {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.recovering {
+		return
+	}
+	r.recovering = false
+	r.incarnation++
+	for _, j := range r.active {
+		if !j.recOpen.IsZero() {
+			j.windows = append(j.windows, window{begin: j.recOpen, end: now})
+			j.recOpen = time.Time{}
+			j.heals++
+		}
+	}
+}
+
+// ShedActive finalizes every active journey as shed — the server is
+// closing or terminal and no ack will ever come. Nil-safe.
+func (r *Recorder) ShedActive() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	js := make([]*J, 0, len(r.active))
+	for _, j := range r.active {
+		js = append(js, j)
+	}
+	r.mu.Unlock()
+	for _, j := range js {
+		j.Shed()
+	}
+}
+
+// Drain removes and returns every completed journey plus the count of
+// records dropped to the buffer bound since the previous drain. Nil-safe.
+func (r *Recorder) Drain() ([]Record, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.done
+	dropped := r.droppedDone
+	r.done = nil
+	r.droppedDone = 0
+	return out, dropped
+}
+
+// ActiveCount returns how many journeys are in flight. Nil-safe.
+func (r *Recorder) ActiveCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Incarnation returns how many recovery windows the recorder has closed.
+// Nil-safe.
+func (r *Recorder) Incarnation() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.incarnation
+}
+
+// DoubleCompletes returns how many times a journey was finalized more
+// than once — the stitching invariant's violation counter; it must stay 0.
+// Nil-safe.
+func (r *Recorder) DoubleCompletes() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.doubleDone
+}

@@ -1,0 +1,230 @@
+package journey
+
+import (
+	"testing"
+	"time"
+)
+
+// drainOne finalizes nothing itself — helper to pull the single completed
+// record out of a recorder.
+func drainOne(t *testing.T, r *Recorder) Record {
+	t.Helper()
+	recs, _ := r.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d records, want 1", len(recs))
+	}
+	return recs[0]
+}
+
+func TestDecompositionSumsToTotal(t *testing.T) {
+	r := NewRecorder(Config{})
+	j := r.Start("t0", 1)
+	j.Stamp(StageQueue)
+	j.Stamp(StageRoute)
+	j.SetRoute(3, []int{0, 1})
+	j.Stamp(StageExecute)
+	j.Stamp(StageCommit)
+	j.Complete()
+
+	rec := drainOne(t, r)
+	var sum time.Duration
+	for _, d := range rec.StageDurs {
+		sum += d
+	}
+	if sum != rec.Total {
+		t.Fatalf("stage sum %v != total %v", sum, rec.Total)
+	}
+	if rec.Total != rec.End.Sub(rec.Start) {
+		t.Fatalf("total %v != end-start %v", rec.Total, rec.End.Sub(rec.Start))
+	}
+	if rec.Epoch != 3 || len(rec.Shards) != 2 {
+		t.Fatalf("route not recorded: epoch=%d shards=%v", rec.Epoch, rec.Shards)
+	}
+	if rec.Shed || rec.Recovered {
+		t.Fatalf("clean journey flagged shed=%v recovered=%v", rec.Shed, rec.Recovered)
+	}
+}
+
+func TestRejectedFirstAttemptExtendsAdmission(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.NoteRejected("t0", 1)
+	time.Sleep(2 * time.Millisecond)
+	j := r.Start("t0", 1)
+	j.Complete()
+
+	rec := drainOne(t, r)
+	if rec.StageDurs[StageAdmission] < 2*time.Millisecond {
+		t.Fatalf("admission stage %v does not cover the rejected wait", rec.StageDurs[StageAdmission])
+	}
+}
+
+func TestRecoveryWindowAttribution(t *testing.T) {
+	r := NewRecorder(Config{})
+	j := r.Start("t0", 1)
+	j.Stamp(StageQueue)
+	r.RecoveryBegin()
+	time.Sleep(2 * time.Millisecond)
+	r.RecoveryEnd()
+	j.Stamp(StageExecute)
+	j.Complete()
+
+	rec := drainOne(t, r)
+	if !rec.Recovered || rec.Heals != 1 {
+		t.Fatalf("recovered=%v heals=%d, want true/1", rec.Recovered, rec.Heals)
+	}
+	if rec.StageDurs[StageRecovery] < 2*time.Millisecond {
+		t.Fatalf("RECOVERY stage %v does not cover the heal window", rec.StageDurs[StageRecovery])
+	}
+	var sum time.Duration
+	for _, d := range rec.StageDurs {
+		sum += d
+	}
+	if sum != rec.Total {
+		t.Fatalf("stage sum %v != total %v with recovery window", sum, rec.Total)
+	}
+	if r.Incarnation() != 1 {
+		t.Fatalf("incarnation %d, want 1", r.Incarnation())
+	}
+}
+
+func TestStartedMidRecovery(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.RecoveryBegin()
+	j := r.Start("t0", 1)
+	time.Sleep(time.Millisecond)
+	r.RecoveryEnd()
+	j.Complete()
+
+	rec := drainOne(t, r)
+	if !rec.Recovered {
+		t.Fatal("journey started mid-recovery not flagged recovered")
+	}
+	if rec.StageDurs[StageRecovery] <= 0 {
+		t.Fatalf("RECOVERY stage %v, want > 0", rec.StageDurs[StageRecovery])
+	}
+}
+
+func TestDoubleCompleteCountedOnce(t *testing.T) {
+	r := NewRecorder(Config{})
+	j := r.Start("t0", 1)
+	j.Complete()
+	j.Complete()
+	j.Shed()
+	if got := r.DoubleCompletes(); got != 2 {
+		t.Fatalf("double completes %d, want 2", got)
+	}
+	recs, _ := r.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d records, want 1", len(recs))
+	}
+}
+
+func TestStampClampsBackwardsTime(t *testing.T) {
+	r := NewRecorder(Config{})
+	j := r.Start("t0", 1)
+	j.Stamp(StageQueue)
+	// A commit time recorded before the previous stamp (possible when the
+	// frontier-advance wall time predates the execute stamp) must clamp, not
+	// produce a negative segment.
+	j.StampAt(StageCommit, time.Now().Add(-time.Hour))
+	j.Complete()
+
+	rec := drainOne(t, r)
+	for st, d := range rec.StageDurs {
+		if d < 0 {
+			t.Fatalf("stage %q negative: %v", st, d)
+		}
+	}
+	if d, ok := rec.StageDurs[StageCommit]; !ok || d != 0 {
+		t.Fatalf("clamped commit stage = %v (present=%v), want 0", d, ok)
+	}
+}
+
+func TestShedActiveAndReplayReuse(t *testing.T) {
+	r := NewRecorder(Config{})
+	j1 := r.Start("t0", 1)
+	if j2 := r.Start("t0", 1); j2 != j1 {
+		t.Fatal("replayed Start did not reuse the active journey")
+	}
+	r.Start("t1", 1)
+	r.ShedActive()
+	if n := r.ActiveCount(); n != 0 {
+		t.Fatalf("active after ShedActive: %d", n)
+	}
+	recs, _ := r.Drain()
+	if len(recs) != 2 {
+		t.Fatalf("drained %d, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if !rec.Shed {
+			t.Fatalf("journey %s/%d not marked shed", rec.Tenant, rec.Seq)
+		}
+	}
+}
+
+func TestDoneBufferBounded(t *testing.T) {
+	r := NewRecorder(Config{MaxDone: 4})
+	for i := uint64(1); i <= 10; i++ {
+		r.Start("t0", i).Complete()
+	}
+	recs, dropped := r.Drain()
+	if len(recs) != 4 {
+		t.Fatalf("kept %d records, want 4", len(recs))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped %d, want 6", dropped)
+	}
+	if recs[len(recs)-1].Seq != 10 {
+		t.Fatalf("newest record seq %d, want 10 (oldest dropped first)", recs[len(recs)-1].Seq)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.ShouldSample(4, false) || r.ShouldSample(4, true) {
+		// Even a client-flagged batch: there is nowhere to record it.
+		t.Fatal("nil recorder sampled")
+	}
+	r.NoteRejected("t", 1)
+	j := r.Start("t", 1)
+	if j != nil {
+		t.Fatal("nil recorder returned a journey")
+	}
+	j.Stamp(StageQueue)
+	j.StampAt(StageCommit, time.Now())
+	j.SetRoute(1, nil)
+	j.Complete()
+	j.Shed()
+	r.RecoveryBegin()
+	r.RecoveryEnd()
+	r.ShedActive()
+	if recs, d := r.Drain(); recs != nil || d != 0 {
+		t.Fatal("nil recorder drained records")
+	}
+	if r.ActiveCount() != 0 || r.Incarnation() != 0 || r.DoubleCompletes() != 0 {
+		t.Fatal("nil recorder counters non-zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(Config{})
+	for i := uint64(1); i <= 5; i++ {
+		j := r.Start("t0", i)
+		j.Stamp(StageQueue)
+		j.Complete()
+	}
+	recs, _ := r.Drain()
+	s := Summarize(recs)
+	if s.Journeys != 5 {
+		t.Fatalf("journeys %d, want 5", s.Journeys)
+	}
+	if s.Total.Count != 5 {
+		t.Fatalf("total count %d, want 5", s.Total.Count)
+	}
+	if s.MaxDecompErrMs != 0 {
+		t.Fatalf("decomposition error %vms, want 0", s.MaxDecompErrMs)
+	}
+	if _, ok := s.Stages[StageQueue]; !ok {
+		t.Fatal("queue stage missing from summary")
+	}
+}

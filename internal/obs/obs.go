@@ -14,22 +14,24 @@ package obs
 
 import "sync"
 
-// Observer bundles the two halves of the layer so components thread one
-// pointer. A nil *Observer disables both.
+// Observer bundles the halves of the layer so components thread one
+// pointer. A nil *Observer disables all of them.
 type Observer struct {
 	Reg    *Registry
 	Tracer *Tracer
+	TL     *Timeline
 
 	viewMu sync.Mutex
 	views  map[string]func() any
 }
 
-// NewObserver creates an observer with a fresh registry and a tracer of
-// the given shape (see NewTracer).
+// NewObserver creates an observer with a fresh registry, a tracer of the
+// given shape (see NewTracer), and an incident timeline.
 func NewObserver(lanes, spansPerLane int) *Observer {
 	return &Observer{
 		Reg:    NewRegistry(),
 		Tracer: NewTracer(lanes, spansPerLane),
+		TL:     NewTimeline(0),
 	}
 }
 
@@ -47,6 +49,14 @@ func (o *Observer) T() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// Timeline returns the observer's incident timeline, nil when disabled.
+func (o *Observer) Timeline() *Timeline {
+	if o == nil {
+		return nil
+	}
+	return o.TL
 }
 
 // Begin opens a span on the observer's tracer; inert when disabled.

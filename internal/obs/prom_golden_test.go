@@ -8,7 +8,8 @@ import (
 
 // TestWritePromGolden pins the exact exposition text: name sanitization
 // (dots/slashes to underscores, leading digit prefixed, empty name kept as
-// a bare underscore, colons legal), histogram quantile lines, and the
+// a bare underscore, colons legal), native histogram _bucket/_sum series
+// (default and configured ladders) plus the legacy quantile lines, and the
 // collision handling when sanitization or derived series collapse distinct
 // registry names onto one Prometheus series.
 func TestWritePromGolden(t *testing.T) {
@@ -27,6 +28,8 @@ func TestWritePromGolden(t *testing.T) {
 	h := r.Histogram("lat")
 	h.Observe(0.5)
 	h.Observe(1.5)
+	// Configured (non-default) bucket ladder.
+	r.HistogramBuckets("small", []float64{1, 10}).Observe(3)
 
 	var buf bytes.Buffer
 	if err := r.WriteProm(&buf); err != nil {
@@ -49,14 +52,52 @@ engine_epochs 12
 lat_count 7
 ns:qualified 3
 a_b_2 1
+epoch_seconds_bucket{le="0.001"} 0
+epoch_seconds_bucket{le="0.0025"} 0
+epoch_seconds_bucket{le="0.005"} 0
+epoch_seconds_bucket{le="0.01"} 0
+epoch_seconds_bucket{le="0.025"} 0
+epoch_seconds_bucket{le="0.05"} 0
+epoch_seconds_bucket{le="0.1"} 0
+epoch_seconds_bucket{le="0.25"} 1
+epoch_seconds_bucket{le="0.5"} 1
+epoch_seconds_bucket{le="1"} 1
+epoch_seconds_bucket{le="2.5"} 1
+epoch_seconds_bucket{le="5"} 1
+epoch_seconds_bucket{le="10"} 1
+epoch_seconds_bucket{le="+Inf"} 1
+epoch_seconds_sum 0.25
 epoch_seconds_count 1
 epoch_seconds_mean 0.25
 epoch_seconds{quantile="0.5"} 0.25
 epoch_seconds{quantile="0.99"} 0.25
+lat_2_bucket{le="0.001"} 0
+lat_2_bucket{le="0.0025"} 0
+lat_2_bucket{le="0.005"} 0
+lat_2_bucket{le="0.01"} 0
+lat_2_bucket{le="0.025"} 0
+lat_2_bucket{le="0.05"} 0
+lat_2_bucket{le="0.1"} 0
+lat_2_bucket{le="0.25"} 0
+lat_2_bucket{le="0.5"} 1
+lat_2_bucket{le="1"} 1
+lat_2_bucket{le="2.5"} 2
+lat_2_bucket{le="5"} 2
+lat_2_bucket{le="10"} 2
+lat_2_bucket{le="+Inf"} 2
+lat_2_sum 2
 lat_2_count 2
 lat_2_mean 1
-lat_2{quantile="0.5"} 1.5
-lat_2{quantile="0.99"} 1.5
+lat_2{quantile="0.5"} 1
+lat_2{quantile="0.99"} 1.49
+small_bucket{le="1"} 0
+small_bucket{le="10"} 1
+small_bucket{le="+Inf"} 1
+small_sum 3
+small_count 1
+small_mean 3
+small{quantile="0.5"} 3
+small{quantile="0.99"} 3
 `
 	if got != golden {
 		t.Errorf("prom exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)

@@ -66,9 +66,17 @@ func (g *Gauge) Value() int64 {
 // computed over the most recent histWindow observations.
 const histWindow = 1024
 
+// DefBuckets is the default bucket ladder for histograms whose bounds are
+// not configured explicitly: latency-shaped, in seconds, matching the
+// Prometheus client default.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
 // Histogram records duration-like observations in a sliding window and
 // reports count/min/max/mean over the whole run plus p50/p99 over the
-// window. Observation is mutex-guarded but cheap (one slot write).
+// window, and — for the native Prometheus exposition — cumulative counts
+// over a fixed bucket ladder (lifetime, like Prometheus counters).
+// Observation is mutex-guarded but cheap (one slot write + one bucket
+// increment).
 type Histogram struct {
 	mu     sync.Mutex
 	window [histWindow]float64
@@ -78,6 +86,12 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+
+	// bounds are the ascending upper bucket bounds (exclusive of the
+	// implicit +Inf bucket); bcounts[i] counts observations ≤ bounds[i],
+	// non-cumulative per slot, with bcounts[len(bounds)] the +Inf slot.
+	bounds  []float64
+	bcounts []int64
 }
 
 // Observe records one sample. Units are the caller's choice; the engine
@@ -100,6 +114,27 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if h.bounds == nil {
+		h.bounds = DefBuckets
+		h.bcounts = make([]int64, len(h.bounds)+1)
+	}
+	h.bcounts[sort.SearchFloat64s(h.bounds, v)]++
+	h.mu.Unlock()
+}
+
+// setBuckets configures the bucket ladder. Only effective before the
+// first observation; afterwards the recorded ladder is immutable (bucket
+// counts are lifetime-cumulative, so re-bucketing would lie).
+func (h *Histogram) setBuckets(bounds []float64) {
+	if h == nil || len(bounds) == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 {
+		h.bounds = append([]float64(nil), bounds...)
+		sort.Float64s(h.bounds)
+		h.bcounts = make([]int64, len(h.bounds)+1)
+	}
 	h.mu.Unlock()
 }
 
@@ -108,15 +143,25 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
 }
 
-// HistStats is a histogram snapshot: lifetime count/min/max/mean plus
-// windowed p50/p99.
-type HistStats struct {
+// HistBucket is one cumulative bucket of a histogram snapshot: Count
+// observations were ≤ LE. The implicit +Inf bucket is not materialised
+// here (its cumulative count is the lifetime Count).
+type HistBucket struct {
+	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P99   float64 `json:"p99"`
+}
+
+// HistStats is a histogram snapshot: lifetime count/sum/min/max/mean,
+// windowed p50/p99, and the lifetime cumulative bucket counts.
+type HistStats struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     float64      `json:"p50"`
+	P99     float64      `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Stats computes the snapshot.
@@ -125,29 +170,25 @@ func (h *Histogram) Stats() HistStats {
 		return HistStats{}
 	}
 	h.mu.Lock()
-	st := HistStats{Count: h.count, Min: h.min, Max: h.max}
+	st := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.count > 0 {
 		st.Mean = h.sum / float64(h.count)
+		st.Buckets = make([]HistBucket, len(h.bounds))
+		var cum int64
+		for i, le := range h.bounds {
+			cum += h.bcounts[i]
+			st.Buckets[i] = HistBucket{LE: le, Count: cum}
+		}
 	}
 	samples := make([]float64, h.n)
 	copy(samples, h.window[:h.n])
 	h.mu.Unlock()
 	if len(samples) > 0 {
 		sort.Float64s(samples)
-		st.P50 = quantile(samples, 0.50)
-		st.P99 = quantile(samples, 0.99)
+		st.P50 = Percentile(samples, 0.50)
+		st.P99 = Percentile(samples, 0.99)
 	}
 	return st
-}
-
-// quantile reads the q-quantile from an ascending sample slice using the
-// nearest-rank method.
-func quantile(sorted []float64, q float64) float64 {
-	idx := int(q * float64(len(sorted)))
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // Provider contributes a named subtree to the registry snapshot; Bytes and
@@ -244,6 +285,16 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
+	return h
+}
+
+// HistogramBuckets returns (creating if needed) the named histogram with
+// the given Prometheus bucket bounds. Bounds only take effect if the
+// histogram has not observed yet (bucket counts are lifetime-cumulative);
+// an already-observed histogram keeps its ladder. Nil-safe.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	h := r.Histogram(name)
+	h.setBuckets(bounds)
 	return h
 }
 
@@ -435,7 +486,18 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		st := snap.Histograms[k]
-		base := seen.claim(promName(k), "_count", "_mean")
+		base := seen.claim(promName(k), "_count", "_mean", "_sum", "_bucket")
+		// Native Prometheus histogram series first (_bucket cumulative
+		// counts ending at the implicit +Inf, then _sum and _count), then
+		// the legacy windowed-quantile gauges.
+		for _, b := range st.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", base, b.LE, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n", base, st.Count, base, st.Sum); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_mean %g\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.99\"} %g\n",
 			base, st.Count, base, st.Mean, base, st.P50, base, st.P99); err != nil {
 			return err

@@ -28,6 +28,14 @@ type Server struct {
 //	/tenants        the serving layer's per-tenant admission state
 //	                (watermarks, queue depths, throttle counters),
 //	                published via SetView("tenants", ...)
+//	/slo            the current SLO snapshot (compliance, error budget,
+//	                multi-window burn rates), published via
+//	                SetView("slo", ...)
+//	/incidents      the reconstructed incident timeline (supervisor
+//	                transitions, heals, Slowdown bursts, SLO breach
+//	                edges, journey-derived stage latencies) as ordered
+//	                JSON; ?format=chrome for a Chrome trace; ?quiet_ms=N
+//	                tunes the incident clustering gap
 //	/debug/pprof/*  the standard runtime profiles
 //
 // The handler holds only the observer pointer, so metrics published after
@@ -75,6 +83,40 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := o.View("slo")
+		if !ok {
+			http.Error(w, "no SLO monitor attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		tl := o.Timeline()
+		if tl == nil {
+			http.Error(w, "no timeline recorded", http.StatusNotFound)
+			return
+		}
+		quiet := time.Second
+		if q := r.URL.Query().Get("quiet_ms"); q != "" {
+			if ms, err := time.ParseDuration(q + "ms"); err == nil && ms > 0 {
+				quiet = ms
+			}
+		}
+		rep := tl.Report(quiet)
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = ExportTimelineChrome(w, rep)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig describes one latency service-level objective: Target fraction
+// of events must be acknowledged within Objective.
+type SLOConfig struct {
+	// Name labels the objective ("ack-latency").
+	Name string
+	// Objective is the latency threshold; an observation above it burns
+	// error budget.
+	Objective time.Duration
+	// Target is the goal fraction of good events (e.g. 0.999). Values
+	// outside (0, 1) default to 0.99.
+	Target float64
+	// Windows are the sliding burn-rate windows (multi-window alerting à
+	// la the SRE workbook). Defaults to 1m / 5m / 30m. Windows longer than
+	// the monitor's retention (1h) are clamped.
+	Windows []time.Duration
+	// BreachBurn is the burn rate on the *shortest* window at which the
+	// monitor declares a breach (posting breach-begin/breach-end to the
+	// timeline). Defaults to 14 (the workbook's page-level fast burn).
+	BreachBurn float64
+	// Timeline, when set, receives breach-begin / breach-end events.
+	Timeline *Timeline
+}
+
+// sloRetention is how much per-second history the monitor keeps; windows
+// are clamped to it.
+const sloRetention = 3600 * time.Second
+
+// sloBucket is one second of good/bad counts.
+type sloBucket struct {
+	sec  int64 // unix second this bucket currently represents
+	good int64
+	bad  int64
+}
+
+// SLOMonitor tracks one latency objective from a stream of observed
+// end-to-end latencies: lifetime compliance and remaining error budget,
+// plus burn rates over sliding windows (per-second ring buckets). A nil
+// *SLOMonitor is the disabled monitor — Observe is a no-op — matching the
+// package's nil-object contract.
+type SLOMonitor struct {
+	cfg SLOConfig
+
+	mu        sync.Mutex
+	buckets   []sloBucket
+	total     int64
+	totalBad  int64
+	startedAt time.Time
+	breached  bool
+	breaches  int64
+}
+
+// NewSLOMonitor creates a monitor for the given objective.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	if cfg.Name == "" {
+		cfg.Name = "slo"
+	}
+	if cfg.Objective <= 0 {
+		cfg.Objective = 100 * time.Millisecond
+	}
+	if cfg.Target <= 0 || cfg.Target >= 1 {
+		cfg.Target = 0.99
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	for i, w := range cfg.Windows {
+		if w <= 0 {
+			cfg.Windows[i] = time.Minute
+		}
+		if cfg.Windows[i] > sloRetention {
+			cfg.Windows[i] = sloRetention
+		}
+	}
+	if cfg.BreachBurn <= 0 {
+		cfg.BreachBurn = 14
+	}
+	return &SLOMonitor{
+		cfg:       cfg,
+		buckets:   make([]sloBucket, int(sloRetention/time.Second)),
+		startedAt: time.Now(),
+	}
+}
+
+// Observe records one end-to-end latency. Nil-safe.
+func (m *SLOMonitor) Observe(lat time.Duration) {
+	if m == nil {
+		return
+	}
+	now := time.Now()
+	sec := now.Unix()
+	bad := lat > m.cfg.Objective
+
+	m.mu.Lock()
+	b := &m.buckets[sec%int64(len(m.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	if bad {
+		b.bad++
+		m.totalBad++
+	} else {
+		b.good++
+	}
+	m.total++
+	// Breach detection on the shortest window, evaluated inline so the
+	// breach edge lands on the timeline at the moment it happens rather
+	// than at the next /slo scrape.
+	short := m.cfg.Windows[0]
+	for _, w := range m.cfg.Windows[1:] {
+		if w < short {
+			short = w
+		}
+	}
+	good, badN := m.windowCounts(sec, short)
+	burn := burnRate(good, badN, m.cfg.Target)
+	breached := good+badN > 0 && burn >= m.cfg.BreachBurn
+	edge := breached != m.breached
+	m.breached = breached
+	if edge && breached {
+		m.breaches++
+	}
+	tl := m.cfg.Timeline
+	m.mu.Unlock()
+
+	if edge {
+		kind := "breach-end"
+		if breached {
+			kind = "breach-begin"
+		}
+		tl.Add("slo", kind, m.cfg.Name, map[string]any{
+			"burn":      burn,
+			"window_ms": short.Milliseconds(),
+		})
+	}
+}
+
+// windowCounts sums good/bad over the trailing window ending at nowSec.
+// Caller holds m.mu.
+func (m *SLOMonitor) windowCounts(nowSec int64, w time.Duration) (good, bad int64) {
+	secs := int64(w / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	for s := nowSec - secs + 1; s <= nowSec; s++ {
+		b := &m.buckets[s%int64(len(m.buckets))]
+		if b.sec == s {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burnRate is the error-budget burn multiplier: observed bad fraction over
+// the allowed bad fraction. 1.0 = spending budget exactly at the rate that
+// exhausts it at the SLO period's end; 14 = paging-fast.
+func burnRate(good, bad int64, target float64) float64 {
+	n := good + bad
+	if n == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(n)) / (1 - target)
+}
+
+// SLOWindow is one sliding window's burn-rate reading.
+type SLOWindow struct {
+	WindowMs int64   `json:"window_ms"`
+	Good     int64   `json:"good"`
+	Bad      int64   `json:"bad"`
+	Burn     float64 `json:"burn"`
+}
+
+// SLOSnapshot is the /slo document.
+type SLOSnapshot struct {
+	Name        string  `json:"name"`
+	ObjectiveMs float64 `json:"objective_ms"`
+	Target      float64 `json:"target"`
+	Total       int64   `json:"total"`
+	Bad         int64   `json:"bad"`
+	// Compliance is the lifetime good fraction (1 when nothing observed).
+	Compliance float64 `json:"compliance"`
+	// BudgetRemaining is the unspent lifetime error budget fraction
+	// (negative once the SLO is blown outright).
+	BudgetRemaining float64     `json:"budget_remaining"`
+	Windows         []SLOWindow `json:"windows"`
+	Breached        bool        `json:"breached"`
+	Breaches        int64       `json:"breaches"`
+	UptimeSeconds   float64     `json:"uptime_seconds"`
+}
+
+// Snapshot reads the current SLO state. Nil-safe (zero snapshot).
+func (m *SLOMonitor) Snapshot() SLOSnapshot {
+	if m == nil {
+		return SLOSnapshot{Compliance: 1, BudgetRemaining: 1}
+	}
+	sec := time.Now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := SLOSnapshot{
+		Name:            m.cfg.Name,
+		ObjectiveMs:     float64(m.cfg.Objective) / float64(time.Millisecond),
+		Target:          m.cfg.Target,
+		Total:           m.total,
+		Bad:             m.totalBad,
+		Compliance:      1,
+		BudgetRemaining: 1,
+		Breached:        m.breached,
+		Breaches:        m.breaches,
+		UptimeSeconds:   time.Since(m.startedAt).Seconds(),
+	}
+	if m.total > 0 {
+		snap.Compliance = 1 - float64(m.totalBad)/float64(m.total)
+		snap.BudgetRemaining = 1 - (float64(m.totalBad)/float64(m.total))/(1-m.cfg.Target)
+	}
+	for _, w := range m.cfg.Windows {
+		good, bad := m.windowCounts(sec, w)
+		snap.Windows = append(snap.Windows, SLOWindow{
+			WindowMs: w.Milliseconds(),
+			Good:     good,
+			Bad:      bad,
+			Burn:     burnRate(good, bad, m.cfg.Target),
+		})
+	}
+	return snap
+}
+
+// PeakBurn returns the largest current burn rate across windows (0 for a
+// nil monitor). Nil-safe.
+func (m *SLOMonitor) PeakBurn() float64 {
+	snap := m.Snapshot()
+	var peak float64
+	for _, w := range snap.Windows {
+		if w.Burn > peak {
+			peak = w.Burn
+		}
+	}
+	return peak
+}

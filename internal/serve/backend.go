@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"morphstreamr/internal/shard"
 	"morphstreamr/internal/storage"
@@ -116,6 +117,14 @@ func (b *GroupBackend) Coord() storage.Device { return b.cfg.CoordDev }
 
 // Heals returns how many heals the backend has performed.
 func (b *GroupBackend) Heals() int { return b.heals }
+
+// ShardOf implements the server's shardRouter capability: the shard that
+// owns ev's routing key.
+func (b *GroupBackend) ShardOf(ev types.Event) int { return b.g.Router().Of(ev.Keys[0]) }
+
+// CommittedAt implements the server's commitTimer capability: when epoch
+// ep was first covered by the committed frontier (pump goroutine only).
+func (b *GroupBackend) CommittedAt(ep uint64) (time.Time, bool) { return b.g.CommittedAt(ep) }
 
 // Group exposes the live group for tests.
 func (b *GroupBackend) Group() *shard.Group { return b.g }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/journey"
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/shard"
 	"morphstreamr/internal/storage"
@@ -53,6 +54,15 @@ type ChaosConfig struct {
 	// Obs, when non-nil, observes the run (a fresh observer is created
 	// otherwise so eviction/slowdown counters are always available).
 	Obs *obs.Observer
+	// Journeys, when non-nil, traces sampled batches end-to-end through
+	// the run (see internal/journey); drained by the caller afterwards.
+	Journeys *journey.Recorder
+	// SLO, when non-nil, observes every acked batch's lag.
+	SLO *obs.SLOMonitor
+	// SampleFlagEvery, when > 0, makes every driver set the Submit
+	// sampled flag on batch sequences divisible by it (the client-side
+	// sampling path; server-side sampling comes from Journeys' config).
+	SampleFlagEvery uint64
 }
 
 func (c *ChaosConfig) normalize() {
@@ -203,6 +213,8 @@ func Chaos(cfg ChaosConfig) (*ChaosReport, error) {
 		HelloTimeout: helloTimeout,
 		MaxHeals:     16,
 		Obs:          cfg.Obs,
+		Journeys:     cfg.Journeys,
+		SLO:          cfg.SLO,
 		AckLog: func(tenant string, batchSeq, firstSeq, events, epoch uint64) {
 			audit.add(AckRecord{
 				Tenant: tenant, BatchSeq: batchSeq, FirstSeq: firstSeq,
@@ -233,6 +245,7 @@ func Chaos(cfg ChaosConfig) (*ChaosReport, error) {
 			batches[b] = evs
 		}
 		drivers[i] = newChaosDriver(srv.Addr(), fmt.Sprintf("t%d", i), batches)
+		drivers[i].sampleEvery = cfg.SampleFlagEvery
 	}
 
 	var wg sync.WaitGroup
@@ -351,10 +364,11 @@ func Chaos(cfg ChaosConfig) (*ChaosReport, error) {
 		ackTimes = append(ackTimes, d.ackTimes...)
 		rep.Reconnects += d.reconnects
 	}
-	sort.Slice(lags, func(a, b int) bool { return lags[a] < lags[b] })
-	if n := len(lags); n > 0 {
-		rep.P50AckLagMs = float64(lags[n/2]) / float64(time.Millisecond)
-		rep.P99AckLagMs = float64(lags[n*99/100]) / float64(time.Millisecond)
+	// Interpolated percentiles via the shared obs helper — the old
+	// index-truncation (`lags[n*99/100]`) reported the max at small n.
+	if len(lags) > 0 {
+		rep.P50AckLagMs = float64(obs.DurPercentile(lags, 0.50)) / float64(time.Millisecond)
+		rep.P99AckLagMs = float64(obs.DurPercentile(lags, 0.99)) / float64(time.Millisecond)
 	}
 	sort.Slice(ackTimes, func(a, b int) bool { return ackTimes[a].Before(ackTimes[b]) })
 	for _, k := range kills {

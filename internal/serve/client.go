@@ -64,6 +64,12 @@ func (c *Client) Submit(batchSeq uint64, events []types.Event) error {
 	return c.write(EncodeSubmit(batchSeq, events))
 }
 
+// SubmitFlags sends one batch with Submit flags (e.g. SubmitFlagSampled to
+// request an end-to-end journey trace for this batch).
+func (c *Client) SubmitFlags(batchSeq uint64, events []types.Event, flags uint64) error {
+	return c.write(EncodeSubmitFlags(batchSeq, events, flags))
+}
+
 // Ping sends a liveness probe.
 func (c *Client) Ping() error { return c.write(EncodePing()) }
 

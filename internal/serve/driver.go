@@ -21,6 +21,9 @@ type chaosDriver struct {
 	tenant  string
 	batches [][]types.Event
 	window  uint64
+	// sampleEvery, when > 0, sets the Submit sampled flag on every batch
+	// sequence divisible by it — the client-side journey sampling path.
+	sampleEvery uint64
 
 	// Written only by the driver goroutine; read by the harness after the
 	// driver's goroutine joins.
@@ -113,7 +116,11 @@ func (d *chaosDriver) session(c *Client, acked *uint64, total uint64, submitted 
 			if _, ok := submitted[cursor]; !ok {
 				submitted[cursor] = time.Now()
 			}
-			if err := c.Submit(cursor, d.batches[cursor-1]); err != nil {
+			var flags uint64
+			if d.sampleEvery > 0 && cursor%d.sampleEvery == 0 {
+				flags |= SubmitFlagSampled
+			}
+			if err := c.SubmitFlags(cursor, d.batches[cursor-1], flags); err != nil {
 				return false
 			}
 			cursor++

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"morphstreamr/internal/ft/ftapi"
+	"morphstreamr/internal/journey"
+	"morphstreamr/internal/obs"
+)
+
+// TestJourneyStitchingKillHeal drives the kill-heal chaos cell with every
+// batch sampled and checks the stitching invariants the recorder promises
+// across engine incarnations: no journey is left active once the run ends,
+// none is finalized twice, every drained record's stage decomposition sums
+// exactly to its end-to-end total, and the heals show up as an explicit
+// RECOVERY stage on journeys that lived through them. Under -race this also
+// exercises the recorder's locking against the session read loops, the
+// pump, and the heal path concurrently.
+func TestJourneyStitchingKillHeal(t *testing.T) {
+	rec := journey.NewRecorder(journey.Config{SampleEvery: 1})
+	slo := obs.NewSLOMonitor(obs.SLOConfig{Name: "ack"})
+	rep, err := Chaos(ChaosConfig{
+		Cell:            CellKillHeal,
+		Kind:            ftapi.WAL,
+		Seed:            7,
+		Tenants:         3,
+		Batches:         30,
+		BatchEvents:     4,
+		Journeys:        rec,
+		SLO:             slo,
+		SampleFlagEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("exactly-once violations: %d", rep.Violations)
+	}
+	if rep.Heals == 0 {
+		t.Fatal("kill-heal cell performed zero heals")
+	}
+
+	if n := rec.ActiveCount(); n != 0 {
+		t.Errorf("orphaned journeys still active after the run: %d", n)
+	}
+	if d := rec.DoubleCompletes(); d != 0 {
+		t.Errorf("double-completed journeys: %d", d)
+	}
+
+	recs, dropped := rec.Drain()
+	if len(recs) == 0 {
+		t.Fatal("no journeys drained despite full sampling")
+	}
+	if dropped != 0 {
+		t.Errorf("done buffer dropped %d records (raise MaxDone)", dropped)
+	}
+
+	recovered := 0
+	for _, r := range recs {
+		var sum time.Duration
+		for st, d := range r.StageDurs {
+			if d < 0 {
+				t.Fatalf("journey %s/%d: negative %q duration %v", r.Tenant, r.Seq, st, d)
+			}
+			sum += d
+		}
+		if sum != r.Total {
+			t.Errorf("journey %s/%d: stage sum %v != total %v", r.Tenant, r.Seq, sum, r.Total)
+		}
+		if r.Total != r.End.Sub(r.Start) {
+			t.Errorf("journey %s/%d: total %v != end-start %v", r.Tenant, r.Seq, r.Total, r.End.Sub(r.Start))
+		}
+		if !r.Shed {
+			// Every acked journey must carry the full pipeline decomposition:
+			// it was admitted and its ack flushed, whatever happened between.
+			for _, st := range []journey.Stage{journey.StageAdmission, journey.StageAck} {
+				if _, ok := r.StageDurs[st]; !ok {
+					t.Errorf("journey %s/%d: completed without %q stage", r.Tenant, r.Seq, st)
+				}
+			}
+			if len(r.Shards) == 0 {
+				t.Errorf("journey %s/%d: completed without a shard route", r.Tenant, r.Seq)
+			}
+		}
+		if r.StageDurs[journey.StageRecovery] > 0 {
+			recovered++
+			if !r.Recovered {
+				t.Errorf("journey %s/%d: RECOVERY stage without Recovered flag", r.Tenant, r.Seq)
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Errorf("no journey carries RECOVERY time despite %d heal(s)", rep.Heals)
+	}
+	if rec.Incarnation() != rep.Heals {
+		t.Errorf("recorder saw %d incarnations, server healed %d times", rec.Incarnation(), rep.Heals)
+	}
+
+	snap := slo.Snapshot()
+	if snap.Total == 0 {
+		t.Error("SLO monitor observed no acked batches")
+	}
+	if snap.Total < int64(len(recs))-int64(dropped) {
+		// Journeys are a sample of the acked population; the SLO sees all
+		// of it, so it can never have observed fewer than the sample.
+		t.Errorf("SLO observed %d acks < %d sampled journeys", snap.Total, len(recs))
+	}
+}

@@ -60,6 +60,14 @@ const (
 	FramePong FrameType = 0x08
 )
 
+// Submit frame flag bits (an optional trailing uvarint after the events;
+// older encoders simply omit it, which strict decode accepts as flags 0).
+const (
+	// SubmitFlagSampled asks the server to trace this batch's journey
+	// end-to-end regardless of its server-side sampling modulus.
+	SubmitFlagSampled uint64 = 1 << 0
+)
+
 // SlowReason says why a Submit was rejected.
 type SlowReason byte
 
@@ -129,6 +137,9 @@ type Frame struct {
 	BatchSeq uint64
 	// Events is the Submit batch payload.
 	Events []types.Event
+	// Flags are the Submit frame's option bits (SubmitFlag*); 0 when the
+	// optional trailing flags field is absent.
+	Flags uint64
 	// RetryAfterMs is the Slowdown retry hint in milliseconds.
 	RetryAfterMs uint64
 	// Reason is the Slowdown reason.
@@ -203,6 +214,11 @@ func DecodeFrame(b []byte) (Frame, error) {
 				return f, fmt.Errorf("%w: event has no routing key", ErrBadFrame)
 			}
 			f.Events = append(f.Events, ev)
+		}
+		if r.Err() == nil && r.Remaining() > 0 {
+			// Optional trailing flags uvarint: absent on frames from older
+			// encoders, consumed here so strict decode stays exact.
+			f.Flags = r.Uvarint()
 		}
 	case FrameAck:
 		f.BatchSeq = r.Uvarint()
@@ -284,9 +300,18 @@ func EncodeHelloAck(watermark, epoch uint64) []byte {
 
 // EncodeSubmit encodes a Submit frame.
 func EncodeSubmit(batchSeq uint64, events []types.Event) []byte {
+	return EncodeSubmitFlags(batchSeq, events, 0)
+}
+
+// EncodeSubmitFlags encodes a Submit frame with option bits. Zero flags
+// omit the trailing field, producing the exact legacy encoding.
+func EncodeSubmitFlags(batchSeq uint64, events []types.Event, flags uint64) []byte {
 	return encode(FrameSubmit, func(w *codec.Buffer) {
 		w.Uvarint(batchSeq)
 		codec.EncodeEventsInto(w, events)
+		if flags != 0 {
+			w.Uvarint(flags)
+		}
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"morphstreamr/internal/journey"
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/shard"
 	"morphstreamr/internal/storage"
@@ -34,6 +35,8 @@ func (s *Server) pump() {
 				s.termErr = err
 				s.mu.Unlock()
 				s.degraded.Store(true) // shed everything; the server is dead
+				s.timeline().Add("serve", "terminal", err.Error(), nil)
+				s.cfg.Journeys.ShedActive()
 				return
 			}
 		}
@@ -100,6 +103,7 @@ func (s *Server) gather() []*batch {
 				break
 			}
 			out = append(out, b)
+			b.j.Stamp(journey.StageQueue)
 			room -= len(b.ev)
 		}
 	}
@@ -149,11 +153,40 @@ func (s *Server) feed(batches []*batch) error {
 		s.requeueBatches(batches)
 		return fmt.Errorf("%w: epoch %d: %v", errManifest, ep, err)
 	}
+	for _, b := range batches {
+		if b.j != nil {
+			b.j.Stamp(journey.StageRoute)
+			b.j.SetRoute(ep, s.routeShards(b))
+		}
+	}
 	if err := s.be.Feed(events); err != nil {
 		return err
 	}
+	for _, b := range batches {
+		b.j.Stamp(journey.StageExecute)
+	}
 	s.count("serve.epochs")
 	return nil
+}
+
+// routeShards returns the distinct shards a sampled batch's events route
+// to, when the backend exposes its router (nil otherwise).
+func (s *Server) routeShards(b *batch) []int {
+	sr, ok := s.be.(shardRouter)
+	if !ok {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, ev := range b.ev {
+		sh := sr.ShardOf(ev)
+		if !seen[sh] {
+			seen[sh] = true
+			out = append(out, sh)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // memSource serves group recovery from the pump's in-memory epoch mirror,
@@ -177,12 +210,19 @@ func (s *Server) heal(procErr error) error {
 	cause := supervisor.Classify(procErr)
 	s.degraded.Store(true)
 	defer s.degraded.Store(false)
+	// Bracket the heal for the journey tracer: time any sampled in-flight
+	// batch spends inside this window is attributed to its RECOVERY stage,
+	// stitching the journey across the backend incarnations.
+	s.cfg.Journeys.RecoveryBegin()
+	defer s.cfg.Journeys.RecoveryEnd()
+	s.timeline().Add("serve", "heal-begin", cause, map[string]any{"err": procErr.Error()})
 	s.heals.Add(1)
 	s.count("serve.heals")
 	if int(s.heals.Load()) > s.cfg.MaxHeals {
 		s.cfg.Health.Record(metrics.Incident{
 			Cause: cause, Err: procErr.Error(), DetectedAt: detected, Healed: false,
 		})
+		s.timeline().Add("serve", "heal-failed", "heal budget exhausted", nil)
 		return fmt.Errorf("serve: heal budget exhausted (%d): %w", s.cfg.MaxHeals, procErr)
 	}
 
@@ -192,6 +232,7 @@ func (s *Server) heal(procErr error) error {
 			Cause: cause, Err: procErr.Error(), DetectedAt: detected,
 			MTTR: time.Since(detected), Healed: false,
 		})
+		s.timeline().Add("serve", "heal-failed", err.Error(), nil)
 		return fmt.Errorf("serve: heal: %w", err)
 	}
 
@@ -218,6 +259,10 @@ func (s *Server) heal(procErr error) error {
 	if reg := s.cfg.Obs.Registry(); reg != nil {
 		reg.Histogram("serve.heal_seconds").ObserveSince(detected)
 	}
+	s.timeline().Add("serve", "heal-end", cause, map[string]any{
+		"mttr_ms":         float64(time.Since(detected)) / float64(time.Millisecond),
+		"recovered_epoch": recovered,
+	})
 	return nil
 }
 
@@ -252,7 +297,18 @@ func (s *Server) flushAcks() {
 		}
 	}
 	sort.Slice(done, func(a, b int) bool { return done[a] < done[b] })
+	ct, hasCT := s.be.(commitTimer)
 	for _, ep := range done {
+		// The commit stage boundary is when the frontier actually covered
+		// the epoch (recorded by the shard group on its coordinator
+		// goroutine — this one); epochs committed by a previous
+		// incarnation have no stamp and fall back to now.
+		commitAt := time.Now()
+		if hasCT {
+			if t, ok := ct.CommittedAt(ep); ok {
+				commitAt = t
+			}
+		}
 		for _, b := range s.inflight[ep] {
 			sess := b.tn.ack(b)
 			if s.cfg.AckLog != nil {
@@ -260,9 +316,12 @@ func (s *Server) flushAcks() {
 			}
 			s.count("serve.acks")
 			s.observeAckLag(b.submitted)
+			s.cfg.SLO.Observe(time.Since(b.submitted))
 			if sess != nil {
 				sess.trySend(EncodeAck(b.seq, ep))
 			}
+			b.j.StampAt(journey.StageCommit, commitAt)
+			b.j.Complete()
 		}
 		delete(s.inflight, ep)
 	}

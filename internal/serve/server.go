@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"morphstreamr/internal/journey"
 	"morphstreamr/internal/metrics"
 	"morphstreamr/internal/obs"
 	"morphstreamr/internal/types"
@@ -59,8 +60,18 @@ type Config struct {
 	MaxHeals int
 
 	// Obs, when non-nil, receives per-tenant gauges, ack-lag histograms,
-	// and the /tenants view.
+	// the /tenants view, and — when it carries a Timeline — heal and
+	// slowdown events for the /incidents view.
 	Obs *obs.Observer
+	// Journeys, when non-nil, traces sampled batches end-to-end: every
+	// pipeline stage stamps the batch's journey, heals bracket a RECOVERY
+	// stage, and completed journeys are drained via the recorder. Nil
+	// disables tracing (the hot path pays one nil check per stage).
+	Journeys *journey.Recorder
+	// SLO, when non-nil, observes every acked batch's client-observed
+	// lag (admission to ack flush) against its latency objective; the
+	// server publishes it as the Obs view "slo" (the /slo endpoint).
+	SLO *obs.SLOMonitor
 	// Health receives heal incidents; nil allocates a fresh log.
 	Health *metrics.Health
 	// AckLog, when non-nil, observes every acknowledgement decision
@@ -254,6 +265,9 @@ func (s *Server) Close() {
 		}
 		s.wg.Wait()
 		s.be.Close()
+		// No ack will ever come for what is still in flight: finalize the
+		// sampled journeys as shed so none is left orphaned.
+		s.cfg.Journeys.ShedActive()
 	})
 }
 
@@ -325,6 +339,9 @@ func (s *Server) registerObs() {
 			})
 		}
 	}
+	if s.cfg.SLO != nil {
+		o.SetView("slo", func() any { return s.cfg.SLO.Snapshot() })
+	}
 	o.SetView("tenants", func() any {
 		out := make([]tenantStats, 0, len(s.order))
 		for _, t := range s.order {
@@ -355,4 +372,19 @@ func (s *Server) observeAckLag(since time.Time) {
 	if reg := s.cfg.Obs.Registry(); reg != nil {
 		reg.Histogram("serve.ack_lag_seconds").ObserveSince(since)
 	}
+}
+
+// timeline is the nil-safe incident timeline accessor.
+func (s *Server) timeline() *obs.Timeline { return s.cfg.Obs.Timeline() }
+
+// shardRouter is the optional backend capability the journey tracer uses
+// to record which shards a sampled batch routed to.
+type shardRouter interface {
+	ShardOf(ev types.Event) int
+}
+
+// commitTimer is the optional backend capability exposing when an epoch
+// was first covered by the committed frontier (the commit stage boundary).
+type commitTimer interface {
+	CommittedAt(ep uint64) (time.Time, bool)
 }

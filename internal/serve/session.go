@@ -152,7 +152,9 @@ func (s *session) readLoop() {
 // verdicts. Accepted batches are acked later, by the pump, once their
 // epoch commits; everything else is answered here.
 func (s *session) handleSubmit(tn *tenant, f Frame) {
-	v := tn.admit(f.BatchSeq, f.Events, s.srv.degraded.Load(), s.srv.cfg.ShedBelow, time.Now())
+	rec := s.srv.cfg.Journeys
+	sampled := rec.ShouldSample(f.BatchSeq, f.Flags&SubmitFlagSampled != 0)
+	v := tn.admit(f.BatchSeq, f.Events, s.srv.degraded.Load(), s.srv.cfg.ShedBelow, time.Now(), rec, sampled)
 	switch v {
 	case vAccept:
 		// The ack comes from the pump when the covering epoch commits.
@@ -165,16 +167,25 @@ func (s *session) handleSubmit(tn *tenant, f Frame) {
 	case vDupPending:
 		// Admitted earlier, still in flight: the real ack is coming.
 	case vOutOfOrder:
-		s.srv.count("serve.slowdowns")
+		s.noteSlowdown(tn, SlowOrder)
 		s.trySend(EncodeSlowdown(tn.resendFrom(), 0, SlowOrder))
 	case vShed:
-		s.srv.count("serve.slowdowns")
+		s.noteSlowdown(tn, SlowDegraded)
 		s.trySend(EncodeSlowdown(f.BatchSeq, 20, SlowDegraded))
 	case vThrottle:
-		s.srv.count("serve.slowdowns")
+		s.noteSlowdown(tn, SlowRate)
 		s.trySend(EncodeSlowdown(f.BatchSeq, tn.retryAfterMs(), SlowRate))
 	case vQueueFull:
-		s.srv.count("serve.slowdowns")
+		s.noteSlowdown(tn, SlowQueue)
 		s.trySend(EncodeSlowdown(f.BatchSeq, 10, SlowQueue))
 	}
+}
+
+// noteSlowdown counts a Slowdown and drops a rate-limited marker on the
+// incident timeline (one per reason per 250ms — a rejection storm reads
+// as a burst marker, not thousands of events).
+func (s *session) noteSlowdown(tn *tenant, reason SlowReason) {
+	s.srv.count("serve.slowdowns")
+	s.srv.timeline().AddLimited(250*time.Millisecond, "serve", "slowdown",
+		tn.cfg.Name+": "+reason.String(), nil)
 }

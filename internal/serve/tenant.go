@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"morphstreamr/internal/journey"
 	"morphstreamr/internal/types"
 )
 
@@ -51,6 +52,10 @@ type batch struct {
 	seqed    bool
 
 	submitted time.Time // first admission, for client-observed ack lag
+
+	// j is the batch's journey when sampled (nil otherwise; every stamp
+	// on it is nil-safe).
+	j *journey.J
 }
 
 // Admission verdicts.
@@ -150,7 +155,11 @@ func (t *tenant) refill(now time.Time) {
 // or the high-watermark would stop meaning "contiguous acked prefix"), and
 // shedding before rate/queue (a mid-heal rejection should say "degraded",
 // the reason the client can act on, not a coincidental "rate").
-func (t *tenant) admit(seq uint64, ev []types.Event, degraded bool, shedBelow int, now time.Time) verdict {
+// rec/sampled carry the journey tracer: a sampled batch's rejections note
+// the first-attempt time (so the eventual journey's admission stage covers
+// the token-bucket wait across retries) and its acceptance opens the
+// journey.
+func (t *tenant) admit(seq uint64, ev []types.Event, degraded bool, shedBelow int, now time.Time, rec *journey.Recorder, sampled bool) verdict {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if seq <= t.watermark {
@@ -162,28 +171,44 @@ func (t *tenant) admit(seq uint64, ev []types.Event, degraded bool, shedBelow in
 	}
 	if seq != t.maxSeen+1 {
 		t.outOfOrd++
+		if sampled {
+			rec.NoteRejected(t.cfg.Name, seq)
+		}
 		return vOutOfOrder
 	}
 	if degraded && t.cfg.Priority < shedBelow {
 		t.shed++
+		if sampled {
+			rec.NoteRejected(t.cfg.Name, seq)
+		}
 		return vShed
 	}
 	if t.cfg.Rate > 0 {
 		t.refill(now)
 		if t.tokens < 1 {
 			t.throttled++
+			if sampled {
+				rec.NoteRejected(t.cfg.Name, seq)
+			}
 			return vThrottle
 		}
 	}
 	if len(t.queue) >= t.cfg.QueueCap {
 		t.queueFull++
+		if sampled {
+			rec.NoteRejected(t.cfg.Name, seq)
+		}
 		return vQueueFull
 	}
 	if t.cfg.Rate > 0 {
 		t.tokens--
 	}
 	t.maxSeen = seq
-	t.queue = append(t.queue, &batch{tn: t, seq: seq, ev: ev, submitted: now})
+	b := &batch{tn: t, seq: seq, ev: ev, submitted: now}
+	if sampled {
+		b.j = rec.Start(t.cfg.Name, seq)
+	}
+	t.queue = append(t.queue, b)
 	if len(t.queue) > t.maxQueue {
 		t.maxQueue = len(t.queue)
 	}

@@ -220,6 +220,12 @@ type Group struct {
 	// the hook fires only on advancement.
 	notified uint64
 
+	// commitAt records when each epoch's commit became covered by the
+	// group frontier (coordinator goroutine only, like the rest of the
+	// epoch state). commitMarked is the highest epoch stamped.
+	commitAt     map[uint64]time.Time
+	commitMarked uint64
+
 	stats  []EpochStat
 	routes [][]int
 }
@@ -247,10 +253,11 @@ func newGroupShell(cfg Config) (*Group, error) {
 		return nil, err
 	}
 	g := &Group{
-		cfg:    cfg,
-		app:    WrapApp(cfg.App),
-		router: partition.NewRanges(cfg.App.Tables(), cfg.Shards),
-		coord:  cfg.CoordDev,
+		cfg:      cfg,
+		app:      WrapApp(cfg.App),
+		router:   partition.NewRanges(cfg.App.Tables(), cfg.Shards),
+		coord:    cfg.CoordDev,
+		commitAt: map[uint64]time.Time{},
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		g.shards = append(g.shards, &shardState{
@@ -487,6 +494,30 @@ func (g *Group) completeBarrier(ep uint64) error {
 		reg.Counter("group.barriers").Inc()
 		reg.Gauge("group.epoch").Set(int64(ep))
 	}
+	if f := g.Committed(); f > g.commitMarked {
+		// Stamp the frontier-advance time for every newly covered epoch —
+		// the serving layer's journey tracer reads these as the commit
+		// stage boundary. A recovered group may see the frontier jump far
+		// past commitMarked (epochs committed by a previous incarnation);
+		// only a recent window is stamped, older epochs fall back to the
+		// caller's observation time.
+		now := time.Now()
+		lo := g.commitMarked + 1
+		if f > 64 && lo < f-64 {
+			lo = f - 64
+		}
+		for e := lo; e <= f; e++ {
+			g.commitAt[e] = now
+		}
+		g.commitMarked = f
+		if len(g.commitAt) > 8192 {
+			for e := range g.commitAt {
+				if e+4096 < f {
+					delete(g.commitAt, e)
+				}
+			}
+		}
+	}
 	if g.cfg.OnCommit != nil {
 		if f := g.Committed(); f > g.notified {
 			g.notified = f
@@ -494,6 +525,15 @@ func (g *Group) completeBarrier(ep uint64) error {
 		}
 	}
 	return nil
+}
+
+// CommittedAt returns when epoch ep was first covered by the committed
+// punctuation frontier, as observed on the coordinator goroutine. ok is
+// false for epochs committed by a previous incarnation (or pruned).
+// Coordinator-goroutine only, like ProcessEpoch.
+func (g *Group) CommittedAt(ep uint64) (time.Time, bool) {
+	t, ok := g.commitAt[ep]
+	return t, ok
 }
 
 // repKeySet collects the keys carried by a shard's replication events.

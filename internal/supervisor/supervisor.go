@@ -410,6 +410,7 @@ func (s *Supervisor) observeTransition(st State) {
 		reg.Counter("supervisor.transitions").Inc()
 		reg.Counter("supervisor.to_" + st.String()).Inc()
 	}
+	s.cfg.Obs.Timeline().Add("supervisor", "state", st.String(), nil)
 	if s.cfg.OnState != nil {
 		s.cfg.OnState(st)
 	}
